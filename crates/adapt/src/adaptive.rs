@@ -1,0 +1,487 @@
+//! The adaptive mesh: a computational mesh plus its refinement forest,
+//! bisection records, and the marking / prediction machinery.
+
+use std::collections::HashMap;
+
+use plum_mesh::{EdgeId, ElemId, PairMap, TetMesh, VertId, LOCAL_EDGE_VERTS};
+
+use crate::forest::{Forest, NodeId};
+use crate::pattern::{classify, upgrade, SubdivKind};
+
+/// Per-edge refinement marks, indexed by edge slot id of the current mesh.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeMarks {
+    bits: Vec<bool>,
+}
+
+impl EdgeMarks {
+    /// No edges marked, sized for `mesh`.
+    pub fn new(mesh: &TetMesh) -> Self {
+        EdgeMarks {
+            bits: vec![false; mesh.edge_slots()],
+        }
+    }
+
+    /// Is `e` marked?
+    #[inline]
+    pub fn is_marked(&self, e: EdgeId) -> bool {
+        self.bits.get(e.idx()).copied().unwrap_or(false)
+    }
+
+    /// Mark `e`; returns true if it was newly marked.
+    #[inline]
+    pub fn mark(&mut self, e: EdgeId) -> bool {
+        if e.idx() >= self.bits.len() {
+            self.bits.resize(e.idx() + 1, false);
+        }
+        !std::mem::replace(&mut self.bits[e.idx()], true)
+    }
+
+    /// Number of marked edges.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterate marked edge ids.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| EdgeId::from_idx(i))
+    }
+}
+
+/// Statistics from one refinement pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Elements subdivided (became interior nodes).
+    pub elems_subdivided: usize,
+    /// Child elements created.
+    pub elems_created: usize,
+    /// Edges bisected (midpoint vertices created or reused).
+    pub edges_bisected: usize,
+    /// New vertices created.
+    pub verts_created: usize,
+}
+
+/// Exact prediction of the post-refinement mesh, computable from the marking
+/// patterns alone ("it is possible to exactly predict the new mesh before
+/// actually performing the refinement step").
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Leaf-element count per refinement tree after subdivision
+    /// (the new `wcomp`).
+    pub wcomp: Vec<u64>,
+    /// Total node count per refinement tree after subdivision
+    /// (the new `wremap`).
+    pub wremap: Vec<u64>,
+    /// Total elements in the refined mesh.
+    pub total_elements: u64,
+    /// Mesh growth factor `G` (new elements / old elements), `1 ≤ G ≤ 8`.
+    pub growth_factor: f64,
+}
+
+/// A tetrahedral mesh under adaptive refinement/coarsening.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMesh {
+    /// The current computational (leaf) mesh.
+    pub mesh: TetMesh,
+    pub(crate) forest: Forest,
+    /// Element slot → forest node (u32::MAX for dead slots).
+    pub(crate) node_of_elem: Vec<u32>,
+    /// Live bisections: normalized vertex pair → midpoint vertex.
+    pub(crate) bisect_mid: PairMap,
+    /// Midpoint vertex → the pair it bisects.
+    pub(crate) mid_parent: HashMap<VertId, (VertId, VertId)>,
+}
+
+impl AdaptiveMesh {
+    /// Wrap an initial mesh: every element becomes a root of the forest, in
+    /// `mesh.elems()` order (matching the dual graph's vertex order).
+    pub fn new(mesh: TetMesh) -> Self {
+        let mut forest = Forest::new();
+        let mut node_of_elem = vec![u32::MAX; mesh.elem_slots()];
+        for (i, e) in mesh.elems().enumerate() {
+            let id = forest.add_root(mesh.elem_verts(e), e, i as u32);
+            node_of_elem[e.idx()] = id;
+        }
+        AdaptiveMesh {
+            bisect_mid: PairMap::with_capacity(mesh.n_edges() / 4 + 16),
+            mid_parent: HashMap::new(),
+            mesh,
+            forest,
+            node_of_elem,
+        }
+    }
+
+    /// Number of refinement trees (initial elements / dual vertices).
+    pub fn n_roots(&self) -> usize {
+        self.forest.roots.len()
+    }
+
+    /// Read access to the refinement forest (for migration/packing).
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Refinement level of a live element (roots are level 0).
+    pub fn level_of_elem(&self, e: ElemId) -> u8 {
+        let node = self.node_of_elem[e.idx()];
+        debug_assert_ne!(node, u32::MAX);
+        self.forest.node(node).level
+    }
+
+    /// The dual-graph vertex (root index) a live element belongs to.
+    pub fn root_of_elem(&self, e: ElemId) -> u32 {
+        let node = self.node_of_elem[e.idx()];
+        debug_assert_ne!(node, u32::MAX);
+        self.forest.node(node).root
+    }
+
+    /// Current per-root weights: `(wcomp, wremap)`.
+    pub fn weights(&self) -> (Vec<u64>, Vec<u64>) {
+        self.forest.weights()
+    }
+
+    /// Maximum refinement level in the mesh.
+    pub fn max_level(&self) -> u8 {
+        self.forest.max_level()
+    }
+
+    /// Total live forest nodes (elements that would move in a remap).
+    pub fn n_tree_nodes(&self) -> usize {
+        self.forest.n_nodes()
+    }
+
+    // ------------------------------------------------------------------
+    // marking
+    // ------------------------------------------------------------------
+
+    /// Mark every edge whose error value exceeds `threshold`.
+    /// `error` is indexed by edge slot.
+    pub fn mark_above(&self, error: &[f64], threshold: f64) -> EdgeMarks {
+        let mut marks = EdgeMarks::new(&self.mesh);
+        for e in self.mesh.edges() {
+            if error.get(e.idx()).copied().unwrap_or(0.0) > threshold {
+                marks.mark(e);
+            }
+        }
+        marks
+    }
+
+    /// Mark approximately `frac` of the edges — the ones with the largest
+    /// error values (how the Real_1/2/3 strategies target 5%, 33%, 60% of
+    /// edges).
+    pub fn mark_fraction(&self, error: &[f64], frac: f64) -> EdgeMarks {
+        assert!((0.0..=1.0).contains(&frac));
+        let mut vals: Vec<f64> = self
+            .mesh
+            .edges()
+            .map(|e| error.get(e.idx()).copied().unwrap_or(0.0))
+            .collect();
+        let n = vals.len();
+        let k = ((n as f64) * frac).round() as usize;
+        if k == 0 {
+            return EdgeMarks::new(&self.mesh);
+        }
+        let idx = n - k;
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let threshold = if idx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            vals[idx - 1]
+        };
+        self.mark_above(error, threshold)
+    }
+
+    /// Find an error threshold such that, *after* upgrade propagation,
+    /// approximately `frac` of the live edges end up marked — how the
+    /// paper's Real_1/2/3 strategies are defined ("subdivided 5%, 33%, and
+    /// 60% of the 78,343 edges"). Binary search over the initial threshold,
+    /// running the upgrade fixpoint at each probe.
+    pub fn threshold_for_final_fraction(&self, error: &[f64], frac: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&frac));
+        let mut vals: Vec<f64> = self
+            .mesh
+            .edges()
+            .map(|e| error.get(e.idx()).copied().unwrap_or(0.0))
+            .collect();
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = vals.len();
+        let target = (n as f64 * frac).round() as usize;
+        if target == 0 {
+            return f64::INFINITY;
+        }
+        // Binary search on the *rank* of the threshold value: marking the
+        // top-k edges initially yields ≥ k after upgrades, monotonically in k.
+        let count_for = |k: usize| -> usize {
+            if k == 0 {
+                return 0;
+            }
+            let threshold = if k >= n { f64::NEG_INFINITY } else { vals[n - k - 1] };
+            let mut marks = self.mark_above(error, threshold);
+            self.upgrade_to_fixpoint(&mut marks);
+            marks.count()
+        };
+        let (mut lo, mut hi) = (0usize, target);
+        // Invariant: count_for(lo) ≤ target (lo=0 trivially); shrink hi until
+        // the bracket is tight.
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if count_for(mid) > target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        // Choose whichever bracket end lands closer to the target.
+        let k = if target.abs_diff(count_for(lo)) <= target.abs_diff(count_for(hi)) {
+            lo
+        } else {
+            hi
+        };
+        if k == 0 {
+            f64::INFINITY
+        } else if k >= n {
+            f64::NEG_INFINITY
+        } else {
+            vals[n - k - 1]
+        }
+    }
+
+    /// The current 6-bit marking pattern of a live element.
+    pub fn elem_pattern(&self, e: ElemId, marks: &EdgeMarks) -> u8 {
+        let mut p = 0u8;
+        for (k, &ed) in self.mesh.elem_edges(e).iter().enumerate() {
+            if marks.is_marked(ed) {
+                p |= 1 << k;
+            }
+        }
+        p
+    }
+
+    /// One sweep of the pattern-upgrade process: every element whose pattern
+    /// is illegal gets it upgraded, marking extra edges. Returns the edges
+    /// newly marked in this sweep (the propagation front — in the parallel
+    /// setting these are what must be communicated to SPL peers).
+    pub fn upgrade_sweep(&self, marks: &mut EdgeMarks) -> Vec<EdgeId> {
+        let mut newly = Vec::new();
+        for e in self.mesh.elems() {
+            let p = self.elem_pattern(e, marks);
+            let up = upgrade(p);
+            if up != p {
+                let edges = self.mesh.elem_edges(e);
+                for (k, &ed) in edges.iter().enumerate() {
+                    if up & (1 << k) != 0 && marks.mark(ed) {
+                        newly.push(ed);
+                    }
+                }
+            }
+        }
+        newly
+    }
+
+    /// Run upgrade sweeps to fixpoint. Returns the number of sweeps that
+    /// marked something new.
+    pub fn upgrade_to_fixpoint(&self, marks: &mut EdgeMarks) -> usize {
+        let mut rounds = 0;
+        while !self.upgrade_sweep(marks).is_empty() {
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Check that every element's pattern is one of the three legal types
+    /// (i.e. `marks` is at an upgrade fixpoint).
+    pub fn marks_are_legal(&self, marks: &EdgeMarks) -> bool {
+        self.mesh
+            .elems()
+            .all(|e| classify(self.elem_pattern(e, marks)).is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // prediction
+    // ------------------------------------------------------------------
+
+    /// Exactly predict the post-refinement tree weights from legal marks.
+    pub fn predict(&self, marks: &EdgeMarks) -> Prediction {
+        let (mut wcomp, mut wremap) = self.forest.weights();
+        let old_total: u64 = wcomp.iter().sum();
+        for e in self.mesh.elems() {
+            let p = self.elem_pattern(e, marks);
+            let kind = classify(p).expect("predict requires upgraded (legal) marks");
+            let extra = kind.n_children() as u64 - 1;
+            if extra > 0 {
+                let root = self.root_of_elem(e) as usize;
+                wcomp[root] += extra;
+                // The leaf becomes interior and its children are added.
+                wremap[root] += extra + 1;
+            }
+        }
+        let total_elements: u64 = wcomp.iter().sum();
+        Prediction {
+            growth_factor: total_elements as f64 / old_total as f64,
+            total_elements,
+            wcomp,
+            wremap,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals shared by refine/coarsen
+    // ------------------------------------------------------------------
+
+    /// Get or create the midpoint vertex of the (live or conceptual) edge
+    /// `(a, b)`, interpolating all `fields` when creating it.
+    pub(crate) fn midpoint(
+        &mut self,
+        a: VertId,
+        b: VertId,
+        fields: &mut [plum_mesh::VertexField],
+        stats: &mut RefineStats,
+    ) -> VertId {
+        let key = PairMap::pair_key(a.0, b.0);
+        if let Some(m) = self.bisect_mid.get(key) {
+            return VertId(m);
+        }
+        let pa = self.mesh.vert_pos(a);
+        let pb = self.mesh.vert_pos(b);
+        let m = self.mesh.add_vertex([
+            0.5 * (pa[0] + pb[0]),
+            0.5 * (pa[1] + pb[1]),
+            0.5 * (pa[2] + pb[2]),
+        ]);
+        for f in fields.iter_mut() {
+            f.interpolate_midpoint(m, a, b);
+        }
+        self.bisect_mid.insert(key, m.0);
+        let norm = if a.0 < b.0 { (a, b) } else { (b, a) };
+        self.mid_parent.insert(m, norm);
+        stats.verts_created += 1;
+        stats.edges_bisected += 1;
+        m
+    }
+
+    pub(crate) fn set_node_of_elem(&mut self, e: ElemId, node: NodeId) {
+        if e.idx() >= self.node_of_elem.len() {
+            self.node_of_elem.resize(e.idx() + 1, u32::MAX);
+        }
+        self.node_of_elem[e.idx()] = node;
+    }
+
+    /// Compute the child vertex quadruples for subdividing `verts` by
+    /// `kind`, with `mid[k]` the midpoint of local edge `k` (present for
+    /// every marked edge).
+    pub(crate) fn child_tets(
+        &self,
+        kind: SubdivKind,
+        verts: [VertId; 4],
+        mid: [Option<VertId>; 6],
+    ) -> Vec<[VertId; 4]> {
+        match kind {
+            SubdivKind::None => vec![],
+            SubdivKind::OneToTwo { edge } => {
+                let (i, j) = LOCAL_EDGE_VERTS[edge];
+                let m = mid[edge].expect("missing midpoint");
+                let mut a = verts;
+                let mut b = verts;
+                a[j] = m;
+                b[i] = m;
+                vec![a, b]
+            }
+            SubdivKind::OneToFour { face } => {
+                let (a, b, c) = plum_mesh::LOCAL_FACE_VERTS[face];
+                let d = face; // opposite vertex has the face's local index
+                let m = |i: usize, j: usize| {
+                    mid[crate::pattern::local_edge_between(i, j)].expect("missing midpoint")
+                };
+                let (va, vb, vc, vd) = (verts[a], verts[b], verts[c], verts[d]);
+                let (mab, mac, mbc) = (m(a, b), m(a, c), m(b, c));
+                vec![
+                    [va, mab, mac, vd],
+                    [mab, vb, mbc, vd],
+                    [mac, mbc, vc, vd],
+                    [mab, mbc, mac, vd],
+                ]
+            }
+            SubdivKind::OneToEight => {
+                let m = |k: usize| mid[k].expect("missing midpoint");
+                // Local edges: 0=(0,1) 1=(0,2) 2=(0,3) 3=(1,2) 4=(1,3) 5=(2,3)
+                let (m01, m02, m03, m12, m13, m23) = (m(0), m(1), m(2), m(3), m(4), m(5));
+                let mut out = vec![
+                    [verts[0], m01, m02, m03],
+                    [m01, verts[1], m12, m13],
+                    [m02, m12, verts[2], m23],
+                    [m03, m13, m23, verts[3]],
+                ];
+                // Split the inner octahedron along its shortest diagonal for
+                // better element quality. The three candidate diagonals pair
+                // opposite midpoints.
+                let len2 = |x: VertId, y: VertId| {
+                    let px = self.mesh.vert_pos(x);
+                    let py = self.mesh.vert_pos(y);
+                    let d = [py[0] - px[0], py[1] - px[1], py[2] - px[2]];
+                    d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+                };
+                // (diagonal, equator cycle around it)
+                let options = [
+                    ((m01, m23), [m02, m03, m13, m12]),
+                    ((m02, m13), [m01, m03, m23, m12]),
+                    ((m03, m12), [m01, m02, m23, m13]),
+                ];
+                let (&(p, q), cycle) = options
+                    .iter()
+                    .map(|(d, c)| (d, c))
+                    .min_by(|(d1, _), (d2, _)| {
+                        len2(d1.0, d1.1).partial_cmp(&len2(d2.0, d2.1)).unwrap()
+                    })
+                    .unwrap();
+                for k in 0..4 {
+                    out.push([p, q, cycle[k], cycle[(k + 1) % 4]]);
+                }
+                out
+            }
+        }
+    }
+
+    /// Validate everything: mesh incidence, forest structure, leaf↔element
+    /// mapping, and conformity (no live edge is also recorded as bisected;
+    /// every bisection record's midpoint is live).
+    pub fn validate(&self) {
+        self.mesh.validate();
+        self.forest.validate();
+        for id in self.forest.iter() {
+            let n = self.forest.node(id);
+            if let Some(e) = n.mesh_elem {
+                assert!(self.mesh.elem_alive(e), "leaf node {id} points at dead {e}");
+                assert_eq!(
+                    self.node_of_elem[e.idx()],
+                    id,
+                    "node_of_elem out of sync at {e}"
+                );
+                assert_eq!(self.mesh.elem_verts(e), n.verts, "vertex mismatch at {e}");
+            }
+        }
+        for e in self.mesh.elems() {
+            let node = self.node_of_elem[e.idx()];
+            assert_ne!(node, u32::MAX, "live element {e} has no forest node");
+            assert_eq!(self.forest.node(node).mesh_elem, Some(e));
+        }
+        // Conformity: a pair recorded as bisected must not be a live edge,
+        // and its midpoint must be live.
+        for (key, m) in self.bisect_mid.iter() {
+            let a = VertId((key & 0xffff_ffff) as u32);
+            let b = VertId((key >> 32) as u32);
+            assert!(
+                self.mesh.vert_alive(VertId(m)),
+                "bisection record with dead midpoint {m}"
+            );
+            assert!(
+                self.mesh.edge_between(a, b).is_none(),
+                "hanging node: edge ({a},{b}) live but bisected by vertex {m}"
+            );
+            assert_eq!(self.mid_parent.get(&VertId(m)), Some(&(a, b)));
+        }
+    }
+}

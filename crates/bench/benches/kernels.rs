@@ -1,0 +1,129 @@
+//! Criterion benchmarks of the algorithm kernels underlying each
+//! experiment: the multilevel partitioner and diffusive repartitioner
+//! (Fig. 6), the three reassignment mappers (Table 2), marking propagation
+//! and subdivision (Fig. 4 / Table 1), and the migration codec (Fig. 5).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use plum_bench::{initial_mesh, marked_problem, Scale, CASES};
+use plum_mesh::DualGraph;
+use plum_partition::{partition_kway, repartition_kway, Graph, PartitionConfig};
+use plum_reassign::{greedy_mwbg, optimal_bmcm, optimal_mwbg, SimilarityMatrix};
+use plum_remap::{Packer, Unpacker};
+
+fn dual_graph_of(scale: Scale) -> (DualGraph, Graph) {
+    let mesh = initial_mesh(scale);
+    let dual = DualGraph::build(&mesh);
+    let g = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+    (dual, g)
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let (_, g) = dual_graph_of(Scale::Quick);
+    let mut group = c.benchmark_group("partitioner");
+    for nparts in [8usize, 64] {
+        group.bench_function(format!("kway_p{nparts}"), |b| {
+            b.iter(|| partition_kway(black_box(&g), &PartitionConfig::new(nparts)))
+        });
+    }
+    // Diffusive repartitioning with drifted weights (the Fig. 6 inner loop).
+    let base = partition_kway(&g, &PartitionConfig::new(16));
+    let mut drifted = g.clone();
+    for v in 0..drifted.n() {
+        if base[v] < 4 {
+            drifted.vwgt[v] = 6;
+        }
+    }
+    group.bench_function("repartition_p16_drifted", |b| {
+        b.iter(|| repartition_kway(black_box(&drifted), &PartitionConfig::new(16), &base))
+    });
+    group.finish();
+}
+
+fn table2_matrix(nproc: usize) -> SimilarityMatrix {
+    let p = marked_problem(Scale::Quick, CASES[1].1);
+    let pred = p.am.predict(&p.marks);
+    let (_, wremap) = p.am.weights();
+    let unit = Graph::from_csr(p.dual.xadj.clone(), p.dual.adjncy.clone(), vec![1; p.dual.n()]);
+    let old = partition_kway(&unit, &PartitionConfig::new(nproc));
+    let g = Graph::from_csr(p.dual.xadj.clone(), p.dual.adjncy.clone(), pred.wcomp);
+    let new = repartition_kway(&g, &PartitionConfig::new(nproc), &old);
+    SimilarityMatrix::from_assignments(&wremap, &old, &new, nproc, nproc)
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_mappers");
+    for nproc in [16usize, 64] {
+        let sm = table2_matrix(nproc);
+        group.bench_function(format!("greedy_mwbg_p{nproc}"), |b| {
+            b.iter(|| greedy_mwbg(black_box(&sm)))
+        });
+        group.bench_function(format!("optimal_mwbg_p{nproc}"), |b| {
+            b.iter(|| optimal_mwbg(black_box(&sm)))
+        });
+        group.bench_function(format!("optimal_bmcm_p{nproc}"), |b| {
+            b.iter(|| optimal_bmcm(black_box(&sm), 1.0, 1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaption");
+    group.sample_size(10);
+    for (name, frac) in CASES {
+        group.bench_function(format!("mark_and_refine_{name}"), |b| {
+            b.iter_batched(
+                || marked_problem(Scale::Quick, frac),
+                |mut p| {
+                    p.am.refine(&p.marks, std::slice::from_mut(&mut p.field));
+                    p.am.mesh.n_elems()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration_codec");
+    group.bench_function("pack_unpack_10k_records", |b| {
+        b.iter(|| {
+            let mut p = Packer::new();
+            for i in 0..10_000u32 {
+                p.put_u32(i);
+                p.put_u8(1);
+                p.put_u8(0b111111);
+                for k in 0..4u32 {
+                    p.put_u32(i + k);
+                    p.put_f64_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+                }
+            }
+            let buf = p.finish();
+            let mut u = Unpacker::new(&buf);
+            let mut sum = 0u64;
+            while !u.is_exhausted() {
+                sum += u.get_u32() as u64;
+                u.get_u8();
+                u.get_u8();
+                for _ in 0..4 {
+                    sum += u.get_u32() as u64;
+                    sum += u.get_f64_slice().len() as u64;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioner,
+    bench_mappers,
+    bench_adaption,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Baseline comparison: PLUM's global-view repartition + reassignment
+//! versus classical local diffusion (Cybenko-style), the alternative §1
+//! positions the framework against.
+
+use plum_partition::{
+    diffuse, migration, partition_kway, repartition_kway, DiffusionConfig, Graph,
+    PartitionConfig, quality,
+};
+use plum_reassign::{greedy_mwbg, remap_stats, SimilarityMatrix};
+
+use crate::{marked_problem, Scale, CASES};
+
+/// One row of the baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    pub nproc: usize,
+    /// Imbalance before balancing.
+    pub imb_before: f64,
+    /// PLUM: imbalance after, elements moved, edge cut after.
+    pub plum_imb: f64,
+    pub plum_moved: u64,
+    pub plum_cut: u64,
+    /// Diffusion: imbalance after, elements moved, rounds, edge cut after.
+    pub diff_imb: f64,
+    pub diff_moved: u64,
+    pub diff_rounds: usize,
+    pub diff_cut: u64,
+}
+
+/// Compare the two balancers on the Real_2 drifted weights.
+pub fn baseline_comparison(scale: Scale, procs: &[usize]) -> Vec<BaselineRow> {
+    let p2 = marked_problem(scale, CASES[1].1);
+    let pred = p2.am.predict(&p2.marks);
+    let (_, wremap) = p2.am.weights();
+    let mut rows = Vec::new();
+    for &nproc in procs {
+        let unit = Graph::from_csr(
+            p2.dual.xadj.clone(),
+            p2.dual.adjncy.clone(),
+            vec![1; p2.dual.n()],
+        );
+        let old = partition_kway(&unit, &PartitionConfig::new(nproc));
+        let g = Graph::from_csr(
+            p2.dual.xadj.clone(),
+            p2.dual.adjncy.clone(),
+            pred.wcomp.clone(),
+        );
+        let imb_before = quality(&g, &old, nproc).imbalance;
+
+        // PLUM: global repartition seeded from the old assignment, then
+        // reassign partitions to processors to minimize movement.
+        let new_part = repartition_kway(&g, &PartitionConfig::new(nproc), &old);
+        let sm = SimilarityMatrix::from_assignments(&wremap, &old, &new_part, nproc, nproc);
+        let assign = greedy_mwbg(&sm);
+        let plum_proc: Vec<u32> = new_part
+            .iter()
+            .map(|&j| assign.proc_of_part[j as usize])
+            .collect();
+        let plum_q = quality(&g, &plum_proc, nproc);
+        let plum_moved = remap_stats(&sm, &assign).total_elems;
+
+        // Baseline: local diffusion from the same starting point.
+        let diff = diffuse(&g, &old, nproc, &DiffusionConfig::default());
+        let diff_q = quality(&g, &diff.part, nproc);
+        let (_, diff_weight_moved) = migration(&g, &old, &diff.part);
+
+        rows.push(BaselineRow {
+            nproc,
+            imb_before,
+            plum_imb: plum_q.imbalance,
+            plum_moved,
+            plum_cut: plum_q.cut,
+            diff_imb: diff_q.imbalance,
+            diff_moved: diff_weight_moved,
+            diff_rounds: diff.rounds,
+            diff_cut: diff_q.cut,
+        });
+    }
+    rows
+}
+
+/// Pretty-print the baseline comparison.
+pub fn print_baseline(rows: &[BaselineRow]) {
+    println!("Baseline: PLUM (global repartition + greedy MWBG) vs local diffusion, Real_2");
+    println!(
+        "{:>4} {:>8} | {:>8} {:>9} {:>9} | {:>8} {:>9} {:>7} {:>9}",
+        "P", "imb_in", "plum imb", "moved", "cut", "diff imb", "moved", "rounds", "cut"
+    );
+    for r in rows {
+        println!(
+            "{:>4} {:>8.3} | {:>8.3} {:>9} {:>9} | {:>8.3} {:>9} {:>7} {:>9}",
+            r.nproc,
+            r.imb_before,
+            r.plum_imb,
+            r.plum_moved,
+            r.plum_cut,
+            r.diff_imb,
+            r.diff_moved,
+            r.diff_rounds,
+            r.diff_cut
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plum_beats_or_matches_diffusion_on_balance() {
+        for r in baseline_comparison(Scale::Quick, &[4, 8]) {
+            assert!(
+                r.plum_imb <= r.imb_before + 1e-9,
+                "P={}: PLUM made balance worse",
+                r.nproc
+            );
+            assert!(
+                r.plum_imb <= r.diff_imb + 0.05,
+                "P={}: PLUM ({}) much worse than diffusion ({})",
+                r.nproc,
+                r.plum_imb,
+                r.diff_imb
+            );
+        }
+    }
+}

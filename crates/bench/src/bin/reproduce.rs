@@ -1,0 +1,119 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p plum-bench --bin reproduce -- all
+//! cargo run --release -p plum-bench --bin reproduce -- table1
+//! cargo run --release -p plum-bench --bin reproduce -- fig4 --quick
+//! ```
+//!
+//! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
+//! `all`. `--quick` runs at ~6k elements instead of the paper's ~61k.
+
+use plum_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    eprintln!(
+        "# scale: {scale:?} (~{} initial elements), procs {:?}",
+        scale.elements(),
+        scale.procs()
+    );
+
+    let needs_sweep = matches!(what.as_str(), "fig4" | "fig5" | "fig6" | "fig8" | "all");
+    let sw = if needs_sweep {
+        eprintln!("# running the adaption-cycle sweep (3 cases × 2 policies × P)…");
+        Some(sweep(scale))
+    } else {
+        None
+    };
+
+    match what.as_str() {
+        "table1" => print_table1(&table1(scale)),
+        "table2" => print_table2(&table2(scale)),
+        "fig4" => print_fig4(sw.as_ref().unwrap()),
+        "fig5" => print_fig5(sw.as_ref().unwrap()),
+        "fig6" => print_fig6(sw.as_ref().unwrap()),
+        "fig7" => {
+            print_fig7(&paper_growths());
+        }
+        "fig8" => print_fig8(sw.as_ref().unwrap()),
+        "multicycle" => {
+            use plum_bench::multicycle::*;
+            let nproc = if quick { 8 } else { 32 };
+            print_multicycle(&multicycle(scale, nproc, if quick { 3 } else { 5 }));
+        }
+        "baseline" => {
+            use plum_bench::baseline::*;
+            let procs: Vec<usize> = scale.procs().iter().copied().filter(|&p| p > 1).collect();
+            print_baseline(&baseline_comparison(scale, &procs));
+        }
+        "ablation" => {
+            use plum_bench::ablation::*;
+            let p16 = if quick { 8 } else { 16 };
+            print_ablate_f(&ablate_f(scale, p16, &[1, 2, 4]));
+            println!();
+            let procs: Vec<usize> = scale.procs().iter().copied().filter(|&p| p > 1).collect();
+            print_ablate_seeding(&ablate_seeding(scale, &procs));
+            println!();
+            print_ablate_metric(&ablate_metric(scale, &procs));
+        }
+        "all" => {
+            let sw = sw.as_ref().unwrap();
+            print_table1(&table1(scale));
+            println!();
+            print_table2(&table2(scale));
+            println!();
+            print_fig4(sw);
+            println!();
+            print_fig5(sw);
+            println!();
+            print_fig6(sw);
+            println!();
+            println!("(paper G values)");
+            print_fig7(&paper_growths());
+            println!("(measured G values)");
+            print_fig7(&measured_growths(sw));
+            println!();
+            print_fig8(sw);
+            println!();
+            let procs: Vec<usize> = scale.procs().iter().copied().filter(|&p| p > 1).collect();
+            plum_bench::ablation::print_ablate_f(&plum_bench::ablation::ablate_f(
+                scale,
+                if quick { 8 } else { 16 },
+                &[1, 2, 4],
+            ));
+            println!();
+            plum_bench::ablation::print_ablate_seeding(&plum_bench::ablation::ablate_seeding(
+                scale, &procs,
+            ));
+            println!();
+            plum_bench::ablation::print_ablate_metric(&plum_bench::ablation::ablate_metric(
+                scale, &procs,
+            ));
+            println!();
+            plum_bench::baseline::print_baseline(&plum_bench::baseline::baseline_comparison(
+                scale, &procs,
+            ));
+            println!();
+            plum_bench::multicycle::print_multicycle(&plum_bench::multicycle::multicycle(
+                scale,
+                if quick { 8 } else { 32 },
+                if quick { 3 } else { 5 },
+            ));
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig7|fig8|ablation|baseline|multicycle|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

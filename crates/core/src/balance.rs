@@ -1,0 +1,263 @@
+//! The load balancer: evaluation, repartitioning, processor reassignment,
+//! and the gain/cost acceptance decision (the LOAD BALANCER box of Fig. 1).
+
+use std::time::Instant;
+
+use plum_mesh::DualGraph;
+use plum_partition::{partition_kway, repartition_kway, Graph};
+use plum_reassign::{
+    greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats,
+    SimilarityMatrix,
+};
+use plum_remap::RemapMetric;
+
+use crate::config::{Mapper, PlumConfig};
+use crate::timing::WorkModel;
+
+/// Everything the load balancer decided and measured in one invocation.
+#[derive(Debug, Clone)]
+pub struct BalanceDecision {
+    /// Whether the evaluation step judged the mesh unbalanced enough to
+    /// repartition at all.
+    pub repartitioned: bool,
+    /// Whether the new mapping passed the gain/cost test.
+    pub accepted: bool,
+    /// Per-dual-vertex processor assignment to use from now on (equals the
+    /// old one when not accepted).
+    pub new_proc: Vec<u32>,
+    /// Imbalance (max/avg of `W_comp`) under the old assignment.
+    pub imbalance_old: f64,
+    /// Imbalance under the proposed assignment.
+    pub imbalance_new: f64,
+    /// Max per-processor `W_comp` before/after (Fig. 8's ratio).
+    pub wmax_old: u64,
+    pub wmax_new: u64,
+    /// Modeled repartitioner wall time.
+    pub partition_time: f64,
+    /// Real measured wall time of the reassignment algorithm (Table 2).
+    pub reassign_seconds: f64,
+    /// Virtual time of the distributed row-gather/solution-scatter protocol
+    /// around the mapper (§4.3 — "a minuscule amount of time").
+    pub reassign_comm_time: f64,
+    /// Movement statistics of the proposed mapping.
+    pub stats: Option<RemapStats>,
+    /// Computational gain and redistribution cost compared by the
+    /// acceptance test.
+    pub gain: f64,
+    pub cost: f64,
+}
+
+fn per_proc_wcomp(wcomp: &[u64], proc: &[u32], nproc: usize) -> Vec<u64> {
+    let mut w = vec![0u64; nproc];
+    for v in 0..wcomp.len() {
+        w[proc[v] as usize] += wcomp[v];
+    }
+    w
+}
+
+fn imbalance(weights: &[u64]) -> f64 {
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    *weights.iter().max().unwrap() as f64 / (total as f64 / weights.len() as f64)
+}
+
+/// Run the paper's reassignment for the configured mapper, timing it.
+pub fn run_mapper(sm: &SimilarityMatrix, mapper: Mapper) -> (Assignment, f64) {
+    let t0 = Instant::now();
+    let a = match mapper {
+        Mapper::GreedyMwbg => greedy_mwbg(sm),
+        Mapper::OptimalMwbg => optimal_mwbg(sm),
+        Mapper::OptimalBmcm => optimal_bmcm(sm, 1.0, 1.0),
+    };
+    (a, t0.elapsed().as_secs_f64())
+}
+
+/// The full load-balancer step on the weighted dual graph.
+///
+/// * `dual` carries the (possibly predicted) `wcomp` and the `wremap` that
+///   applies at the moment data would move;
+/// * `old_proc` is the current per-dual-vertex processor assignment;
+/// * `refine_work[v]` is the number of new elements subdivision will create
+///   in tree `v` (for the refinement term of the gain).
+pub fn balance_step(
+    dual: &DualGraph,
+    old_proc: &[u32],
+    refine_work: &[u64],
+    cfg: &PlumConfig,
+    work: &WorkModel,
+) -> BalanceDecision {
+    let nproc = cfg.nproc;
+    let w_old = per_proc_wcomp(&dual.wcomp, old_proc, nproc);
+    let imb_old = imbalance(&w_old);
+    let wmax_old = *w_old.iter().max().unwrap();
+
+    let mut decision = BalanceDecision {
+        repartitioned: false,
+        accepted: false,
+        new_proc: old_proc.to_vec(),
+        imbalance_old: imb_old,
+        imbalance_new: imb_old,
+        wmax_old,
+        wmax_new: wmax_old,
+        partition_time: 0.0,
+        reassign_seconds: 0.0,
+        reassign_comm_time: 0.0,
+        stats: None,
+        gain: 0.0,
+        cost: 0.0,
+    };
+
+    // Evaluation step: keep the current partitions if they remain adequately
+    // balanced.
+    if imb_old <= cfg.imbalance_trigger || nproc == 1 {
+        return decision;
+    }
+    decision.repartitioned = true;
+
+    // Parallel repartitioning on the dual graph with the new W_comp.
+    let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+    let mut pcfg = cfg.partition;
+    pcfg.nparts = cfg.nparts();
+    let new_part = if cfg.partitions_per_proc == 1 {
+        // Seed with the previous assignment (partition ids == processor ids).
+        repartition_kway(&graph, &pcfg, old_proc)
+    } else {
+        partition_kway(&graph, &pcfg)
+    };
+    decision.partition_time = work.partition_time(dual.n(), nproc);
+
+    // Similarity matrix (W_remap) and processor reassignment, run as the
+    // paper's distributed protocol: per-rank rows, host gather, mapper on
+    // the host, solution scatter.
+    let par = crate::reassign_par::parallel_reassign(
+        &dual.wremap,
+        old_proc,
+        &new_part,
+        nproc,
+        cfg.nparts(),
+        cfg.mapper,
+        cfg.machine,
+    );
+    let sm = par.matrix;
+    let assignment = par.assignment;
+    decision.reassign_seconds = par.mapper_seconds;
+    decision.reassign_comm_time = par.time;
+
+    // Compose: dual vertex → new partition → processor.
+    let new_proc: Vec<u32> = new_part
+        .iter()
+        .map(|&j| assignment.proc_of_part[j as usize])
+        .collect();
+
+    let w_new = per_proc_wcomp(&dual.wcomp, &new_proc, nproc);
+    decision.imbalance_new = imbalance(&w_new);
+    decision.wmax_new = *w_new.iter().max().unwrap();
+
+    let stats = remap_stats(&sm, &assignment);
+
+    // Gain/cost acceptance test.
+    let rmax_old = *per_proc_wcomp(refine_work, old_proc, nproc).iter().max().unwrap();
+    let rmax_new = *per_proc_wcomp(refine_work, &new_proc, nproc).iter().max().unwrap();
+    decision.gain =
+        cfg.cost
+            .computational_gain(decision.wmax_old, decision.wmax_new, rmax_old, rmax_new);
+    let (c, n) = match cfg.cost.metric {
+        RemapMetric::TotalV => (stats.total_elems, stats.total_msgs),
+        RemapMetric::MaxV => (stats.max_elems, stats.max_msgs),
+    };
+    decision.cost = cfg.cost.redistribution_cost(c, n);
+    decision.accepted = cfg.cost.should_accept(decision.gain, decision.cost);
+    decision.stats = Some(stats);
+    if decision.accepted {
+        decision.new_proc = new_proc;
+    } else {
+        // "Otherwise, the new partitioning is discarded."
+        decision.imbalance_new = decision.imbalance_old;
+        decision.wmax_new = decision.wmax_old;
+    }
+    decision
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plum_mesh::generate::unit_box_mesh;
+    use plum_mesh::DualGraph;
+
+    fn dual_with_hotspot(n: usize, factor: u64) -> (DualGraph, Vec<u32>) {
+        let mesh = unit_box_mesh(n);
+        let mut dual = DualGraph::build(&mesh);
+        // Initial partition: balanced (unit weights).
+        let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+        let part = partition_kway(&graph, &plum_partition::PartitionConfig::new(4));
+        // Refinement hits part 0's region.
+        for v in 0..dual.n() {
+            if part[v] == 0 {
+                dual.wcomp[v] *= factor;
+                dual.wremap[v] = dual.wcomp[v] + 1;
+            }
+        }
+        (dual, part)
+    }
+
+    #[test]
+    fn balanced_input_short_circuits() {
+        let mesh = unit_box_mesh(3);
+        let dual = DualGraph::build(&mesh);
+        let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+        let part = partition_kway(&graph, &plum_partition::PartitionConfig::new(4));
+        let cfg = PlumConfig::new(4);
+        let d = balance_step(&dual, &part, &vec![0; dual.n()], &cfg, &WorkModel::default());
+        assert!(!d.repartitioned, "balanced mesh must not repartition");
+        assert!(!d.accepted);
+        assert_eq!(d.new_proc, part);
+    }
+
+    #[test]
+    fn hotspot_triggers_accepted_rebalance() {
+        let (dual, part) = dual_with_hotspot(4, 8);
+        let cfg = PlumConfig::new(4);
+        let refine_work: Vec<u64> = dual.wcomp.iter().map(|&w| w - 1).collect();
+        let d = balance_step(&dual, &part, &refine_work, &cfg, &WorkModel::default());
+        assert!(d.repartitioned);
+        assert!(d.accepted, "large imbalance must be worth fixing: {d:?}");
+        assert!(d.imbalance_new < d.imbalance_old);
+        assert!(d.wmax_new < d.wmax_old);
+        assert!(d.gain > d.cost);
+        assert!(d.stats.as_ref().unwrap().total_elems > 0);
+        // The new assignment is a valid processor labelling.
+        assert!(d.new_proc.iter().all(|&p| (p as usize) < 4));
+    }
+
+    #[test]
+    fn tiny_gain_is_rejected() {
+        let (dual, part) = dual_with_hotspot(3, 2);
+        let mut cfg = PlumConfig::new(4);
+        // Make movement prohibitively expensive and the solver almost free:
+        // the new partitioning must be discarded.
+        cfg.cost.t_iter = 1e-12;
+        cfg.cost.n_adapt = 1;
+        cfg.cost.t_refine = 0.0;
+        cfg.cost.m_words = 1_000_000;
+        cfg.imbalance_trigger = 1.01;
+        let d = balance_step(&dual, &part, &vec![0; dual.n()], &cfg, &WorkModel::default());
+        assert!(d.repartitioned);
+        assert!(!d.accepted, "gain {} should not beat cost {}", d.gain, d.cost);
+        assert_eq!(d.new_proc, part, "rejected mapping must leave assignment unchanged");
+    }
+
+    #[test]
+    fn all_three_mappers_produce_valid_assignments() {
+        let (dual, part) = dual_with_hotspot(3, 6);
+        for mapper in [Mapper::GreedyMwbg, Mapper::OptimalMwbg, Mapper::OptimalBmcm] {
+            let mut cfg = PlumConfig::new(4);
+            cfg.mapper = mapper;
+            let d = balance_step(&dual, &part, &vec![0; dual.n()], &cfg, &WorkModel::default());
+            assert!(d.repartitioned);
+            assert!(d.reassign_seconds >= 0.0);
+            assert!(d.imbalance_new <= d.imbalance_old + 1e-9, "{mapper:?}");
+        }
+    }
+}

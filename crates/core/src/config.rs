@@ -1,0 +1,107 @@
+//! Framework configuration.
+
+use plum_parsim::MachineModel;
+use plum_partition::PartitionConfig;
+use plum_remap::{CostModel, RemapMetric};
+
+/// Which processor-reassignment algorithm the load balancer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mapper {
+    /// Heuristic greedy MWBG (the paper's default — fast and near-optimal).
+    #[default]
+    GreedyMwbg,
+    /// Optimal MWBG (TotalV metric).
+    OptimalMwbg,
+    /// Optimal BMCM (MaxV metric).
+    OptimalBmcm,
+}
+
+/// When data remapping happens relative to mesh subdivision — the central
+/// comparison of the paper's evaluation (Figs. 4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemapPolicy {
+    /// Remap after edge marking but *before* subdivision: the dual-graph
+    /// weights are adjusted as though subdivision already happened, the
+    /// original (small) grid is moved, and subdivision then runs load
+    /// balanced. The paper's contribution.
+    #[default]
+    BeforeRefinement,
+    /// Remap after the mesh has grown — the baseline strategy.
+    AfterRefinement,
+}
+
+/// Top-level configuration of the PLUM framework.
+#[derive(Debug, Clone, Copy)]
+pub struct PlumConfig {
+    /// Number of (virtual) processors `P`.
+    pub nproc: usize,
+    /// Partitions per processor `F` (1 for all experiments in the paper).
+    pub partitions_per_proc: usize,
+    /// Machine cost constants.
+    pub machine: MachineModel,
+    /// Gain/cost acceptance model.
+    pub cost: CostModel,
+    /// Reassignment algorithm.
+    pub mapper: Mapper,
+    /// Remap-before vs remap-after refinement.
+    pub policy: RemapPolicy,
+    /// Trigger repartitioning when predicted imbalance (max/avg of `W_comp`)
+    /// exceeds this.
+    pub imbalance_trigger: f64,
+    /// Partitioner settings (its `nparts` is overridden to `P·F`).
+    pub partition: PartitionConfig,
+}
+
+impl PlumConfig {
+    /// Defaults for `nproc` processors.
+    pub fn new(nproc: usize) -> Self {
+        let mut partition = PartitionConfig::new(nproc);
+        partition.imbalance_tol = 1.05;
+        PlumConfig {
+            nproc,
+            partitions_per_proc: 1,
+            machine: MachineModel::sp2(),
+            cost: CostModel {
+                machine: MachineModel::sp2(),
+                ..CostModel::default()
+            },
+            mapper: Mapper::GreedyMwbg,
+            policy: RemapPolicy::BeforeRefinement,
+            imbalance_trigger: 1.15,
+            partition,
+        }
+    }
+
+    /// Total number of partitions `P·F`.
+    pub fn nparts(&self) -> usize {
+        self.nproc * self.partitions_per_proc
+    }
+
+    /// Metric used by the cost model.
+    pub fn metric(&self) -> RemapMetric {
+        self.cost.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PlumConfig::new(8);
+        assert_eq!(c.nproc, 8);
+        assert_eq!(c.nparts(), 8);
+        assert_eq!(c.mapper, Mapper::GreedyMwbg);
+        assert_eq!(c.policy, RemapPolicy::BeforeRefinement);
+        assert!(c.imbalance_trigger > 1.0);
+        assert_eq!(c.metric(), RemapMetric::TotalV);
+    }
+
+    #[test]
+    fn f_multiplies_parts() {
+        let mut c = PlumConfig::new(4);
+        c.partitions_per_proc = 3;
+        assert_eq!(c.nparts(), 12);
+    }
+}

@@ -1,0 +1,413 @@
+//! The top-level PLUM driver: the solution → adaption → load-balancing
+//! cycle of Fig. 1.
+
+use plum_adapt::AdaptiveMesh;
+use plum_mesh::{DualGraph, MeshCounts, TetMesh, VertexField};
+use plum_partition::{partition_kway, Graph};
+use plum_solver::{edge_error_indicator, initialize_solution, solve, SolverConfig, WaveField, NCOMP};
+
+use crate::balance::{balance_step, BalanceDecision};
+use crate::config::{PlumConfig, RemapPolicy};
+use crate::marking::{parallel_mark, Ownership};
+use crate::migrate::{parallel_migrate, MigrationOutcome};
+use crate::timing::WorkModel;
+
+/// Virtual wall time spent in each phase of one adaption cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Flow solver (N_adapt iterations, modeled from per-rank load).
+    pub solver: f64,
+    /// Edge marking incl. propagation communication (parsim).
+    pub marking: f64,
+    /// Repartitioner (modeled; see `WorkModel::partition_time`).
+    pub partition: f64,
+    /// Processor reassignment (real measured algorithm time).
+    pub reassign: f64,
+    /// Data remapping (parsim, real bytes moved).
+    pub remap: f64,
+    /// Mesh subdivision (modeled from per-rank children created).
+    pub subdivide: f64,
+}
+
+impl PhaseTimes {
+    /// Adaption time: marking + subdivision (what Fig. 4's speedup measures).
+    pub fn adaption(&self) -> f64 {
+        self.marking + self.subdivide
+    }
+
+    /// Total cycle time.
+    pub fn total(&self) -> f64 {
+        self.solver + self.marking + self.partition + self.reassign + self.remap + self.subdivide
+    }
+}
+
+/// Everything one adaption cycle reports.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    pub times: PhaseTimes,
+    /// Mesh counts after the cycle.
+    pub counts: MeshCounts,
+    /// Mesh growth factor of this refinement.
+    pub growth: f64,
+    /// Marking propagation sweeps.
+    pub marking_sweeps: usize,
+    /// The load balancer's decision record.
+    pub decision: BalanceDecision,
+    /// Migration statistics, if data moved.
+    pub migration: Option<MigrationOutcome>,
+    /// Max per-processor leaf load after refinement if the OLD assignment
+    /// had been kept (the "no load balancing" solver workload, Fig. 8).
+    pub wmax_unbalanced: u64,
+    /// Max per-processor leaf load after refinement under the adopted
+    /// assignment.
+    pub wmax_balanced: u64,
+}
+
+/// The PLUM framework state.
+pub struct Plum {
+    pub cfg: PlumConfig,
+    pub work: WorkModel,
+    /// The adaptive computational mesh (global view).
+    pub am: AdaptiveMesh,
+    /// Dual graph of the *initial* mesh; weights are refreshed every cycle.
+    pub dual: DualGraph,
+    /// The flow solution.
+    pub field: VertexField,
+    /// The analytic wave field driving the solution.
+    pub wave: WaveField,
+    /// Current processor of each dual vertex (refinement tree).
+    pub proc_of_root: Vec<u32>,
+    /// Physical simulation time.
+    pub time: f64,
+    solver_cfg: SolverConfig,
+}
+
+impl Plum {
+    /// Initialize: build the dual graph, partition it, map partitions to
+    /// processors (identity at startup), and set the initial solution.
+    pub fn new(mesh: TetMesh, wave: WaveField, cfg: PlumConfig) -> Self {
+        let dual = DualGraph::build(&mesh);
+        let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+        let mut pcfg = cfg.partition;
+        pcfg.nparts = cfg.nproc;
+        let proc_of_root = if cfg.nproc > 1 {
+            partition_kway(&graph, &pcfg)
+        } else {
+            vec![0; dual.n()]
+        };
+        let am = AdaptiveMesh::new(mesh);
+        let mut field = VertexField::new(NCOMP, am.mesh.vert_slots());
+        initialize_solution(&am.mesh, &mut field, &wave, 0.0);
+        Plum {
+            cfg,
+            work: WorkModel::default(),
+            am,
+            dual,
+            field,
+            wave,
+            proc_of_root,
+            time: 0.0,
+            solver_cfg: SolverConfig::default(),
+        }
+    }
+
+    /// Number of initial-mesh elements (dual-graph vertices).
+    pub fn n_initial_elements(&self) -> usize {
+        self.dual.n()
+    }
+
+    /// Per-processor sums of a per-root weight vector.
+    fn per_proc(&self, w: &[u64], proc: &[u32]) -> Vec<u64> {
+        let mut out = vec![0u64; self.cfg.nproc];
+        for v in 0..w.len() {
+            out[proc[v] as usize] += w[v];
+        }
+        out
+    }
+
+    /// Modeled solver phase time for N_adapt iterations under `proc`.
+    fn solver_time(&self, wcomp: &[u64], proc: &[u32], own: &Ownership) -> f64 {
+        let per = self.per_proc(wcomp, proc);
+        (0..self.cfg.nproc)
+            .map(|r| {
+                self.work.solver_iteration_time(
+                    per[r],
+                    own.shared_edges_of_rank(r as u32),
+                    &self.cfg.machine,
+                ) * self.cfg.cost.n_adapt as f64
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Modeled subdivision time: each rank creates the children of its own
+    /// trees and sweeps its own elements.
+    fn subdivide_time(&self, children_per_root: &[u64], wcomp: &[u64], proc: &[u32]) -> f64 {
+        let kids = self.per_proc(children_per_root, proc);
+        let sweep = self.per_proc(wcomp, proc);
+        (0..self.cfg.nproc)
+            .map(|r| self.work.subdivision_time(kids[r], sweep[r]))
+            .fold(0.0, f64::max)
+    }
+
+    /// Run one full cycle of Fig. 1: solve, mark (parallel), predict,
+    /// balance, remap, subdivide. `refine_frac` is the fraction of edges the
+    /// error indicator targets; `dt` advances the physical time (moving the
+    /// wave so successive cycles refine different regions).
+    pub fn adaption_cycle(&mut self, refine_frac: f64, dt: f64) -> CycleReport {
+        let mut times = PhaseTimes::default();
+        self.time += dt;
+
+        // --- FLOW SOLVER ---------------------------------------------------
+        // Real field update (a few iterations suffice to track the wave);
+        // virtual time charged for the full N_adapt iterations.
+        solve(&self.am.mesh, &mut self.field, &self.wave, self.time, &self.solver_cfg);
+        let (wcomp_now, wremap_now) = self.am.weights();
+        let own = Ownership::build(&self.am, &self.proc_of_root, self.cfg.nproc);
+        times.solver = self.solver_time(&wcomp_now, &self.proc_of_root, &own);
+
+        // --- MESH ADAPTOR: edge marking (parallel, with propagation) -------
+        let error = edge_error_indicator(&self.am.mesh, &self.field);
+        let threshold = self.am.threshold_for_final_fraction(&error, refine_frac);
+        let mark = parallel_mark(
+            &self.am,
+            &own,
+            self.cfg.nproc,
+            self.cfg.machine,
+            &self.work,
+            &error,
+            threshold,
+        );
+        times.marking = mark.time;
+
+        // --- exact prediction of the refined mesh ---------------------------
+        let pred = self.am.predict(&mark.marks);
+        let children_per_root: Vec<u64> = (0..self.dual.n())
+            .map(|v| pred.wremap[v] - wremap_now[v])
+            .collect();
+
+        let (decision, migration) = match self.cfg.policy {
+            RemapPolicy::BeforeRefinement => {
+                // Weights as though subdivision already happened; the data
+                // that moves is still the small, unrefined grid.
+                self.dual.wcomp = pred.wcomp.clone();
+                self.dual.wremap = wremap_now.clone();
+                let decision = balance_step(
+                    &self.dual,
+                    &self.proc_of_root,
+                    &children_per_root,
+                    &self.cfg,
+                    &self.work,
+                );
+                times.partition = decision.partition_time;
+                times.reassign = decision.reassign_seconds;
+                let migration = if decision.accepted {
+                    let out = parallel_migrate(
+                        &self.am,
+                        &self.field,
+                        &self.proc_of_root,
+                        &decision.new_proc,
+                        self.cfg.nproc,
+                        self.cfg.machine,
+                    );
+                    times.remap = out.time;
+                    self.proc_of_root = decision.new_proc.clone();
+                    Some(out)
+                } else {
+                    None
+                };
+                // Subdivide on the (re)balanced partitions.
+                self.am.refine(&mark.marks, std::slice::from_mut(&mut self.field));
+                times.subdivide =
+                    self.subdivide_time(&children_per_root, &wcomp_now, &self.proc_of_root);
+                (decision, migration)
+            }
+            RemapPolicy::AfterRefinement => {
+                // Baseline: subdivide first (unbalanced), then move the
+                // grown mesh.
+                self.am.refine(&mark.marks, std::slice::from_mut(&mut self.field));
+                times.subdivide =
+                    self.subdivide_time(&children_per_root, &wcomp_now, &self.proc_of_root);
+                let (wcomp_after, wremap_after) = self.am.weights();
+                self.dual.wcomp = wcomp_after;
+                self.dual.wremap = wremap_after;
+                let decision = balance_step(
+                    &self.dual,
+                    &self.proc_of_root,
+                    &vec![0; self.dual.n()],
+                    &self.cfg,
+                    &self.work,
+                );
+                times.partition = decision.partition_time;
+                times.reassign = decision.reassign_seconds;
+                let migration = if decision.accepted {
+                    let out = parallel_migrate(
+                        &self.am,
+                        &self.field,
+                        &self.proc_of_root,
+                        &decision.new_proc,
+                        self.cfg.nproc,
+                        self.cfg.machine,
+                    );
+                    times.remap = out.time;
+                    self.proc_of_root = decision.new_proc.clone();
+                    Some(out)
+                } else {
+                    None
+                };
+                (decision, migration)
+            }
+        };
+
+        // Fig. 8 bookkeeping: post-refinement solver load with and without
+        // the rebalance. Prediction is exact, so `decision.wmax_old` (the
+        // per-processor maximum of the post-refinement W_comp under the old
+        // assignment) is precisely the "no load balancing" workload.
+        let (wcomp_final, _) = self.am.weights();
+        let wmax_balanced = *self
+            .per_proc(&wcomp_final, &self.proc_of_root)
+            .iter()
+            .max()
+            .unwrap();
+
+        CycleReport {
+            counts: self.am.mesh.counts(),
+            growth: pred.growth_factor,
+            marking_sweeps: mark.sweeps,
+            wmax_unbalanced: decision.wmax_old,
+            wmax_balanced,
+            migration,
+            decision,
+            times,
+        }
+    }
+}
+
+/// Threshold such that roughly `frac` of the live edges exceed it.
+pub fn fraction_threshold(am: &AdaptiveMesh, error: &[f64], frac: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut vals: Vec<f64> = am
+        .mesh
+        .edges()
+        .map(|e| error.get(e.idx()).copied().unwrap_or(0.0))
+        .collect();
+    let n = vals.len();
+    let k = ((n as f64) * frac).round() as usize;
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    if k >= n {
+        f64::NEG_INFINITY
+    } else {
+        vals[n - k - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plum_mesh::generate::unit_box_mesh;
+
+    fn plum(nproc: usize, n: usize) -> Plum {
+        Plum::new(unit_box_mesh(n), WaveField::unit_box(), PlumConfig::new(nproc))
+    }
+
+    #[test]
+    fn phase_times_compose() {
+        let t = PhaseTimes {
+            solver: 1.0,
+            marking: 0.5,
+            partition: 0.25,
+            reassign: 0.125,
+            remap: 0.0625,
+            subdivide: 2.0,
+        };
+        assert!((t.adaption() - 2.5).abs() < 1e-15);
+        assert!((t.total() - 3.9375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fraction_threshold_marks_requested_share() {
+        let p = plum(1, 3);
+        let error: Vec<f64> = (0..p.am.mesh.edge_slots()).map(|i| i as f64).collect();
+        let th = fraction_threshold(&p.am, &error, 0.25);
+        let marks = p.am.mark_above(&error, th);
+        let n = p.am.mesh.n_edges();
+        let k = marks.count();
+        assert!((k as f64 - n as f64 * 0.25).abs() <= 2.0, "marked {k} of {n}");
+    }
+
+    #[test]
+    fn initialization_balances_the_initial_mesh() {
+        let p = plum(4, 4);
+        let per = p.per_proc(&vec![1; p.dual.n()], &p.proc_of_root);
+        let total: u64 = per.iter().sum();
+        assert_eq!(total as usize, p.dual.n());
+        let max = *per.iter().max().unwrap() as f64;
+        assert!(max / (total as f64 / 4.0) < 1.10, "initial partition unbalanced: {per:?}");
+    }
+
+    #[test]
+    fn one_cycle_refines_and_balances() {
+        let mut p = plum(4, 4);
+        let before = p.am.mesh.n_elems();
+        let report = p.adaption_cycle(0.33, 0.1);
+        assert!(report.counts.elements > before, "mesh must grow");
+        assert!(report.growth > 1.0 && report.growth <= 8.0);
+        assert!(report.times.marking > 0.0);
+        assert!(report.times.subdivide > 0.0);
+        assert!(report.times.solver > 0.0);
+        p.am.validate();
+        // The adopted configuration is at least as balanced as not moving.
+        assert!(report.wmax_balanced <= report.wmax_unbalanced);
+    }
+
+    #[test]
+    fn remap_before_beats_after_in_remap_volume() {
+        let mk = |policy| {
+            let mut cfg = PlumConfig::new(8);
+            cfg.policy = policy;
+            let mut p = Plum::new(unit_box_mesh(5), WaveField::unit_box(), cfg);
+            p.adaption_cycle(0.4, 0.1)
+        };
+        let before = mk(RemapPolicy::BeforeRefinement);
+        let after = mk(RemapPolicy::AfterRefinement);
+        let (Some(mb), Some(ma)) = (&before.migration, &after.migration) else {
+            panic!(
+                "both policies should migrate: before={:?} after={:?}",
+                before.migration.is_some(),
+                after.migration.is_some()
+            );
+        };
+        assert!(
+            mb.elems_moved < ma.elems_moved,
+            "remap-before must move less: {} vs {}",
+            mb.elems_moved,
+            ma.elems_moved
+        );
+        assert!(mb.time < ma.time, "and take less time: {} vs {}", mb.time, ma.time);
+    }
+
+    #[test]
+    fn single_proc_runs_without_balancing() {
+        let mut p = plum(1, 3);
+        let report = p.adaption_cycle(0.2, 0.1);
+        assert!(!report.decision.repartitioned);
+        assert!(report.migration.is_none());
+        assert_eq!(report.times.remap, 0.0);
+        p.am.validate();
+    }
+
+    #[test]
+    fn repeated_cycles_track_the_moving_wave() {
+        let mut p = plum(4, 3);
+        let mut reports = Vec::new();
+        for _ in 0..3 {
+            reports.push(p.adaption_cycle(0.15, 0.5));
+        }
+        p.am.validate();
+        assert!(reports.iter().all(|r| r.growth >= 1.0));
+        // The mesh grows monotonically (no coarsening in this loop).
+        assert!(reports.windows(2).all(|w| w[1].counts.elements >= w[0].counts.elements));
+    }
+}

@@ -1,0 +1,51 @@
+//! # plum — dynamic load balancing for adaptive grid calculations
+//!
+//! Rust reproduction of Oliker & Biswas, *Efficient Load Balancing and Data
+//! Remapping for Adaptive Grid Calculations* (SPAA 1997) — the PLUM
+//! framework. This crate ties the substrates together into the Fig.-1 loop:
+//!
+//! 1. **flow solver** (`plum_solver`) runs between adaptions;
+//! 2. **mesh adaptor** (`plum_adapt`) marks edges from the error
+//!    indicator, with cross-processor propagation ([`parallel_mark`]);
+//! 3. the new mesh is **predicted exactly** before subdivision;
+//! 4. the **load balancer** ([`balance_step`]) repartitions the dual graph
+//!    (`plum_partition`), reassigns partitions to processors
+//!    (`plum_reassign`), and accepts/rejects via the gain/cost model
+//!    (`plum_remap`);
+//! 5. accepted mappings **remap** the still-unrefined data
+//!    ([`parallel_migrate`]) and only then does subdivision grow the mesh.
+//!
+//! Parallel execution is simulated by `plum_parsim`: every rank is a real
+//! thread exchanging real messages, with virtual time charged from an
+//! SP2-class machine model (see DESIGN.md).
+//!
+//! ```
+//! use plum_core::{Plum, PlumConfig};
+//! use plum_mesh::generate::unit_box_mesh;
+//! use plum_solver::WaveField;
+//!
+//! let mut plum = Plum::new(unit_box_mesh(3), WaveField::unit_box(), PlumConfig::new(4));
+//! let report = plum.adaption_cycle(0.2, 0.1);
+//! assert!(report.growth > 1.0);
+//! assert!(report.wmax_balanced <= report.wmax_unbalanced);
+//! ```
+
+mod balance;
+mod config;
+mod dmesh;
+mod framework;
+mod marking;
+mod migrate;
+mod reassign_par;
+mod snapshot;
+mod timing;
+
+pub use balance::{balance_step, run_mapper, BalanceDecision};
+pub use config::{Mapper, PlumConfig, RemapPolicy};
+pub use dmesh::{distribute, finalize, DistributedMesh, FinalizedMesh};
+pub use framework::{fraction_threshold, CycleReport, PhaseTimes, Plum};
+pub use marking::{parallel_mark, MarkResult, Ownership};
+pub use migrate::{parallel_migrate, MigrationOutcome};
+pub use reassign_par::{parallel_reassign, ParallelReassign};
+pub use snapshot::{read_snapshot, snapshot_words, write_snapshot};
+pub use timing::WorkModel;

@@ -1,0 +1,256 @@
+//! Parallel edge marking with cross-partition propagation.
+//!
+//! Each rank owns the elements whose refinement-tree root is assigned to it.
+//! Edges touched by elements of several ranks are *shared*; after every
+//! upgrade sweep, each rank sends the newly marked local copies of shared
+//! edges to all other ranks in their SPLs, and the process iterates until no
+//! edge marking changes anywhere — exactly the paper's execution-phase
+//! protocol ("the process may continue for several iterations, and edge
+//! markings could propagate back and forth across partitions").
+
+use plum_adapt::{AdaptiveMesh, EdgeMarks};
+use plum_mesh::{EdgeId, ElemId};
+use plum_parsim::{makespan, spmd, MachineModel};
+
+use crate::timing::WorkModel;
+
+/// Ownership maps derived from the root→processor assignment.
+pub struct Ownership {
+    /// Elements owned by each rank.
+    pub elems_of_rank: Vec<Vec<ElemId>>,
+    /// For each edge slot, the sorted list of ranks sharing it (len > 1 ⇒
+    /// shared edge).
+    pub edge_ranks: Vec<Vec<u32>>,
+}
+
+impl Ownership {
+    /// Compute ownership from the current assignment.
+    pub fn build(am: &AdaptiveMesh, proc_of_root: &[u32], nproc: usize) -> Self {
+        let mut elems_of_rank: Vec<Vec<ElemId>> = vec![Vec::new(); nproc];
+        let mut edge_ranks: Vec<Vec<u32>> = vec![Vec::new(); am.mesh.edge_slots()];
+        for e in am.mesh.elems() {
+            let r = proc_of_root[am.root_of_elem(e) as usize];
+            elems_of_rank[r as usize].push(e);
+            for ed in am.mesh.elem_edges(e) {
+                let list = &mut edge_ranks[ed.idx()];
+                if !list.contains(&r) {
+                    list.push(r);
+                }
+            }
+        }
+        for list in &mut edge_ranks {
+            list.sort_unstable();
+        }
+        Ownership {
+            elems_of_rank,
+            edge_ranks,
+        }
+    }
+
+    /// Number of shared edges a rank touches (for halo-cost modeling).
+    pub fn shared_edges_of_rank(&self, rank: u32) -> u64 {
+        self.edge_ranks
+            .iter()
+            .filter(|l| l.len() > 1 && l.contains(&rank))
+            .count() as u64
+    }
+}
+
+/// Result of a parallel marking phase.
+pub struct MarkResult {
+    /// The globally consistent marks (union over ranks; asserted identical
+    /// on every shared edge).
+    pub marks: EdgeMarks,
+    /// Propagation sweeps until fixpoint.
+    pub sweeps: usize,
+    /// Virtual wall time of the phase (max over ranks).
+    pub time: f64,
+    /// Total words exchanged during propagation.
+    pub comm_words: u64,
+}
+
+/// Run the marking phase in parallel: every rank marks its own edges whose
+/// `error` exceeds `threshold`, then propagates pattern upgrades across
+/// ranks until the markings are stable and legal everywhere.
+pub fn parallel_mark(
+    am: &AdaptiveMesh,
+    own: &Ownership,
+    nproc: usize,
+    machine: MachineModel,
+    work: &WorkModel,
+    error: &[f64],
+    threshold: f64,
+) -> MarkResult {
+    let results = spmd(nproc, machine, |comm| {
+        let rank = comm.rank();
+        let my_elems = &own.elems_of_rank[rank];
+        let mut marks = EdgeMarks::new(&am.mesh);
+
+        // Initial marking: my elements' edges above threshold. Shared edges
+        // get the same decision on all owners because the error values are
+        // identical ("shared edges have the same flow and geometry
+        // information regardless of their processor number").
+        for &e in my_elems {
+            for ed in am.mesh.elem_edges(e) {
+                if error.get(ed.idx()).copied().unwrap_or(0.0) > threshold {
+                    marks.mark(ed);
+                }
+            }
+        }
+        comm.advance(my_elems.len() as f64 * work.t_mark_elem);
+
+        let mut sweeps = 0usize;
+        loop {
+            // One local upgrade sweep over my elements.
+            let mut newly: Vec<EdgeId> = Vec::new();
+            for &e in my_elems {
+                let p = am.elem_pattern(e, &marks);
+                let up = plum_adapt::upgrade(p);
+                if up != p {
+                    let edges = am.mesh.elem_edges(e);
+                    for (k, &ed) in edges.iter().enumerate() {
+                        if up & (1 << k) != 0 && marks.mark(ed) {
+                            newly.push(ed);
+                        }
+                    }
+                }
+            }
+            comm.advance(my_elems.len() as f64 * work.t_mark_elem);
+
+            // Ship newly marked *shared* edges to their other owners.
+            let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); nproc];
+            for &ed in &newly {
+                for &r in &own.edge_ranks[ed.idx()] {
+                    if r as usize != rank {
+                        outgoing[r as usize].push(ed.0);
+                    }
+                }
+            }
+            let items: Vec<(u64, Vec<u32>)> = outgoing
+                .into_iter()
+                .map(|v| ((v.len() as u64).max(1), v))
+                .collect();
+            let incoming = comm.alltoallv(items);
+            let mut received_new = false;
+            for batch in incoming {
+                for id in batch {
+                    if marks.mark(EdgeId(id)) {
+                        received_new = true;
+                    }
+                }
+            }
+
+            let changed = comm.allreduce_or(!newly.is_empty() || received_new);
+            sweeps += 1;
+            if !changed {
+                break;
+            }
+        }
+        (marks, sweeps, comm.sent_words())
+    });
+
+    // Merge: union of all ranks' marks (identical on shared edges at
+    // fixpoint; the union is what a global observer sees).
+    let mut merged = EdgeMarks::new(&am.mesh);
+    let mut sweeps = 0;
+    let mut comm_words = 0;
+    for r in &results {
+        for e in r.value.0.iter() {
+            merged.mark(e);
+        }
+        sweeps = sweeps.max(r.value.1);
+        comm_words += r.value.2;
+    }
+    debug_assert!(am.marks_are_legal(&merged), "parallel marking fixpoint is not legal");
+
+    MarkResult {
+        marks: merged,
+        sweeps,
+        time: makespan(&results),
+        comm_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plum_mesh::generate::unit_box_mesh;
+    use plum_mesh::geometry::elem_centroid;
+
+    fn setup(n: usize, nproc: usize) -> (AdaptiveMesh, Vec<u32>) {
+        let mesh = unit_box_mesh(n);
+        let am = AdaptiveMesh::new(mesh);
+        // Slab partition by root centroid.
+        let mut proc_of_root = vec![0u32; am.n_roots()];
+        for e in am.mesh.elems() {
+            let c = elem_centroid(&am.mesh, e);
+            let p = ((c[0] * nproc as f64) as usize).min(nproc - 1);
+            proc_of_root[am.root_of_elem(e) as usize] = p as u32;
+        }
+        (am, proc_of_root)
+    }
+
+    #[test]
+    fn ownership_partitions_elements() {
+        let (am, proc) = setup(3, 3);
+        let own = Ownership::build(&am, &proc, 3);
+        let total: usize = own.elems_of_rank.iter().map(|v| v.len()).sum();
+        assert_eq!(total, am.mesh.n_elems());
+        // Slab boundaries create shared edges.
+        assert!(own.shared_edges_of_rank(0) > 0);
+        assert!(own.shared_edges_of_rank(1) > 0);
+    }
+
+    #[test]
+    fn parallel_marking_matches_serial_fixpoint() {
+        let (am, proc) = setup(3, 4);
+        let own = Ownership::build(&am, &proc, 4);
+        // Error field: distance-based blob so marking crosses rank borders.
+        let mut error = vec![0.0f64; am.mesh.edge_slots()];
+        for e in am.mesh.edges() {
+            let mp = am.mesh.edge_midpoint(e);
+            error[e.idx()] =
+                1.0 / (0.05 + (mp[0] - 0.5).abs() + (mp[1] - 0.4).abs() + (mp[2] - 0.6).abs());
+        }
+        let threshold = 4.0;
+
+        let par = parallel_mark(
+            &am,
+            &own,
+            4,
+            MachineModel::sp2(),
+            &WorkModel::default(),
+            &error,
+            threshold,
+        );
+
+        // Serial reference.
+        let mut serial = am.mark_above(&error, threshold);
+        am.upgrade_to_fixpoint(&mut serial);
+
+        assert_eq!(par.marks.count(), serial.count(), "parallel ≠ serial marking");
+        for e in am.mesh.edges() {
+            assert_eq!(par.marks.is_marked(e), serial.is_marked(e), "differs at {e}");
+        }
+        assert!(par.sweeps >= 1);
+        assert!(par.time > 0.0);
+    }
+
+    #[test]
+    fn single_rank_needs_no_propagation_rounds_beyond_fixpoint() {
+        let (am, _) = setup(2, 1);
+        let own = Ownership::build(&am, &vec![0; am.n_roots()], 1);
+        let error: Vec<f64> = (0..am.mesh.edge_slots()).map(|i| (i % 7) as f64).collect();
+        let par = parallel_mark(
+            &am,
+            &own,
+            1,
+            MachineModel::zero(),
+            &WorkModel::default(),
+            &error,
+            5.0,
+        );
+        assert!(am.marks_are_legal(&par.marks));
+        assert_eq!(par.comm_words, 0, "P=1 must not communicate");
+    }
+}

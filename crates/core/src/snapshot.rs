@@ -1,0 +1,161 @@
+//! Grid snapshots for restart (§3): after finalization produces a global
+//! mesh, it can be stored and a later run restarted from it — the adapted
+//! grid becomes the new initial mesh (and hence the new dual graph), which
+//! is also the paper's §4.1 remedy for a too-small initial mesh ("allow the
+//! initial mesh to be adapted one or more times before using the dual graph
+//! for all future adaptions").
+//!
+//! The format is the same hand-rolled binary codec used for migration, so a
+//! snapshot's size in words is exactly what the cost model would charge to
+//! ship it.
+
+use plum_mesh::{TetMesh, VertexField, VertId};
+use plum_remap::{Packer, Unpacker};
+
+const MAGIC: u32 = 0x504c_554d; // "PLUM"
+const VERSION: u32 = 1;
+
+/// Serialize a computational mesh and a per-vertex solution field.
+pub fn write_snapshot(mesh: &TetMesh, field: &VertexField) -> Vec<u8> {
+    let mut p = Packer::new();
+    p.put_u32(MAGIC);
+    p.put_u32(VERSION);
+
+    // Vertices, compacted.
+    let verts: Vec<VertId> = mesh.verts().collect();
+    let mut compact = vec![u32::MAX; mesh.vert_slots()];
+    p.put_u32(verts.len() as u32);
+    p.put_u32(field.ncomp() as u32);
+    for (i, &v) in verts.iter().enumerate() {
+        compact[v.idx()] = i as u32;
+        let pos = mesh.vert_pos(v);
+        p.put_f64(pos[0]);
+        p.put_f64(pos[1]);
+        p.put_f64(pos[2]);
+        for c in 0..field.ncomp() {
+            p.put_f64(field.comp(v, c));
+        }
+    }
+
+    // Elements by compacted vertex ids.
+    let elems: Vec<_> = mesh.elems().collect();
+    p.put_u32(elems.len() as u32);
+    for &e in &elems {
+        for v in mesh.elem_verts(e) {
+            p.put_u32(compact[v.idx()]);
+        }
+    }
+    p.finish()
+}
+
+/// Restore a snapshot written by [`write_snapshot`].
+///
+/// Returns the mesh (with a fresh, compact id space) and the solution field.
+/// Panics on a malformed buffer (snapshots are trusted local data).
+pub fn read_snapshot(bytes: &[u8]) -> (TetMesh, VertexField) {
+    let mut u = Unpacker::new(bytes);
+    assert_eq!(u.get_u32(), MAGIC, "not a PLUM snapshot");
+    assert_eq!(u.get_u32(), VERSION, "unsupported snapshot version");
+
+    let nverts = u.get_u32() as usize;
+    let ncomp = u.get_u32() as usize;
+    let mut mesh = TetMesh::with_capacity(nverts, nverts * 7, nverts * 6);
+    let mut field = VertexField::new(ncomp, nverts);
+    let mut scratch = vec![0.0f64; ncomp];
+    for _ in 0..nverts {
+        let pos = [u.get_f64(), u.get_f64(), u.get_f64()];
+        let v = mesh.add_vertex(pos);
+        for c in scratch.iter_mut() {
+            *c = u.get_f64();
+        }
+        field.set(v, &scratch);
+    }
+
+    let nelems = u.get_u32() as usize;
+    for _ in 0..nelems {
+        let quad = [
+            VertId(u.get_u32()),
+            VertId(u.get_u32()),
+            VertId(u.get_u32()),
+            VertId(u.get_u32()),
+        ];
+        mesh.add_elem(quad);
+    }
+    assert!(u.is_exhausted(), "trailing bytes in snapshot");
+    (mesh, field)
+}
+
+/// Snapshot size in 8-byte words (what shipping it would cost).
+pub fn snapshot_words(bytes: &[u8]) -> u64 {
+    (bytes.len() as u64).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plum_adapt::{AdaptiveMesh, EdgeMarks};
+    use plum_mesh::generate::unit_box_mesh;
+    use plum_mesh::geometry::total_volume;
+    use plum_solver::{initialize_solution, WaveField, NCOMP};
+
+    fn adapted_state() -> (TetMesh, VertexField) {
+        let mut am = AdaptiveMesh::new(unit_box_mesh(3));
+        let mut field = VertexField::new(NCOMP, am.mesh.vert_slots());
+        initialize_solution(&am.mesh, &mut field, &WaveField::unit_box(), 0.4);
+        let mut marks = EdgeMarks::new(&am.mesh);
+        for e in am.mesh.edges().collect::<Vec<_>>() {
+            if am.mesh.edge_midpoint(e)[0] < 0.4 {
+                marks.mark(e);
+            }
+        }
+        am.upgrade_to_fixpoint(&mut marks);
+        am.refine(&marks, std::slice::from_mut(&mut field));
+        (am.mesh, field)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (mesh, field) = adapted_state();
+        let bytes = write_snapshot(&mesh, &field);
+        assert!(snapshot_words(&bytes) > 0);
+        let (back, field2) = read_snapshot(&bytes);
+        back.validate();
+        let a = mesh.counts();
+        let b = back.counts();
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.elements, b.elements);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.boundary_faces, b.boundary_faces);
+        assert!((total_volume(&mesh) - total_volume(&back)).abs() < 1e-12);
+        // Solution values survive (compacted ids walk in the same order).
+        let orig: Vec<f64> = mesh.verts().map(|v| field.comp(v, 0)).collect();
+        let rest: Vec<f64> = back.verts().map(|v| field2.comp(v, 0)).collect();
+        assert_eq!(orig, rest);
+    }
+
+    #[test]
+    fn restart_continues_the_computation() {
+        // The restored mesh works as a new initial mesh for the framework —
+        // the §4.1 "adapt first, then take the dual" workflow.
+        let (mesh, _) = adapted_state();
+        let bytes = write_snapshot(&mesh, &VertexField::new(NCOMP, mesh.vert_slots()));
+        let (restored, _) = read_snapshot(&bytes);
+        let mut plum = crate::Plum::new(
+            restored,
+            WaveField::unit_box(),
+            crate::PlumConfig::new(4),
+        );
+        let r = plum.adaption_cycle(0.15, 0.2);
+        plum.am.validate();
+        assert!(r.growth >= 1.0);
+        // The dual graph of the restart has one vertex per *restored*
+        // element, larger than the pre-adaption dual would have been.
+        assert_eq!(plum.dual.n(), plum.n_initial_elements());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a PLUM snapshot")]
+    fn rejects_garbage() {
+        read_snapshot(&[0u8; 16]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Geometric predicates and element quality measures.
+
+use crate::ids::ElemId;
+use crate::tetmesh::TetMesh;
+
+/// Signed volume of the tetrahedron `(a, b, c, d)`:
+/// `det(b−a, c−a, d−a) / 6`.
+pub fn tet_volume(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> f64 {
+    let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+    let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+    let w = [d[0] - a[0], d[1] - a[1], d[2] - a[2]];
+    (u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+        + u[2] * (v[0] * w[1] - v[1] * w[0]))
+        / 6.0
+}
+
+/// Unsigned volume of a mesh element.
+pub fn elem_volume(mesh: &TetMesh, e: ElemId) -> f64 {
+    let v = mesh.elem_verts(e);
+    tet_volume(
+        mesh.vert_pos(v[0]),
+        mesh.vert_pos(v[1]),
+        mesh.vert_pos(v[2]),
+        mesh.vert_pos(v[3]),
+    )
+    .abs()
+}
+
+/// Centroid of an element.
+pub fn elem_centroid(mesh: &TetMesh, e: ElemId) -> [f64; 3] {
+    let v = mesh.elem_verts(e);
+    let mut c = [0.0; 3];
+    for &vid in &v {
+        let p = mesh.vert_pos(vid);
+        c[0] += p[0];
+        c[1] += p[1];
+        c[2] += p[2];
+    }
+    [c[0] * 0.25, c[1] * 0.25, c[2] * 0.25]
+}
+
+/// A simple shape-quality measure in `(0, 1]`: the ratio of element volume to
+/// the volume of a regular tetrahedron with the same RMS edge length.
+/// Degenerate (flat) elements approach 0.
+pub fn elem_quality(mesh: &TetMesh, e: ElemId) -> f64 {
+    let vol = elem_volume(mesh, e);
+    let mean_len2: f64 = mesh
+        .elem_edges(e)
+        .iter()
+        .map(|&ed| mesh.edge_len2(ed))
+        .sum::<f64>()
+        / 6.0;
+    if mean_len2 <= 0.0 {
+        return 0.0;
+    }
+    // Regular tet of edge L has volume L^3 / (6*sqrt(2)).
+    let ref_vol = mean_len2.powf(1.5) / (6.0 * 2.0_f64.sqrt());
+    (vol / ref_vol).min(1.0)
+}
+
+/// Total mesh volume (sum of unsigned element volumes).
+pub fn total_volume(mesh: &TetMesh) -> f64 {
+    mesh.elems().map(|e| elem_volume(mesh, e)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::unit_box_mesh;
+
+    #[test]
+    fn unit_tet_volume() {
+        let v = tet_volume(
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        );
+        assert!((v - 1.0 / 6.0).abs() < 1e-15);
+        // Swapping two vertices flips the sign.
+        let w = tet_volume(
+            [0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0],
+        );
+        assert!((w + 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn box_mesh_volume_tiles_unit_cube() {
+        let m = unit_box_mesh(3);
+        assert!((total_volume(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_bounds() {
+        let m = unit_box_mesh(2);
+        for e in m.elems() {
+            let q = elem_quality(&m, e);
+            assert!(q > 0.1 && q <= 1.0, "kuhn tets are decent quality, got {q}");
+        }
+    }
+
+    #[test]
+    fn regular_tet_quality_is_one() {
+        let mut m = TetMesh::new();
+        // Regular tetrahedron with unit edges.
+        let s = 1.0 / 2.0_f64.sqrt();
+        let a = m.add_vertex([1.0, 0.0, -s]);
+        let b = m.add_vertex([-1.0, 0.0, -s]);
+        let c = m.add_vertex([0.0, 1.0, s]);
+        let d = m.add_vertex([0.0, -1.0, s]);
+        let e = m.add_elem([a, b, c, d]);
+        assert!((elem_quality(&m, e) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_unit_tet() {
+        let mut m = TetMesh::new();
+        let a = m.add_vertex([0.0, 0.0, 0.0]);
+        let b = m.add_vertex([1.0, 0.0, 0.0]);
+        let c = m.add_vertex([0.0, 1.0, 0.0]);
+        let d = m.add_vertex([0.0, 0.0, 1.0]);
+        let e = m.add_elem([a, b, c, d]);
+        let ctr = elem_centroid(&m, e);
+        for x in ctr {
+            assert!((x - 0.25).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Typed indices for mesh entities.
+//!
+//! All mesh entities are stored in flat arrays and referenced by `u32`
+//! indices wrapped in newtypes, so a vertex id cannot be accidentally used
+//! where an element id is expected.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index as a `usize`, for array access.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            #[inline]
+            pub fn from_idx(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a vertex.
+    VertId
+);
+id_type!(
+    /// Index of an edge.
+    EdgeId
+);
+id_type!(
+    /// Index of a tetrahedral element.
+    ElemId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = VertId::from_idx(3);
+        let b = VertId::from_idx(7);
+        assert_eq!(a.idx(), 3);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "VertId#3");
+    }
+}

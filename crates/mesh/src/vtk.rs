@@ -1,0 +1,177 @@
+//! Legacy-VTK export of tetrahedral meshes.
+//!
+//! The paper's finalization phase exists so that "post processing tasks,
+//! such as visualization, \[can\] process the whole grid simultaneously";
+//! this module writes that whole grid (plus optional per-element and
+//! per-vertex scalars such as partition ids or the flow solution) in the
+//! legacy ASCII VTK format readable by ParaView/VisIt.
+
+use std::io::{self, Write};
+
+use crate::ids::ElemId;
+use crate::tetmesh::TetMesh;
+
+/// Write `mesh` as a legacy-VTK unstructured grid.
+///
+/// `cell_scalars` are optional named per-element values (e.g. partition
+/// id); `point_scalars` are optional named per-vertex values (e.g.
+/// density). Dead slots are compacted on the fly; element values are
+/// sampled through the provided closures so callers can index by `ElemId`.
+pub fn write_vtk<W: Write>(
+    w: &mut W,
+    mesh: &TetMesh,
+    cell_scalars: &[(&str, &dyn Fn(ElemId) -> f64)],
+    point_scalars: &[(&str, &dyn Fn(crate::ids::VertId) -> f64)],
+) -> io::Result<()> {
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "plum adaptive tetrahedral mesh")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET UNSTRUCTURED_GRID")?;
+
+    // Compact vertex numbering.
+    let verts: Vec<_> = mesh.verts().collect();
+    let mut compact = vec![u32::MAX; mesh.vert_slots()];
+    for (i, &v) in verts.iter().enumerate() {
+        compact[v.idx()] = i as u32;
+    }
+    writeln!(w, "POINTS {} double", verts.len())?;
+    for &v in &verts {
+        let p = mesh.vert_pos(v);
+        writeln!(w, "{} {} {}", p[0], p[1], p[2])?;
+    }
+
+    let elems: Vec<_> = mesh.elems().collect();
+    writeln!(w, "CELLS {} {}", elems.len(), elems.len() * 5)?;
+    for &e in &elems {
+        let vs = mesh.elem_verts(e);
+        writeln!(
+            w,
+            "4 {} {} {} {}",
+            compact[vs[0].idx()],
+            compact[vs[1].idx()],
+            compact[vs[2].idx()],
+            compact[vs[3].idx()]
+        )?;
+    }
+    writeln!(w, "CELL_TYPES {}", elems.len())?;
+    for _ in &elems {
+        writeln!(w, "10")?; // VTK_TETRA
+    }
+
+    if !cell_scalars.is_empty() {
+        writeln!(w, "CELL_DATA {}", elems.len())?;
+        for (name, f) in cell_scalars {
+            writeln!(w, "SCALARS {name} double 1")?;
+            writeln!(w, "LOOKUP_TABLE default")?;
+            for &e in &elems {
+                writeln!(w, "{}", f(e))?;
+            }
+        }
+    }
+    if !point_scalars.is_empty() {
+        writeln!(w, "POINT_DATA {}", verts.len())?;
+        for (name, f) in point_scalars {
+            writeln!(w, "SCALARS {name} double 1")?;
+            writeln!(w, "LOOKUP_TABLE default")?;
+            for &v in &verts {
+                writeln!(w, "{}", f(v))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Summary statistics of element shape quality (see
+/// [`crate::geometry::elem_quality`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityStats {
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    /// Fraction of elements with quality below 0.1 (near-degenerate).
+    pub sliver_fraction: f64,
+}
+
+/// Compute shape-quality statistics over all live elements.
+pub fn quality_stats(mesh: &TetMesh) -> QualityStats {
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut slivers = 0usize;
+    let mut n = 0usize;
+    for e in mesh.elems() {
+        let q = crate::geometry::elem_quality(mesh, e);
+        min = min.min(q);
+        max = max.max(q);
+        sum += q;
+        if q < 0.1 {
+            slivers += 1;
+        }
+        n += 1;
+    }
+    QualityStats {
+        min,
+        max,
+        mean: if n > 0 { sum / n as f64 } else { 0.0 },
+        sliver_fraction: if n > 0 { slivers as f64 / n as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::unit_box_mesh;
+
+    #[test]
+    fn vtk_output_has_correct_structure() {
+        let mesh = unit_box_mesh(2);
+        let mut buf = Vec::new();
+        write_vtk(
+            &mut buf,
+            &mesh,
+            &[("elem_id", &|e: ElemId| e.0 as f64)],
+            &[("x", &|v| mesh.vert_pos(v)[0])],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains(&format!("POINTS {} double", mesh.n_verts())));
+        assert!(text.contains(&format!("CELLS {} {}", mesh.n_elems(), mesh.n_elems() * 5)));
+        assert!(text.contains("SCALARS elem_id double 1"));
+        assert!(text.contains("SCALARS x double 1"));
+        // Every cell line is "4 a b c d" with indices within range.
+        let cells_at = text.find("CELLS").unwrap();
+        for line in text[cells_at..].lines().skip(1).take(mesh.n_elems()) {
+            let nums: Vec<usize> = line
+                .split_whitespace()
+                .map(|t| t.parse().unwrap())
+                .collect();
+            assert_eq!(nums[0], 4);
+            assert!(nums[1..].iter().all(|&i| i < mesh.n_verts()));
+        }
+    }
+
+    #[test]
+    fn vtk_handles_dead_slots() {
+        // Remove an element and its orphans; indices must stay compact.
+        let mut mesh = unit_box_mesh(2);
+        let e = mesh.elems().next().unwrap();
+        mesh.remove_elem(e);
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &mesh, &[], &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(&format!("CELL_TYPES {}", mesh.n_elems())));
+    }
+
+    #[test]
+    fn quality_stats_of_kuhn_mesh() {
+        let mesh = unit_box_mesh(3);
+        let q = quality_stats(&mesh);
+        assert!(q.min > 0.2, "Kuhn tets are uniform quality, min {}", q.min);
+        assert!(q.max <= 1.0);
+        // Tolerance: when all qualities are equal, sum/n can differ from
+        // min/max by one ulp.
+        assert!(q.mean >= q.min - 1e-12 && q.mean <= q.max + 1e-12);
+        assert_eq!(q.sliver_fraction, 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! All collectives must be called at the same program point by every rank
+//! (standard SPMD discipline). Tree-shaped algorithms are used where the
+//! paper's machine would benefit (broadcast, barrier), so modeled times pick
+//! up the expected `log P` terms; gather/scatter are flat through a single
+//! host rank, exactly like the paper's similarity-matrix gather.
+
+use crate::comm::{Comm, Tag};
+
+const TAG_BARRIER: Tag = 1 << 60;
+const TAG_BCAST: Tag = (1 << 60) + 1;
+const TAG_GATHER: Tag = (1 << 60) + 2;
+const TAG_SCATTER: Tag = (1 << 60) + 3;
+const TAG_REDUCE: Tag = (1 << 60) + 4;
+const TAG_A2A: Tag = (1 << 60) + 5;
+
+impl Comm {
+    /// Dissemination barrier: `ceil(log2 P)` rounds of one-word messages.
+    ///
+    /// After the barrier every rank's virtual clock is at least as late as
+    /// the latest participating rank's clock at entry (plus the barrier's own
+    /// message costs).
+    pub fn barrier(&mut self) {
+        let p = self.nranks();
+        if p == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let mut step = 1;
+        while step < p {
+            let to = (rank + step) % p;
+            let from = (rank + p - step) % p;
+            self.send(to, TAG_BARRIER, 1, ());
+            self.recv::<()>(from, TAG_BARRIER);
+            step <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of `value` (size `words`) from `root`.
+    ///
+    /// Non-root ranks pass `None` and receive the broadcast value; the root
+    /// passes `Some(value)`.
+    pub fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        words: u64,
+        value: Option<T>,
+    ) -> T {
+        let p = self.nranks();
+        let vrank = (self.rank() + p - root) % p;
+        let mut have: Option<T> = if vrank == 0 {
+            Some(value.expect("bcast root must supply a value"))
+        } else {
+            None
+        };
+        let mut mask = 1;
+        // Find the round in which this rank receives.
+        while mask < p {
+            if vrank >= mask && vrank < 2 * mask && have.is_none() {
+                let src = ((vrank - mask) + root) % p;
+                have = Some(self.recv::<T>(src, TAG_BCAST));
+            }
+            if vrank < mask {
+                let dst_v = vrank + mask;
+                if dst_v < p {
+                    let dst = (dst_v + root) % p;
+                    let v = have.clone().expect("bcast internal: no value to forward");
+                    self.send(dst, TAG_BCAST, words, v);
+                }
+            }
+            mask <<= 1;
+        }
+        have.expect("bcast: value never arrived")
+    }
+
+    /// Flat gather of one value per rank to `root`. Returns `Some(values)`
+    /// (indexed by rank) on the root, `None` elsewhere.
+    pub fn gather<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        words_each: u64,
+        value: T,
+    ) -> Option<Vec<T>> {
+        if self.rank() == root {
+            let p = self.nranks();
+            let mut slot: Vec<Option<T>> = (0..p).map(|_| None).collect();
+            slot[root] = Some(value);
+            for s in 0..p {
+                if s != root {
+                    slot[s] = Some(self.recv::<T>(s, TAG_GATHER));
+                }
+            }
+            Some(slot.into_iter().map(|v| v.unwrap()).collect())
+        } else {
+            self.send(root, TAG_GATHER, words_each, value);
+            None
+        }
+    }
+
+    /// Flat scatter: root supplies one value per rank; every rank receives
+    /// its own.
+    pub fn scatter<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        words_each: u64,
+        values: Option<Vec<T>>,
+    ) -> T {
+        if self.rank() == root {
+            let p = self.nranks();
+            let values = values.expect("scatter root must supply values");
+            assert_eq!(values.len(), p, "scatter needs one value per rank");
+            let mut own: Option<T> = None;
+            for (d, v) in values.into_iter().enumerate() {
+                if d == root {
+                    own = Some(v);
+                } else {
+                    self.send(d, TAG_SCATTER, words_each, v);
+                }
+            }
+            own.unwrap()
+        } else {
+            self.recv::<T>(root, TAG_SCATTER)
+        }
+    }
+
+    /// Allgather (gather to rank 0, broadcast the vector).
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, words_each: u64, value: T) -> Vec<T> {
+        let gathered = self.gather(0, words_each, value);
+        let total_words = words_each * self.nranks() as u64;
+        self.bcast(0, total_words, gathered)
+    }
+
+    /// Generic allreduce: combine one value per rank with `op` (must be
+    /// associative and commutative), result available on all ranks.
+    pub fn allreduce<T, F>(&mut self, words: u64, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        if let Some(all) = self.gather(0, words, value) {
+            let reduced = all.into_iter().reduce(&op).expect("at least one rank");
+            self.bcast(0, words, Some(reduced))
+        } else {
+            self.bcast::<T>(0, words, None)
+        }
+    }
+
+    /// Allreduce with `f64` addition.
+    pub fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+        self.allreduce(1, value, |a, b| a + b)
+    }
+
+    /// Allreduce with `f64` maximum.
+    pub fn allreduce_max_f64(&mut self, value: f64) -> f64 {
+        self.allreduce(1, value, f64::max)
+    }
+
+    /// Allreduce with `u64` addition.
+    pub fn allreduce_sum_u64(&mut self, value: u64) -> u64 {
+        self.allreduce(1, value, |a, b| a + b)
+    }
+
+    /// Allreduce with `u64` maximum.
+    pub fn allreduce_max_u64(&mut self, value: u64) -> u64 {
+        self.allreduce(1, value, u64::max)
+    }
+
+    /// Logical OR allreduce (any rank true ⇒ all ranks true).
+    pub fn allreduce_or(&mut self, value: bool) -> bool {
+        self.allreduce(1, value, |a, b| a || b)
+    }
+
+    /// Personalized all-to-all: `items[d]` is `(words, value)` destined for
+    /// rank `d` (the entry for this rank itself is returned as-is, free of
+    /// charge). Returns one value per source rank.
+    ///
+    /// Sends are staggered (`rank+1, rank+2, ...`) so no two ranks hammer the
+    /// same destination in the same round.
+    pub fn alltoallv<T: Send + 'static>(&mut self, items: Vec<(u64, T)>) -> Vec<T> {
+        let p = self.nranks();
+        let rank = self.rank();
+        assert_eq!(items.len(), p, "alltoallv needs one item per rank");
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        let mut outgoing: Vec<Option<(u64, T)>> = items.into_iter().map(Some).collect();
+        slots[rank] = outgoing[rank].take().map(|(_, v)| v);
+        for i in 1..p {
+            let d = (rank + i) % p;
+            let (words, v) = outgoing[d].take().unwrap();
+            self.send(d, TAG_A2A, words, v);
+        }
+        for i in 1..p {
+            let s = (rank + p - i) % p;
+            slots[s] = Some(self.recv::<T>(s, TAG_A2A));
+        }
+        slots.into_iter().map(|v| v.unwrap()).collect()
+    }
+
+    /// Reduce to root only (others get `None`).
+    pub fn reduce<T, F>(&mut self, root: usize, words: u64, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        if self.rank() == root {
+            let p = self.nranks();
+            let mut acc = value;
+            for s in 0..p {
+                if s != root {
+                    let v = self.recv::<T>(s, TAG_REDUCE);
+                    acc = op(acc, v);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send(root, TAG_REDUCE, words, value);
+            None
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Point-to-point communication context handed to each SPMD rank.
+
+use std::any::Any;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::{MachineModel, VirtualClock};
+
+/// Message tag. Matching is FIFO per (source, destination) pair: a receive
+/// must ask for the tag of the *next* message in that pair's queue, otherwise
+/// the communication pattern is inconsistent and the rank panics.
+pub type Tag = u64;
+
+pub(crate) struct Envelope {
+    pub tag: Tag,
+    pub words: u64,
+    /// Virtual arrival time at the receiver.
+    pub arrival: f64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// The per-rank communication context: rank identity, typed point-to-point
+/// messaging, collectives (see `collectives.rs`), and the virtual clock.
+///
+/// A `Comm` is created by [`crate::spmd`] and passed by `&mut` to the rank
+/// body; it is not constructible directly.
+pub struct Comm {
+    rank: usize,
+    nranks: usize,
+    model: MachineModel,
+    pub(crate) clock: VirtualClock,
+    /// `tx[d]` sends to destination rank `d`.
+    tx: Vec<Sender<Envelope>>,
+    /// `rx[s]` receives messages sent by source rank `s`.
+    rx: Vec<Receiver<Envelope>>,
+    sent_messages: u64,
+    sent_words: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        nranks: usize,
+        model: MachineModel,
+        tx: Vec<Sender<Envelope>>,
+        rx: Vec<Receiver<Envelope>>,
+    ) -> Self {
+        Comm {
+            rank,
+            nranks,
+            model,
+            clock: VirtualClock::new(),
+            tx,
+            rx,
+            sent_messages: 0,
+            sent_words: 0,
+        }
+    }
+
+    /// This rank's id in `0..nranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the simulation.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The machine cost model in effect.
+    #[inline]
+    pub fn model(&self) -> MachineModel {
+        self.model
+    }
+
+    /// Current virtual time on this rank, in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Total messages sent by this rank so far.
+    #[inline]
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Total words sent by this rank so far.
+    #[inline]
+    pub fn sent_words(&self) -> u64 {
+        self.sent_words
+    }
+
+    /// Charge `units` units of local computation to the virtual clock.
+    #[inline]
+    pub fn compute(&mut self, units: f64) {
+        self.clock.advance(self.model.compute_time(units));
+    }
+
+    /// Charge raw virtual seconds (for costs computed outside the model).
+    #[inline]
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock.advance(seconds);
+    }
+
+    /// Send `value` (declared size `words` 8-byte words) to rank `to`.
+    ///
+    /// The sender is charged the message startup time; the message arrives at
+    /// the receiver at `send_completion + words * t_word`.
+    pub fn send<T: Send + 'static>(&mut self, to: usize, tag: Tag, words: u64, value: T) {
+        assert!(to < self.nranks, "send to rank {to} of {}", self.nranks);
+        self.clock.advance(self.model.t_setup);
+        let arrival = self.clock.now() + words as f64 * self.model.t_word;
+        self.sent_messages += 1;
+        self.sent_words += words;
+        self.tx[to]
+            .send(Envelope {
+                tag,
+                words,
+                arrival,
+                payload: Box::new(value),
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Receive the next message from rank `from`; it must carry `tag` and
+    /// payload type `T`.
+    ///
+    /// Blocks (in real time) until the message is available; in virtual time
+    /// the receiver's clock advances to the message arrival time if it was
+    /// still in flight.
+    pub fn recv<T: 'static>(&mut self, from: usize, tag: Tag) -> T {
+        assert!(from < self.nranks, "recv from rank {from} of {}", self.nranks);
+        let env = self.rx[from].recv().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: peer {from} disconnected while waiting for tag {tag}",
+                self.rank
+            )
+        });
+        assert_eq!(
+            env.tag, tag,
+            "rank {}: tag mismatch receiving from {from}: expected {tag}, got {}",
+            self.rank, env.tag
+        );
+        self.clock.advance_to(env.arrival);
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: payload type mismatch from {from} tag {tag}",
+                self.rank
+            )
+        })
+    }
+
+    /// Receive a message of unknown size from `from`, returning `(value,
+    /// words)`.
+    pub fn recv_counted<T: 'static>(&mut self, from: usize, tag: Tag) -> (T, u64) {
+        let env = self.rx[from].recv().expect("peer rank hung up");
+        assert_eq!(env.tag, tag, "tag mismatch");
+        self.clock.advance_to(env.arrival);
+        let words = env.words;
+        let value = *env
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("payload type mismatch from {from} tag {tag}"));
+        (value, words)
+    }
+}

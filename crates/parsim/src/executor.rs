@@ -1,0 +1,322 @@
+//! The SPMD executor: spawns one thread per virtual rank.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Envelope};
+use crate::MachineModel;
+
+/// Result of one rank's execution: its return value plus communication and
+/// virtual-time statistics.
+#[derive(Debug)]
+pub struct RankResult<T> {
+    /// Rank id.
+    pub rank: usize,
+    /// The value returned by the rank body.
+    pub value: T,
+    /// Final virtual time on this rank, in seconds.
+    pub elapsed: f64,
+    /// Number of point-to-point messages this rank sent (collectives
+    /// included).
+    pub sent_messages: u64,
+    /// Number of words this rank sent.
+    pub sent_words: u64,
+}
+
+/// Run `body` on `nranks` virtual ranks (one OS thread each) under the given
+/// machine model. Returns the per-rank results ordered by rank.
+///
+/// The body receives a [`Comm`] for messaging, collectives, and virtual-time
+/// charging. Panics in any rank propagate.
+pub fn spmd<T, F>(nranks: usize, model: MachineModel, body: F) -> Vec<RankResult<T>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    spmd_with_args(nranks, model, (0..nranks).map(|_| ()).collect(), |comm, ()| {
+        body(comm)
+    })
+}
+
+/// Like [`spmd`], but moves a per-rank argument into each rank body. This is
+/// how distributed data (e.g. one submesh per rank) enters the machine.
+pub fn spmd_with_args<A, T, F>(
+    nranks: usize,
+    model: MachineModel,
+    args: Vec<A>,
+    body: F,
+) -> Vec<RankResult<T>>
+where
+    A: Send,
+    T: Send,
+    F: Fn(&mut Comm, A) -> T + Send + Sync,
+{
+    assert!(nranks >= 1, "need at least one rank");
+    assert_eq!(args.len(), nranks, "one argument per rank");
+
+    // Channel matrix: chan[s][d] carries messages from s to d.
+    let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Envelope>>>> =
+        (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+        (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+    for s in 0..nranks {
+        for d in 0..nranks {
+            let (tx, rx) = unbounded();
+            senders[s][d] = Some(tx);
+            // receivers indexed by destination, then source.
+            receivers[d][s] = Some(rx);
+        }
+    }
+
+    let mut rank_comms: Vec<Comm> = Vec::with_capacity(nranks);
+    for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
+        let tx: Vec<_> = tx_row.into_iter().map(|t| t.unwrap()).collect();
+        let rx: Vec<_> = rx_row.into_iter().map(|r| r.unwrap()).collect();
+        rank_comms.push(Comm::new(rank, nranks, model, tx, rx));
+    }
+
+    let body = &body;
+    let mut results: Vec<Option<RankResult<T>>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, (mut comm, arg)) in rank_comms.into_iter().zip(args).enumerate() {
+            handles.push((
+                rank,
+                scope.spawn(move || {
+                    let value = body(&mut comm, arg);
+                    RankResult {
+                        rank: comm.rank(),
+                        value,
+                        elapsed: comm.now(),
+                        sent_messages: comm.sent_messages(),
+                        sent_words: comm.sent_words(),
+                    }
+                }),
+            ));
+        }
+        for (rank, h) in handles {
+            results[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Maximum virtual time over all ranks — the simulated wall-clock time of the
+/// SPMD program.
+pub fn makespan<T>(results: &[RankResult<T>]) -> f64 {
+    results.iter().map(|r| r.elapsed).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let r = spmd(1, MachineModel::zero(), |comm| comm.rank() * 10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, 0);
+        assert_eq!(r[0].elapsed, 0.0);
+    }
+
+    #[test]
+    fn ranks_see_distinct_ids() {
+        let r = spmd(8, MachineModel::zero(), |comm| comm.rank());
+        let ids: Vec<_> = r.iter().map(|x| x.value).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_transfers_data_and_time() {
+        let model = MachineModel::sp2();
+        let r = spmd(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 100, vec![1u32, 2, 3]);
+                comm.recv::<u64>(1, 8)
+            } else {
+                let v = comm.recv::<Vec<u32>>(0, 7);
+                comm.send(0, 8, 1, v.iter().map(|&x| x as u64).sum::<u64>());
+                0
+            }
+        });
+        assert_eq!(r[0].value, 6);
+        // Rank 0's clock must include two transfers.
+        let one_way = model.transfer_time(100);
+        let way_back = model.transfer_time(1);
+        assert!(r[0].elapsed >= one_way + way_back - 1e-12);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let r = spmd(1, MachineModel::zero(), |comm| {
+            comm.send(0, 1, 4, 99u8);
+            comm.recv::<u8>(0, 1)
+        });
+        assert_eq!(r[0].value, 99);
+    }
+
+    #[test]
+    fn per_rank_arguments_are_moved_in() {
+        let args: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64; i + 1]).collect();
+        let r = spmd_with_args(4, MachineModel::zero(), args, |_, a| a.iter().sum::<u64>());
+        assert_eq!(
+            r.iter().map(|x| x.value).collect::<Vec<_>>(),
+            vec![0, 2, 6, 12]
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let model = MachineModel::sp2();
+        let r = spmd(4, model, |comm| {
+            if comm.rank() == 2 {
+                comm.advance(5.0); // one slow rank
+            }
+            comm.barrier();
+            comm.now()
+        });
+        for res in &r {
+            assert!(
+                res.value >= 5.0,
+                "rank {} exited the barrier at t={} before the slow rank",
+                res.rank,
+                res.value
+            );
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..5 {
+            let r = spmd(5, MachineModel::sp2(), move |comm| {
+                let v = if comm.rank() == root {
+                    Some(vec![root as u32; 3])
+                } else {
+                    None
+                };
+                comm.bcast(root, 3, v)
+            });
+            for res in &r {
+                assert_eq!(res.value, vec![root as u32; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let r = spmd(6, MachineModel::sp2(), |comm| {
+            let g = comm.gather(2, 1, comm.rank() as u64 * 3);
+            let back = if comm.rank() == 2 {
+                let v = g.unwrap();
+                assert_eq!(v, vec![0, 3, 6, 9, 12, 15]);
+                Some(v.into_iter().map(|x| x + 1).collect::<Vec<u64>>())
+            } else {
+                assert!(g.is_none());
+                None
+            };
+            comm.scatter(2, 1, back)
+        });
+        for (i, res) in r.iter().enumerate() {
+            assert_eq!(res.value, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_everything_everywhere() {
+        let r = spmd(7, MachineModel::sp2(), |comm| comm.allgather(1, comm.rank() as u32));
+        for res in &r {
+            assert_eq!(res.value, (0..7u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn allreduce_variants() {
+        let r = spmd(8, MachineModel::sp2(), |comm| {
+            let s = comm.allreduce_sum_f64(comm.rank() as f64);
+            let m = comm.allreduce_max_u64(comm.rank() as u64 * 7);
+            let o = comm.allreduce_or(comm.rank() == 5);
+            (s, m, o)
+        });
+        for res in &r {
+            assert_eq!(res.value.0, 28.0);
+            assert_eq!(res.value.1, 49);
+            assert!(res.value.2);
+        }
+    }
+
+    #[test]
+    fn alltoallv_permutes_correctly() {
+        let p = 5;
+        let r = spmd(p, MachineModel::sp2(), move |comm| {
+            let items: Vec<(u64, (usize, usize))> =
+                (0..p).map(|d| (1, (comm.rank(), d))).collect();
+            comm.alltoallv(items)
+        });
+        for (d, res) in r.iter().enumerate() {
+            for (s, got) in res.value.iter().enumerate() {
+                assert_eq!(*got, (s, d), "slot {s} on rank {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_to_root() {
+        let r = spmd(4, MachineModel::sp2(), |comm| {
+            comm.reduce(1, 1, comm.rank() as u64 + 1, |a, b| a * b)
+        });
+        assert_eq!(r[1].value, Some(24));
+        assert!(r[0].value.is_none());
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let run = || {
+            let r = spmd(8, MachineModel::sp2(), |comm| {
+                let v = comm.allgather(4, comm.rank() as u64);
+                comm.compute(v.iter().sum::<u64>() as f64);
+                comm.barrier();
+                comm.now()
+            });
+            r.iter().map(|x| x.value).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recv_counted_reports_wire_size() {
+        let r = spmd(2, MachineModel::sp2(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, 17, vec![1u8; 100]);
+                0
+            } else {
+                let (v, words) = comm.recv_counted::<Vec<u8>>(0, 3);
+                assert_eq!(v.len(), 100);
+                words
+            }
+        });
+        assert_eq!(r[1].value, 17);
+    }
+
+    #[test]
+    fn sent_statistics_accumulate() {
+        let r = spmd(2, MachineModel::sp2(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10, ());
+                comm.send(1, 2, 30, ());
+            } else {
+                comm.recv::<()>(0, 1);
+                comm.recv::<()>(0, 2);
+            }
+        });
+        assert_eq!(r[0].sent_messages, 2);
+        assert_eq!(r[0].sent_words, 40);
+        assert_eq!(r[1].sent_messages, 0);
+    }
+
+    #[test]
+    fn makespan_is_max_elapsed() {
+        let r = spmd(4, MachineModel::sp2(), |comm| {
+            comm.advance(comm.rank() as f64);
+        });
+        assert!((makespan(&r) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Machine cost model.
+//!
+//! The paper models redistribution cost as `M·C·T_lat + N·T_setup` where
+//! `T_lat` is the per-word memory-to-memory copy time and `T_setup` the
+//! per-message startup time, and solver/adaptor cost as a per-element-unit
+//! rate. [`MachineModel`] carries exactly those three constants.
+
+/// Cost constants for the simulated message-passing machine.
+///
+/// All times are in seconds. A *word* is 8 bytes; a *work unit* is one
+/// elementary mesh operation (the crates built on top charge a documented
+/// number of work units per element/edge they touch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Per-message startup time (`T_setup` in the paper): header preparation,
+    /// buffer loading, matching.
+    pub t_setup: f64,
+    /// Per-word transfer/copy time (`T_lat` in the paper).
+    pub t_word: f64,
+    /// Time per unit of local computation.
+    pub t_flop: f64,
+}
+
+impl MachineModel {
+    /// Constants calibrated to an IBM SP2-class machine (the paper's
+    /// testbed): ~40 µs message startup, ~35 MB/s sustained per-link
+    /// bandwidth (0.23 µs per 8-byte word), and a compute rate such that the
+    /// 64-processor times land in the regime Table 2 / Fig. 6 report.
+    pub fn sp2() -> Self {
+        MachineModel {
+            t_setup: 40.0e-6,
+            t_word: 0.23e-6,
+            t_flop: 0.9e-6,
+        }
+    }
+
+    /// A model in which communication and computation are free.
+    ///
+    /// Useful in tests that only check algorithmic results, not timing.
+    pub fn zero() -> Self {
+        MachineModel {
+            t_setup: 0.0,
+            t_word: 0.0,
+            t_flop: 0.0,
+        }
+    }
+
+    /// Time to transfer one message of `words` 8-byte words (startup plus
+    /// per-word cost).
+    #[inline]
+    pub fn transfer_time(&self, words: u64) -> f64 {
+        self.t_setup + words as f64 * self.t_word
+    }
+
+    /// Time to execute `units` units of local work.
+    #[inline]
+    pub fn compute_time(&self, units: f64) -> f64 {
+        units * self.t_flop
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::sp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp2_transfer_time_has_startup_and_bandwidth_terms() {
+        let m = MachineModel::sp2();
+        let empty = m.transfer_time(0);
+        let big = m.transfer_time(1_000_000);
+        assert!((empty - m.t_setup).abs() < 1e-12);
+        assert!(big > 0.2, "1M words should take ~0.23s, got {big}");
+        assert!(big < 0.5);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = MachineModel::zero();
+        assert_eq!(m.transfer_time(12345), 0.0);
+        assert_eq!(m.compute_time(9.9e9), 0.0);
+    }
+
+    #[test]
+    fn compute_time_is_linear() {
+        let m = MachineModel::sp2();
+        let one = m.compute_time(1.0);
+        let thousand = m.compute_time(1000.0);
+        assert!((thousand - 1000.0 * one).abs() < 1e-12);
+    }
+}

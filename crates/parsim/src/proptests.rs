@@ -1,0 +1,98 @@
+//! Property-based tests of the SPMD collectives: for arbitrary rank counts
+//! and payloads, every collective must agree with its serial reference.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::{spmd, MachineModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allgather_any_rank_count(nranks in 1usize..12, base in 0u64..1000) {
+        let r = spmd(nranks, MachineModel::sp2(), move |comm| {
+            comm.allgather(1, base + comm.rank() as u64)
+        });
+        let expect: Vec<u64> = (0..nranks as u64).map(|i| base + i).collect();
+        for res in &r {
+            prop_assert_eq!(&res.value, &expect);
+        }
+    }
+
+    #[test]
+    fn bcast_any_root(nranks in 1usize..10, root_sel in 0usize..10, payload in any::<u64>()) {
+        let root = root_sel % nranks;
+        let r = spmd(nranks, MachineModel::sp2(), move |comm| {
+            let v = (comm.rank() == root).then_some(payload);
+            comm.bcast(root, 1, v)
+        });
+        for res in &r {
+            prop_assert_eq!(res.value, payload);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial(values in proptest::collection::vec(0u64..1_000_000, 1..10)) {
+        let n = values.len();
+        let expect: u64 = values.iter().sum();
+        let vals = values.clone();
+        let r = spmd(n, MachineModel::sp2(), move |comm| {
+            comm.allreduce_sum_u64(vals[comm.rank()])
+        });
+        for res in &r {
+            prop_assert_eq!(res.value, expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(nranks in 1usize..8) {
+        let r = spmd(nranks, MachineModel::sp2(), move |comm| {
+            let items: Vec<(u64, u64)> = (0..nranks)
+                .map(|d| (1, (comm.rank() * 100 + d) as u64))
+                .collect();
+            comm.alltoallv(items)
+        });
+        for (dst, res) in r.iter().enumerate() {
+            for (src, &got) in res.value.iter().enumerate() {
+                prop_assert_eq!(got, (src * 100 + dst) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order(nranks in 1usize..10, root_sel in 0usize..10) {
+        let root = root_sel % nranks;
+        let r = spmd(nranks, MachineModel::sp2(), move |comm| {
+            comm.gather(root, 1, comm.rank() as u32 * 3)
+        });
+        for (i, res) in r.iter().enumerate() {
+            if i == root {
+                let got = res.value.as_ref().unwrap();
+                let expect: Vec<u32> = (0..nranks as u32).map(|x| x * 3).collect();
+                prop_assert_eq!(got, &expect);
+            } else {
+                prop_assert!(res.value.is_none());
+            }
+        }
+    }
+
+    /// Virtual clocks never decrease and barriers dominate the slowest rank.
+    #[test]
+    fn barrier_dominates_slowest(delays in proptest::collection::vec(0.0f64..10.0, 2..8)) {
+        let n = delays.len();
+        let slowest = delays.iter().cloned().fold(0.0, f64::max);
+        let d = delays.clone();
+        let r = spmd(n, MachineModel::sp2(), move |comm| {
+            comm.advance(d[comm.rank()]);
+            comm.barrier();
+            comm.now()
+        });
+        for res in &r {
+            prop_assert!(res.value >= slowest - 1e-12,
+                "rank {} left the barrier at {} before the slowest rank ({})",
+                res.rank, res.value, slowest);
+        }
+    }
+}

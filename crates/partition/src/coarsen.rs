@@ -1,0 +1,214 @@
+//! Graph coarsening by heavy-edge matching (HEM) and contraction — the
+//! first phase of the multilevel scheme ("reduces the size of the graph by
+//! collapsing vertices and edges using a heavy edge matching scheme").
+
+use crate::graph::Graph;
+use crate::rng::Rng;
+
+/// Compute a heavy-edge matching: vertices are visited in random order and
+/// each unmatched vertex matches its unmatched neighbour with the heaviest
+/// connecting edge. Returns `mate[v]` (= `v` itself if unmatched).
+pub fn heavy_edge_matching(g: &Graph, rng: &mut Rng) -> Vec<u32> {
+    let n = g.n();
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+    for &v in &order {
+        let v = v as usize;
+        if matched[v] {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (neighbor, weight)
+        for (u, w) in g.edges(v) {
+            if !matched[u as usize] && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            matched[v] = true;
+            matched[u as usize] = true;
+            mate[v] = u;
+            mate[u as usize] = v as u32;
+        }
+    }
+    mate
+}
+
+/// Contract a matching: matched pairs merge into one coarse vertex (weights
+/// summed, parallel edges merged with summed weights, self-loops dropped).
+/// Returns the coarse graph and `cmap[fine] = coarse`.
+pub fn contract(g: &Graph, mate: &[u32]) -> (Graph, Vec<u32>) {
+    let n = g.n();
+    let mut cmap = vec![u32::MAX; n];
+    let mut nc = 0u32;
+    for v in 0..n {
+        if cmap[v] != u32::MAX {
+            continue;
+        }
+        cmap[v] = nc;
+        let m = mate[v] as usize;
+        if m != v {
+            cmap[m] = nc;
+        }
+        nc += 1;
+    }
+
+    let nc = nc as usize;
+    let mut xadj = Vec::with_capacity(nc + 1);
+    let mut adjncy: Vec<u32> = Vec::with_capacity(g.adjncy.len());
+    let mut adjwgt: Vec<u32> = Vec::with_capacity(g.adjncy.len());
+    let mut vwgt = vec![0u64; nc];
+    // Scratch accumulator with timestamping, the standard trick to merge
+    // parallel edges in O(degree).
+    let mut acc = vec![0u32; nc];
+    let mut stamp = vec![u32::MAX; nc];
+    let mut touched: Vec<u32> = Vec::new();
+
+    xadj.push(0u32);
+    // Iterate coarse vertices in fine order of their representatives.
+    let mut reps: Vec<(u32, usize)> = Vec::with_capacity(nc);
+    {
+        let mut seen = vec![false; nc];
+        for v in 0..n {
+            let c = cmap[v] as usize;
+            if !seen[c] {
+                seen[c] = true;
+                reps.push((cmap[v], v));
+            }
+        }
+    }
+    for (ci, (c, rep)) in reps.iter().enumerate() {
+        debug_assert_eq!(*c as usize, ci);
+        let members: [usize; 2] = [*rep, mate[*rep] as usize];
+        touched.clear();
+        for &v in members.iter().take(if members[0] == members[1] { 1 } else { 2 }) {
+            vwgt[ci] += g.vwgt[v];
+            for (u, w) in g.edges(v) {
+                let cu = cmap[u as usize] as usize;
+                if cu == ci {
+                    continue; // internal edge of the pair
+                }
+                if stamp[cu] != ci as u32 {
+                    stamp[cu] = ci as u32;
+                    acc[cu] = 0;
+                    touched.push(cu as u32);
+                }
+                acc[cu] += w;
+            }
+        }
+        for &cu in &touched {
+            adjncy.push(cu);
+            adjwgt.push(acc[cu as usize]);
+        }
+        xadj.push(adjncy.len() as u32);
+    }
+
+    let coarse = Graph {
+        xadj,
+        adjncy,
+        adjwgt,
+        vwgt,
+    };
+    debug_assert!(coarse.check().is_ok(), "{:?}", coarse.check());
+    (coarse, cmap)
+}
+
+/// One HEM + contraction step.
+pub fn coarsen_once(g: &Graph, rng: &mut Rng) -> (Graph, Vec<u32>) {
+    let mate = heavy_edge_matching(g, rng);
+    contract(g, &mate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_graph(w: usize, h: usize) -> Graph {
+        let n = w * h;
+        let mut xadj = vec![0u32];
+        let mut adjncy = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x > 0 {
+                    adjncy.push((y * w + x - 1) as u32);
+                }
+                if x + 1 < w {
+                    adjncy.push((y * w + x + 1) as u32);
+                }
+                if y > 0 {
+                    adjncy.push(((y - 1) * w + x) as u32);
+                }
+                if y + 1 < h {
+                    adjncy.push(((y + 1) * w + x) as u32);
+                }
+                xadj.push(adjncy.len() as u32);
+            }
+        }
+        Graph::from_csr(xadj, adjncy, vec![1; n])
+    }
+
+    #[test]
+    fn matching_is_involutive() {
+        let g = grid_graph(8, 8);
+        let mut rng = Rng::new(1);
+        let mate = heavy_edge_matching(&g, &mut rng);
+        for v in 0..g.n() {
+            assert_eq!(mate[mate[v] as usize] as usize, v, "matching broken at {v}");
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_total_weight() {
+        let g = grid_graph(10, 10);
+        let mut rng = Rng::new(2);
+        let (cg, cmap) = coarsen_once(&g, &mut rng);
+        assert_eq!(cg.total_vwgt(), g.total_vwgt());
+        assert!(cg.n() < g.n(), "graph must shrink");
+        assert!(cg.n() >= g.n() / 2, "cannot shrink by more than half");
+        for v in 0..g.n() {
+            assert!((cmap[v] as usize) < cg.n());
+        }
+        cg.check().unwrap();
+    }
+
+    #[test]
+    fn repeated_coarsening_reaches_small_graph() {
+        let mut g = grid_graph(16, 16);
+        let mut rng = Rng::new(3);
+        let w0 = g.total_vwgt();
+        for _ in 0..10 {
+            if g.n() <= 8 {
+                break;
+            }
+            let (cg, _) = coarsen_once(&g, &mut rng);
+            if cg.n() == g.n() {
+                break; // no progress possible
+            }
+            g = cg;
+        }
+        assert!(g.n() <= 16, "coarsening stalled at {} vertices", g.n());
+        assert_eq!(g.total_vwgt(), w0);
+    }
+
+    #[test]
+    fn heavy_edges_preferred() {
+        // Triangle with one heavy edge: 0-1 (w=10), 1-2 (w=1), 0-2 (w=1).
+        let g = Graph {
+            xadj: vec![0, 2, 4, 6],
+            adjncy: vec![1, 2, 0, 2, 0, 1],
+            adjwgt: vec![10, 1, 10, 1, 1, 1],
+            vwgt: vec![1, 1, 1],
+        };
+        g.check().unwrap();
+        for seed in 0..10 {
+            let mut rng = Rng::new(seed);
+            let mate = heavy_edge_matching(&g, &mut rng);
+            // Whichever of 0/1 is visited first picks the heavy edge.
+            assert!(
+                (mate[0] == 1 && mate[1] == 0) || mate[2] != 2,
+                "seed {seed}: heavy edge ignored: {mate:?}"
+            );
+        }
+    }
+}

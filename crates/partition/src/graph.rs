@@ -1,0 +1,174 @@
+//! Weighted undirected graphs in CSR form.
+
+/// An undirected graph in compressed-sparse-row form with vertex and edge
+/// weights — the input to the multilevel partitioner (the dual graph of the
+/// initial mesh, in PLUM's case).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Row offsets, `n + 1` entries.
+    pub xadj: Vec<u32>,
+    /// Adjacency lists (each undirected edge appears twice).
+    pub adjncy: Vec<u32>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<u32>,
+    /// Vertex weights.
+    pub vwgt: Vec<u64>,
+}
+
+impl Graph {
+    /// Build from CSR arrays with unit edge weights.
+    pub fn from_csr(xadj: Vec<u32>, adjncy: Vec<u32>, vwgt: Vec<u64>) -> Self {
+        let adjwgt = vec![1; adjncy.len()];
+        let g = Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        };
+        debug_assert!(g.check().is_ok(), "{:?}", g.check());
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbours of `v` with edge weights.
+    #[inline]
+    pub fn edges(&self, v: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.xadj[v] as usize;
+        let hi = self.xadj[v + 1] as usize;
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.xadj[v + 1] - self.xadj[v]) as usize
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Structural validation: symmetry, no self loops, sizes consistent.
+    pub fn check(&self) -> Result<(), String> {
+        let n = self.n();
+        if self.vwgt.len() != n {
+            return Err(format!("vwgt len {} ≠ n {n}", self.vwgt.len()));
+        }
+        if self.adjwgt.len() != self.adjncy.len() {
+            return Err("adjwgt/adjncy length mismatch".into());
+        }
+        if *self.xadj.last().unwrap() as usize != self.adjncy.len() {
+            return Err("xadj end mismatch".into());
+        }
+        for v in 0..n {
+            if self.xadj[v] > self.xadj[v + 1] {
+                return Err(format!("xadj not monotone at {v}"));
+            }
+            for (u, w) in self.edges(v) {
+                if u as usize == v {
+                    return Err(format!("self loop at {v}"));
+                }
+                if u as usize >= n {
+                    return Err(format!("edge {v}→{u} out of range"));
+                }
+                // Symmetric edge with identical weight must exist.
+                if !self.edges(u as usize).any(|(x, xw)| x as usize == v && xw == w) {
+                    return Err(format!("edge {v}→{u} (w={w}) not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build an induced subgraph on the vertex set `verts` (given in the
+    /// order that defines the new ids). Returns the subgraph; edges to
+    /// vertices outside the set are dropped.
+    pub fn induced(&self, verts: &[u32]) -> Graph {
+        let mut new_id = vec![u32::MAX; self.n()];
+        for (i, &v) in verts.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut xadj = Vec::with_capacity(verts.len() + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(verts.len());
+        xadj.push(0);
+        for &v in verts {
+            for (u, w) in self.edges(v as usize) {
+                let nu = new_id[u as usize];
+                if nu != u32::MAX {
+                    adjncy.push(nu);
+                    adjwgt.push(w);
+                }
+            }
+            xadj.push(adjncy.len() as u32);
+            vwgt.push(self.vwgt[v as usize]);
+        }
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3.
+    pub(crate) fn path4() -> Graph {
+        Graph::from_csr(
+            vec![0, 1, 3, 5, 6],
+            vec![1, 0, 2, 1, 3, 2],
+            vec![1, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn check_catches_asymmetry() {
+        let g = Graph {
+            xadj: vec![0, 1, 1],
+            adjncy: vec![1],
+            adjwgt: vec![1],
+            vwgt: vec![1, 1],
+        };
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = path4();
+        let sub = g.induced(&[1, 2]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.m(), 1);
+        sub.check().unwrap();
+        // Vertex 1 had an edge to 0, which is outside: dropped.
+        assert_eq!(sub.degree(0), 1);
+    }
+}

@@ -1,0 +1,375 @@
+//! The multilevel k-way partitioner: HEM coarsening, recursive-bisection
+//! initial partitioning of the coarsest graph, and boundary-greedy k-way
+//! refinement during uncoarsening (the structure of MeTiS [15]).
+
+use crate::bisect::bisect;
+use crate::coarsen::coarsen_once;
+use crate::graph::Graph;
+use crate::metrics::{part_weights, partition_imbalance};
+use crate::rng::Rng;
+
+/// Configuration for [`partition_kway`] and
+/// [`crate::repart::repartition_kway`].
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Number of parts.
+    pub nparts: usize,
+    /// Allowed imbalance: max part weight ≤ `tol × average` (e.g. 1.05).
+    pub imbalance_tol: f64,
+    /// RNG seed (the partitioner is deterministic for a fixed seed).
+    pub seed: u64,
+    /// Stop coarsening once the graph has at most this many vertices
+    /// (0 = auto: `max(128, 16 × nparts)`).
+    pub coarsen_to: usize,
+    /// Refinement passes per uncoarsening level.
+    pub refine_passes: usize,
+}
+
+impl PartitionConfig {
+    /// Reasonable defaults for `nparts` parts.
+    pub fn new(nparts: usize) -> Self {
+        PartitionConfig {
+            nparts,
+            imbalance_tol: 1.05,
+            seed: 0x9e37,
+            coarsen_to: 0,
+            refine_passes: 6,
+        }
+    }
+
+    fn coarsen_target(&self) -> usize {
+        if self.coarsen_to > 0 {
+            self.coarsen_to
+        } else {
+            (16 * self.nparts).max(128)
+        }
+    }
+}
+
+/// Recursive bisection of `g` into `k` parts labelled `offset..offset+k`.
+fn recursive_bisect(g: &Graph, k: usize, offset: u32, tol: f64, rng: &mut Rng, out: &mut [u32]) {
+    debug_assert_eq!(out.len(), g.n());
+    if k == 1 {
+        out.fill(offset);
+        return;
+    }
+    let k0 = k / 2;
+    let k1 = k - k0;
+    let target0 = g.total_vwgt() * k0 as u64 / k as u64;
+    let side = bisect(g, target0, tol, 3, rng);
+    let verts0: Vec<u32> = (0..g.n() as u32).filter(|&v| side[v as usize] == 0).collect();
+    let verts1: Vec<u32> = (0..g.n() as u32).filter(|&v| side[v as usize] == 1).collect();
+    let g0 = g.induced(&verts0);
+    let g1 = g.induced(&verts1);
+    let mut out0 = vec![0u32; g0.n()];
+    let mut out1 = vec![0u32; g1.n()];
+    recursive_bisect(&g0, k0, offset, tol, rng, &mut out0);
+    recursive_bisect(&g1, k1, offset + k0 as u32, tol, rng, &mut out1);
+    for (i, &v) in verts0.iter().enumerate() {
+        out[v as usize] = out0[i];
+    }
+    for (i, &v) in verts1.iter().enumerate() {
+        out[v as usize] = out1[i];
+    }
+}
+
+/// One pass of boundary-greedy k-way refinement: every vertex may move to
+/// the adjacent part maximizing its connectivity gain, subject to the
+/// balance constraint. Returns the number of moves.
+pub(crate) fn kway_refine_pass(
+    g: &Graph,
+    part: &mut [u32],
+    weights: &mut [u64],
+    max_w: u64,
+    rng: &mut Rng,
+) -> usize {
+    let nparts = weights.len();
+    let mut order: Vec<u32> = (0..g.n() as u32).collect();
+    rng.shuffle(&mut order);
+    let mut conn = vec![0i64; nparts];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut moves = 0;
+    for &v in &order {
+        let v = v as usize;
+        let cur = part[v] as usize;
+        touched.clear();
+        let mut is_boundary = false;
+        for (u, w) in g.edges(v) {
+            let p = part[u as usize] as usize;
+            if conn[p] == 0 {
+                touched.push(p as u32);
+            }
+            conn[p] += w as i64;
+            if p != cur {
+                is_boundary = true;
+            }
+        }
+        if is_boundary {
+            let cur_conn = conn[cur];
+            let overweight_here = weights[cur] > max_w;
+            let mut best: Option<(i64, usize)> = None;
+            for &p in &touched {
+                let p = p as usize;
+                if p == cur {
+                    continue;
+                }
+                let gain = conn[p] - cur_conn;
+                let fits = weights[p] + g.vwgt[v] <= max_w;
+                let acceptable = (gain > 0 && fits)
+                    || (gain >= 0 && overweight_here && weights[p] + g.vwgt[v] < weights[cur]);
+                if acceptable && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, p));
+                }
+            }
+            if let Some((_, p)) = best {
+                part[v] = p as u32;
+                weights[cur] -= g.vwgt[v];
+                weights[p] += g.vwgt[v];
+                moves += 1;
+            }
+        }
+        for &p in &touched {
+            conn[p as usize] = 0;
+        }
+    }
+    moves
+}
+
+/// Forced balancing by boundary draining: sweep the vertices; every vertex
+/// in an overweight part moves to its best under-loaded neighbouring part
+/// (falling back to the globally lightest part so interior vertices cannot
+/// deadlock the drain). Each sweep is `O(n + m)`; overweight regions drain
+/// layer by layer, and the subsequent refinement passes repair the cut.
+pub(crate) fn kway_balance(
+    g: &Graph,
+    part: &mut [u32],
+    weights: &mut [u64],
+    max_w: u64,
+) -> usize {
+    let nparts = weights.len();
+    let mut moves = 0;
+    for _sweep in 0..64 {
+        if weights.iter().all(|&w| w <= max_w) {
+            break;
+        }
+        let mut moved_this_sweep = 0;
+        for v in 0..g.n() {
+            let s = part[v] as usize;
+            if weights[s] <= max_w {
+                continue;
+            }
+            let vw = g.vwgt[v];
+            // Best adjacent strictly-lighter part by connectivity.
+            let mut best: Option<(i64, usize)> = None;
+            for (u, w) in g.edges(v) {
+                let p = part[u as usize] as usize;
+                if p != s && weights[p] + vw < weights[s] {
+                    let gain = w as i64;
+                    if best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, p));
+                    }
+                }
+            }
+            let to = match best {
+                Some((_, p)) => p,
+                None => {
+                    // Interior vertex of an overweight region: fall back to
+                    // the globally lightest part if that still helps.
+                    let lightest = (0..nparts).min_by_key(|&p| weights[p]).unwrap();
+                    if weights[lightest] + vw >= weights[s] {
+                        continue;
+                    }
+                    lightest
+                }
+            };
+            weights[s] -= vw;
+            weights[to] += vw;
+            part[v] = to as u32;
+            moved_this_sweep += 1;
+        }
+        if moved_this_sweep == 0 {
+            break;
+        }
+        moves += moved_this_sweep;
+    }
+    moves
+}
+
+/// Multilevel k-way partition of `g`. Returns the part assignment
+/// (`0..nparts` per vertex).
+pub fn partition_kway(g: &Graph, cfg: &PartitionConfig) -> Vec<u32> {
+    assert!(cfg.nparts >= 1);
+    if cfg.nparts == 1 {
+        return vec![0; g.n()];
+    }
+    let mut rng = Rng::new(cfg.seed);
+
+    // Coarsening phase.
+    let mut levels: Vec<(Graph, Vec<u32>)> = Vec::new(); // (finer graph, cmap to coarser)
+    let mut cur = g.clone();
+    while cur.n() > cfg.coarsen_target() {
+        let (coarse, cmap) = coarsen_once(&cur, &mut rng);
+        // Stop if coarsening stalls (< 10% reduction).
+        if coarse.n() as f64 > cur.n() as f64 * 0.95 {
+            break;
+        }
+        levels.push((cur, cmap));
+        cur = coarse;
+    }
+
+    // Initial partitioning of the coarsest graph.
+    let mut part = vec![0u32; cur.n()];
+    recursive_bisect(&cur, cfg.nparts, 0, cfg.imbalance_tol, &mut rng, &mut part);
+
+    // Uncoarsening with refinement.
+    let total = g.total_vwgt();
+    let max_w = (total as f64 / cfg.nparts as f64 * cfg.imbalance_tol).ceil() as u64;
+    let mut graph = cur;
+    loop {
+        let mut weights = part_weights(&graph, &part, cfg.nparts);
+        kway_balance(&graph, &mut part, &mut weights, max_w);
+        for _ in 0..cfg.refine_passes {
+            if kway_refine_pass(&graph, &mut part, &mut weights, max_w, &mut rng) == 0 {
+                break;
+            }
+        }
+        match levels.pop() {
+            Some((finer, cmap)) => {
+                let mut fine_part = vec![0u32; finer.n()];
+                for v in 0..finer.n() {
+                    fine_part[v] = part[cmap[v] as usize];
+                }
+                part = fine_part;
+                graph = finer;
+            }
+            None => break,
+        }
+    }
+    part
+}
+
+/// Partition quality report.
+#[derive(Debug, Clone)]
+pub struct PartitionQuality {
+    pub cut: u64,
+    pub imbalance: f64,
+    pub weights: Vec<u64>,
+}
+
+/// Evaluate a partition.
+pub fn quality(g: &Graph, part: &[u32], nparts: usize) -> PartitionQuality {
+    PartitionQuality {
+        cut: crate::metrics::edge_cut(g, part),
+        imbalance: partition_imbalance(g, part, nparts),
+        weights: part_weights(g, part, nparts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn grid3d(nx: usize, ny: usize, nz: usize) -> Graph {
+        let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+        let n = nx * ny * nz;
+        let mut xadj = vec![0u32];
+        let mut adjncy = Vec::new();
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    if x > 0 {
+                        adjncy.push(id(x - 1, y, z) as u32);
+                    }
+                    if x + 1 < nx {
+                        adjncy.push(id(x + 1, y, z) as u32);
+                    }
+                    if y > 0 {
+                        adjncy.push(id(x, y - 1, z) as u32);
+                    }
+                    if y + 1 < ny {
+                        adjncy.push(id(x, y + 1, z) as u32);
+                    }
+                    if z > 0 {
+                        adjncy.push(id(x, y, z - 1) as u32);
+                    }
+                    if z + 1 < nz {
+                        adjncy.push(id(x, y, z + 1) as u32);
+                    }
+                    xadj.push(adjncy.len() as u32);
+                }
+            }
+        }
+        Graph::from_csr(xadj, adjncy, vec![1; n])
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let g = grid3d(12, 12, 12);
+        for k in [2, 4, 7, 16] {
+            let cfg = PartitionConfig::new(k);
+            let part = partition_kway(&g, &cfg);
+            let q = quality(&g, &part, k);
+            assert!(
+                q.imbalance <= cfg.imbalance_tol + 0.02,
+                "k={k}: imbalance {}",
+                q.imbalance
+            );
+            // Every part must be non-empty.
+            assert!(q.weights.iter().all(|&w| w > 0), "k={k}: empty part");
+        }
+    }
+
+    #[test]
+    fn cut_is_much_better_than_random() {
+        let g = grid3d(10, 10, 10);
+        let k = 8;
+        let part = partition_kway(&g, &PartitionConfig::new(k));
+        let cut = quality(&g, &part, k).cut;
+        // Random assignment cuts ~ (1-1/k) of all edges.
+        let mut rng = Rng::new(123);
+        let rand_part: Vec<u32> = (0..g.n()).map(|_| rng.below(k) as u32).collect();
+        let rand_cut = quality(&g, &rand_part, k).cut;
+        assert!(
+            cut * 3 < rand_cut,
+            "multilevel cut {cut} not ≪ random cut {rand_cut}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = grid3d(8, 8, 8);
+        let cfg = PartitionConfig::new(4);
+        assert_eq!(partition_kway(&g, &cfg), partition_kway(&g, &cfg));
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = grid3d(4, 4, 4);
+        let part = partition_kway(&g, &PartitionConfig::new(1));
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn weighted_graph_balances_by_weight() {
+        let mut g = grid3d(10, 10, 1);
+        // One corner is 10× heavier.
+        for v in 0..g.n() {
+            let (x, y) = (v % 10, v / 10);
+            if x < 5 && y < 5 {
+                g.vwgt[v] = 10;
+            }
+        }
+        let k = 4;
+        let part = partition_kway(&g, &PartitionConfig::new(k));
+        let q = quality(&g, &part, k);
+        assert!(q.imbalance <= 1.12, "imbalance {} with heavy corner", q.imbalance);
+    }
+
+    #[test]
+    fn nparts_exceeding_vertices_leaves_no_crash() {
+        let g = grid3d(2, 2, 1);
+        let part = partition_kway(&g, &PartitionConfig::new(4));
+        let q = quality(&g, &part, 4);
+        assert_eq!(q.weights.iter().sum::<u64>(), 4);
+    }
+}

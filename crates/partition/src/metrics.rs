@@ -1,0 +1,94 @@
+//! Partition quality metrics.
+
+use crate::graph::Graph;
+
+/// Total weight of edges crossing partition boundaries (each undirected edge
+/// counted once).
+pub fn edge_cut(g: &Graph, part: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.n() {
+        for (u, w) in g.edges(v) {
+            if part[v] != part[u as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// Vertex-weight totals per part.
+pub fn part_weights(g: &Graph, part: &[u32], nparts: usize) -> Vec<u64> {
+    let mut w = vec![0u64; nparts];
+    for v in 0..g.n() {
+        w[part[v] as usize] += g.vwgt[v];
+    }
+    w
+}
+
+/// Load imbalance: `max(weights) / mean(weights)`. 1.0 is perfect.
+pub fn imbalance(weights: &[u64]) -> f64 {
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let avg = total as f64 / weights.len() as f64;
+    let max = *weights.iter().max().unwrap() as f64;
+    max / avg
+}
+
+/// Convenience: imbalance of a partition.
+pub fn partition_imbalance(g: &Graph, part: &[u32], nparts: usize) -> f64 {
+    imbalance(&part_weights(g, part, nparts))
+}
+
+/// Number of vertices whose assignment differs between two partitions, and
+/// the vertex weight that would have to move.
+pub fn migration(g: &Graph, from: &[u32], to: &[u32]) -> (usize, u64) {
+    let mut count = 0;
+    let mut weight = 0;
+    for v in 0..g.n() {
+        if from[v] != to[v] {
+            count += 1;
+            weight += g.vwgt[v];
+        }
+    }
+    (count, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_csr(
+            vec![0, 1, 3, 5, 6],
+            vec![1, 0, 2, 1, 3, 2],
+            vec![1, 2, 3, 4],
+        )
+    }
+
+    #[test]
+    fn cut_of_path() {
+        let g = path4();
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn weights_and_imbalance() {
+        let g = path4();
+        let w = part_weights(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(w, vec![3, 7]);
+        assert!((imbalance(&w) - 1.4).abs() < 1e-12);
+        assert!((imbalance(&[5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_counts() {
+        let g = path4();
+        let (n, w) = migration(&g, &[0, 0, 1, 1], &[0, 1, 1, 0]);
+        assert_eq!(n, 2);
+        assert_eq!(w, 2 + 4);
+    }
+}

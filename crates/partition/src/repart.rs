@@ -1,0 +1,126 @@
+//! Repartitioning seeded by the previous partition.
+//!
+//! "An additional benefit of the algorithm is the potential reduction in
+//! remapping cost since parallel MeTiS, unlike the serial version, uses the
+//! previous partition as the initial guess for the repartitioning." When the
+//! weights have drifted (the mesh adapted), starting from the old assignment
+//! and diffusing load across part boundaries keeps most dual vertices where
+//! they were, so the similarity matrix stays strongly diagonal and the
+//! remapping volume small.
+
+use crate::graph::Graph;
+use crate::kway::{kway_balance, kway_refine_pass, partition_kway, PartitionConfig};
+use crate::metrics::{part_weights, partition_imbalance};
+use crate::rng::Rng;
+
+/// Repartition `g` starting from `prev`. Falls back to a fresh multilevel
+/// partition if diffusion cannot reach the balance tolerance (e.g. the old
+/// partition is pathologically concentrated).
+pub fn repartition_kway(g: &Graph, cfg: &PartitionConfig, prev: &[u32]) -> Vec<u32> {
+    assert_eq!(prev.len(), g.n());
+    if cfg.nparts == 1 {
+        return vec![0; g.n()];
+    }
+    let mut rng = Rng::new(cfg.seed ^ 0x5265_7061); // "Repa"
+    let mut part = prev.to_vec();
+    let total = g.total_vwgt();
+    let max_w = (total as f64 / cfg.nparts as f64 * cfg.imbalance_tol).ceil() as u64;
+    let mut weights = part_weights(g, &part, cfg.nparts);
+
+    // Diffuse: alternate forced balancing with cut refinement.
+    for _ in 0..4 {
+        kway_balance(g, &mut part, &mut weights, max_w);
+        for _ in 0..cfg.refine_passes {
+            if kway_refine_pass(g, &mut part, &mut weights, max_w, &mut rng) == 0 {
+                break;
+            }
+        }
+        if weights.iter().all(|&w| w <= max_w) {
+            break;
+        }
+    }
+
+    let achieved = partition_imbalance(g, &part, cfg.nparts);
+    if achieved > cfg.imbalance_tol * 1.10 {
+        // Diffusion failed; a fresh partition is better than an unbalanced one.
+        return partition_kway(g, cfg);
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kway::quality;
+    use crate::metrics::migration;
+
+    fn grid(nx: usize, ny: usize) -> Graph {
+        let id = |x: usize, y: usize| y * nx + x;
+        let mut xadj = vec![0u32];
+        let mut adjncy = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                if x > 0 {
+                    adjncy.push(id(x - 1, y) as u32);
+                }
+                if x + 1 < nx {
+                    adjncy.push(id(x + 1, y) as u32);
+                }
+                if y > 0 {
+                    adjncy.push(id(x, y - 1) as u32);
+                }
+                if y + 1 < ny {
+                    adjncy.push(id(x, y + 1) as u32);
+                }
+                xadj.push(adjncy.len() as u32);
+            }
+        }
+        Graph::from_csr(xadj, adjncy, vec![1; nx * ny])
+    }
+
+    #[test]
+    fn unchanged_weights_mean_no_migration() {
+        let g = grid(16, 16);
+        let cfg = PartitionConfig::new(4);
+        let prev = partition_kway(&g, &cfg);
+        let next = repartition_kway(&g, &cfg, &prev);
+        let (moved, _) = migration(&g, &prev, &next);
+        assert_eq!(moved, 0, "balanced input must not move anything");
+    }
+
+    #[test]
+    fn drifted_weights_rebalance_with_small_migration() {
+        let mut g = grid(16, 16);
+        let cfg = PartitionConfig::new(4);
+        let prev = partition_kway(&g, &cfg);
+        // Refinement happened in part 0's region: weights grow 4×.
+        for v in 0..g.n() {
+            if prev[v] == 0 {
+                g.vwgt[v] = 4;
+            }
+        }
+        let next = repartition_kway(&g, &cfg, &prev);
+        let q = quality(&g, &next, 4);
+        assert!(q.imbalance <= cfg.imbalance_tol * 1.10 + 0.02, "imbalance {}", q.imbalance);
+        let (moved, _) = migration(&g, &prev, &next);
+        // Fresh partitioning would relabel almost everything; diffusion
+        // should keep the majority in place.
+        assert!(
+            moved < g.n() / 2,
+            "diffusive repartition moved {moved}/{} vertices",
+            g.n()
+        );
+    }
+
+    #[test]
+    fn pathological_start_falls_back_to_fresh() {
+        let g = grid(12, 12);
+        let cfg = PartitionConfig::new(4);
+        // Everything on one part: diffusion has a long way to go; result
+        // must still be balanced (possibly via fallback).
+        let prev = vec![0u32; g.n()];
+        let next = repartition_kway(&g, &cfg, &prev);
+        let q = quality(&g, &next, 4);
+        assert!(q.imbalance <= cfg.imbalance_tol * 1.12, "imbalance {}", q.imbalance);
+    }
+}

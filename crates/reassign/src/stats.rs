@@ -1,0 +1,128 @@
+//! Data-movement statistics of an assignment: the quantities the paper's
+//! cost model consumes (`C_total`, `N_total`, `C_max`, `N_max`) and Table 2
+//! reports.
+
+use crate::simmatrix::{Assignment, SimilarityMatrix};
+
+/// Per-assignment data-movement statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapStats {
+    /// Elements each processor sends away.
+    pub sent: Vec<u64>,
+    /// Elements each processor receives.
+    pub received: Vec<u64>,
+    /// Total elements moved (`C_total`); equals `Σ sent = Σ received`.
+    pub total_elems: u64,
+    /// Number of processor-to-processor transfers (`N_total` — "sets of
+    /// elements" moved).
+    pub total_msgs: u64,
+    /// `C_max`: `max_i max(sent_i, received_i)` — the bottleneck flow.
+    pub max_elems: u64,
+    /// `N_max`: transfers touching the bottleneck processor.
+    pub max_msgs: u64,
+}
+
+/// Compute movement statistics for `assignment` over `sm`.
+///
+/// Partition `j` assigned to processor `i` keeps `S[i][j]` elements in place;
+/// every other processor `p` ships its `S[p][j]` elements to `i`.
+pub fn remap_stats(sm: &SimilarityMatrix, assignment: &Assignment) -> RemapStats {
+    let p = sm.nproc;
+    let n = sm.nparts;
+    let mut sent = vec![0u64; p];
+    let mut received = vec![0u64; p];
+    // transfers[src][dst] accumulated over partitions (a "set of elements").
+    let mut transfer = vec![0u64; p * p];
+    for j in 0..n {
+        let dst = assignment.proc_of_part[j] as usize;
+        for src in 0..p {
+            if src != dst {
+                let amount = sm.get(src, j);
+                if amount > 0 {
+                    sent[src] += amount;
+                    received[dst] += amount;
+                    transfer[src * p + dst] += amount;
+                }
+            }
+        }
+    }
+    let total_elems: u64 = sent.iter().sum();
+    let total_msgs = transfer.iter().filter(|&&t| t > 0).count() as u64;
+
+    let mut max_elems = 0u64;
+    let mut max_msgs = 0u64;
+    for i in 0..p {
+        let flow = sent[i].max(received[i]);
+        if flow > max_elems {
+            max_elems = flow;
+        }
+        let msgs = (0..p)
+            .filter(|&q| q != i && (transfer[i * p + q] > 0 || transfer[q * p + i] > 0))
+            .map(|q| {
+                u64::from(transfer[i * p + q] > 0) + u64::from(transfer[q * p + i] > 0)
+            })
+            .sum::<u64>();
+        if msgs > max_msgs {
+            max_msgs = msgs;
+        }
+    }
+
+    RemapStats {
+        sent,
+        received,
+        total_elems,
+        total_msgs,
+        max_elems,
+        max_msgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_assignment_moves_nothing() {
+        let sm = SimilarityMatrix::from_rows(vec![vec![10, 0], vec![0, 20]]);
+        let a = Assignment::identity(2, 1);
+        let s = remap_stats(&sm, &a);
+        assert_eq!(s.total_elems, 0);
+        assert_eq!(s.total_msgs, 0);
+        assert_eq!(s.max_elems, 0);
+    }
+
+    #[test]
+    fn swap_moves_everything() {
+        let sm = SimilarityMatrix::from_rows(vec![vec![10, 0], vec![0, 20]]);
+        let a = Assignment {
+            proc_of_part: vec![1, 0],
+        };
+        let s = remap_stats(&sm, &a);
+        assert_eq!(s.total_elems, 30);
+        assert_eq!(s.sent, vec![10, 20]);
+        assert_eq!(s.received, vec![20, 10]);
+        assert_eq!(s.total_msgs, 2);
+        assert_eq!(s.max_elems, 20);
+        assert_eq!(s.max_msgs, 2, "each processor sends one set and receives one");
+    }
+
+    #[test]
+    fn sent_equals_received_in_total() {
+        let sm = SimilarityMatrix::from_rows(vec![
+            vec![5, 3, 2],
+            vec![1, 8, 4],
+            vec![6, 0, 9],
+        ]);
+        let a = Assignment {
+            proc_of_part: vec![2, 0, 1],
+        };
+        let s = remap_stats(&sm, &a);
+        assert_eq!(s.sent.iter().sum::<u64>(), s.received.iter().sum::<u64>());
+        assert_eq!(s.total_elems, s.sent.iter().sum::<u64>());
+        // Moved = grand total − retained (objective).
+        assert_eq!(
+            s.total_elems,
+            sm.grand_total() - sm.objective(&a.proc_of_part)
+        );
+    }
+}

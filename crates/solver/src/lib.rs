@@ -1,0 +1,20 @@
+//! # plum-solver — synthetic edge-based flow solver
+//!
+//! Stand-in for the paper's finite-volume upwind Euler solver for rotor
+//! flows \[22\] (see DESIGN.md, substitutions). The load balancer needs two
+//! things from the solver: (a) a per-edge error indicator computed from the
+//! flow solution, and (b) a computational cost proportional to the number of
+//! leaf elements per processor. This crate supplies both with an edge-based
+//! explicit kernel over vertex unknowns that relaxes toward an analytic
+//! rotor wave field, so repeated adaption steps see a realistic,
+//! spatially-drifting refinement target.
+
+mod field;
+mod kernel;
+
+pub use field::WaveField;
+pub use kernel::{edge_error_indicator, initialize_solution, solve, SolverConfig, SolverStats};
+
+/// Number of solution components carried per vertex (density, three
+/// velocity components, pressure — the Euler unknowns).
+pub const NCOMP: usize = 5;

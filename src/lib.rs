@@ -1,0 +1,26 @@
+//! # plum-workspace — facade for the PLUM reproduction
+//!
+//! Re-exports every subsystem of the reproduction of Oliker & Biswas,
+//! *Efficient Load Balancing and Data Remapping for Adaptive Grid
+//! Calculations* (SPAA 1997) under one roof, and hosts the runnable
+//! examples (see `examples/`).
+//!
+//! Crate map:
+//!
+//! * [`mesh`] — edge-based tetrahedral meshes, generators, dual graph;
+//! * [`adapt`] — 3D_TAG-style marking / subdivision / coarsening;
+//! * [`partition`] — multilevel k-way (re)partitioning;
+//! * [`reassign`] — similarity matrix + MWBG/BMCM mappers;
+//! * [`remap`] — gain/cost model and migration codec;
+//! * [`solver`] — synthetic rotor-flow solver and error indicator;
+//! * [`parsim`] — SPMD machine simulator with virtual time;
+//! * [`core`] — the integrated PLUM framework (Fig. 1 loop).
+
+pub use plum_adapt as adapt;
+pub use plum_core as core;
+pub use plum_mesh as mesh;
+pub use plum_parsim as parsim;
+pub use plum_partition as partition;
+pub use plum_reassign as reassign;
+pub use plum_remap as remap;
+pub use plum_solver as solver;

@@ -1,0 +1,83 @@
+//! Property-based tests of the adaption engine's invariants under random
+//! marking and refine/coarsen sequences.
+
+use proptest::prelude::*;
+
+use plum_adapt::{AdaptiveMesh, EdgeMarks};
+use plum_mesh::generate::unit_box_mesh;
+use plum_mesh::geometry::total_volume;
+
+/// Mark a pseudo-random subset of edges from a seed.
+fn random_marks(am: &AdaptiveMesh, seed: u64, density_pct: u8) -> EdgeMarks {
+    let mut marks = EdgeMarks::new(&am.mesh);
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    for e in am.mesh.edges() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        if (state % 100) < density_pct as u64 {
+            marks.mark(e);
+        }
+    }
+    marks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Refinement with arbitrary marks keeps every structural invariant and
+    /// preserves total volume; prediction stays exact.
+    #[test]
+    fn random_refinement_preserves_invariants(seed in 0u64..5000, density in 1u8..60) {
+        let mut am = AdaptiveMesh::new(unit_box_mesh(2));
+        let vol0 = total_volume(&am.mesh);
+        let mut marks = random_marks(&am, seed, density);
+        am.upgrade_to_fixpoint(&mut marks);
+        prop_assert!(am.marks_are_legal(&marks));
+        let pred = am.predict(&marks);
+        am.refine(&marks, &mut []);
+        am.validate();
+        prop_assert_eq!(pred.total_elements as usize, am.mesh.n_elems());
+        let vol1 = total_volume(&am.mesh);
+        prop_assert!((vol0 - vol1).abs() < 1e-10, "volume {} → {}", vol0, vol1);
+    }
+
+    /// Two rounds of refinement followed by aggressive coarsening always
+    /// terminates in a valid mesh no smaller than the initial one.
+    #[test]
+    fn refine_refine_coarsen_stays_valid(seed in 0u64..2000) {
+        let mut am = AdaptiveMesh::new(unit_box_mesh(2));
+        let n0 = am.mesh.n_elems();
+        for round in 0..2 {
+            let mut marks = random_marks(&am, seed + round, 25);
+            am.upgrade_to_fixpoint(&mut marks);
+            am.refine(&marks, &mut []);
+            am.validate();
+        }
+        let mut cmarks = EdgeMarks::new(&am.mesh);
+        for e in am.mesh.edges().collect::<Vec<_>>() {
+            cmarks.mark(e);
+        }
+        am.coarsen(&cmarks, &mut []);
+        am.validate();
+        prop_assert!(am.mesh.n_elems() >= n0, "coarsened past the initial mesh");
+        let vol = total_volume(&am.mesh);
+        prop_assert!((vol - 1.0).abs() < 1e-10);
+    }
+
+    /// Weights always satisfy: wcomp sums to the element count, wremap ≥
+    /// wcomp, wremap sums to the forest size.
+    #[test]
+    fn weights_are_consistent(seed in 0u64..2000, density in 1u8..50) {
+        let mut am = AdaptiveMesh::new(unit_box_mesh(2));
+        let mut marks = random_marks(&am, seed, density);
+        am.upgrade_to_fixpoint(&mut marks);
+        am.refine(&marks, &mut []);
+        let (wcomp, wremap) = am.weights();
+        prop_assert_eq!(wcomp.iter().sum::<u64>() as usize, am.mesh.n_elems());
+        prop_assert_eq!(wremap.iter().sum::<u64>() as usize, am.n_tree_nodes());
+        for v in 0..wcomp.len() {
+            prop_assert!(wremap[v] >= wcomp[v]);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of mesh generation, dual graphs, submesh
+//! extraction, and partition structure across random configurations.
+
+use proptest::prelude::*;
+
+use plum_mesh::generate::{box_mesh, rotor_mesh, RotorDomain};
+use plum_mesh::geometry::total_volume;
+use plum_mesh::{extract_submeshes, DualGraph};
+use plum_partition::{partition_kway, quality, Graph, PartitionConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any box mesh is structurally valid, tiles its volume exactly, and its
+    /// dual graph is symmetric with max degree 4.
+    #[test]
+    fn box_meshes_are_valid(nx in 1usize..5, ny in 1usize..5, nz in 1usize..5) {
+        let mesh = box_mesh(nx, ny, nz, [0.0; 3], [nx as f64, ny as f64, nz as f64]);
+        mesh.validate();
+        prop_assert_eq!(mesh.n_elems(), 6 * nx * ny * nz);
+        let vol = total_volume(&mesh);
+        prop_assert!((vol - (nx * ny * nz) as f64).abs() < 1e-9);
+        let dual = DualGraph::build(&mesh);
+        dual.validate();
+        for v in 0..dual.n() {
+            prop_assert!(dual.neighbors(v).len() <= 4);
+        }
+    }
+
+    /// Rotor meshes keep the box topology under the cylindrical map.
+    #[test]
+    fn rotor_meshes_are_valid(nr in 2usize..5, nt in 2usize..6, nz in 1usize..4) {
+        let mesh = rotor_mesh(nr, nt, nz, RotorDomain::default());
+        mesh.validate();
+        prop_assert_eq!(mesh.n_elems(), 6 * nr * nt * nz);
+        // No element may degenerate under the mapping.
+        for e in mesh.elems() {
+            prop_assert!(plum_mesh::geometry::elem_volume(&mesh, e) > 1e-12);
+        }
+    }
+
+    /// Submesh extraction partitions elements exactly, and the sum of local
+    /// vertex counts exceeds the global count by the shared copies only.
+    #[test]
+    fn submesh_extraction_is_a_partition(n in 2usize..4, nparts in 1usize..5) {
+        let mesh = plum_mesh::generate::unit_box_mesh(n);
+        let dual = DualGraph::build(&mesh);
+        let g = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+        let part_by_dual = partition_kway(&g, &PartitionConfig::new(nparts));
+        // Map dual order to element slot ids.
+        let mut part = vec![0u32; mesh.elem_slots()];
+        for (i, &e) in dual.elem_of.iter().enumerate() {
+            part[e.idx()] = part_by_dual[i];
+        }
+        let subs = extract_submeshes(&mesh, &part, nparts);
+        let total_elems: usize = subs.iter().map(|s| s.mesh.n_elems()).sum();
+        prop_assert_eq!(total_elems, mesh.n_elems());
+        for s in &subs {
+            s.mesh.validate();
+            // Every local vertex maps to a live global vertex.
+            for (li, &gv) in s.global_vert.iter().enumerate() {
+                prop_assert!(mesh.vert_alive(gv), "local {} → dead {}", li, gv);
+            }
+            // SPLs never contain the owner itself.
+            for spl in &s.vert_spl {
+                prop_assert!(spl.iter().all(|&q| (q as usize) < nparts));
+            }
+        }
+        let total_verts: usize = subs.iter().map(|s| s.mesh.n_verts()).sum();
+        prop_assert!(total_verts >= mesh.n_verts());
+    }
+
+    /// The partitioner always produces a complete, in-range, reasonably
+    /// balanced assignment on mesh duals with random weights.
+    #[test]
+    fn partitions_of_weighted_duals_are_balanced(
+        n in 2usize..4,
+        nparts in 2usize..6,
+        heavy in 1u64..20,
+    ) {
+        let mesh = plum_mesh::generate::unit_box_mesh(n);
+        let dual = DualGraph::build(&mesh);
+        let mut vwgt = dual.wcomp.clone();
+        // A heavy corner region.
+        for (i, &e) in dual.elem_of.iter().enumerate() {
+            let c = plum_mesh::geometry::elem_centroid(&mesh, e);
+            if c[0] < 0.4 && c[1] < 0.4 {
+                vwgt[i] = heavy;
+            }
+        }
+        let g = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), vwgt);
+        let part = partition_kway(&g, &PartitionConfig::new(nparts));
+        prop_assert!(part.iter().all(|&p| (p as usize) < nparts));
+        let q = quality(&g, &part, nparts);
+        // Generous bound: vertex weights can be lumpy on tiny graphs.
+        let max_single = g.vwgt.iter().copied().max().unwrap() as f64;
+        let avg = g.total_vwgt() as f64 / nparts as f64;
+        let bound = 1.06 + max_single / avg;
+        prop_assert!(q.imbalance <= bound, "imbalance {} > bound {}", q.imbalance, bound);
+    }
+}

@@ -1,0 +1,117 @@
+//! Parallel-vs-serial consistency: the distributed protocols must compute
+//! exactly what a sequential observer would.
+
+use plum_core::{parallel_mark, Ownership, PlumConfig, WorkModel};
+use plum_mesh::generate::unit_box_mesh;
+use plum_mesh::{DualGraph, VertexField};
+use plum_parsim::{spmd, MachineModel};
+use plum_partition::{partition_kway, Graph, PartitionConfig};
+use plum_solver::{edge_error_indicator, initialize_solution, WaveField, NCOMP};
+
+fn marked_setup(nproc: usize) -> (plum_adapt::AdaptiveMesh, Vec<u32>, Vec<f64>) {
+    let mesh = unit_box_mesh(4);
+    let dual = DualGraph::build(&mesh);
+    let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+    let part = partition_kway(&graph, &PartitionConfig::new(nproc));
+    let am = plum_adapt::AdaptiveMesh::new(mesh);
+    let mut field = VertexField::new(NCOMP, am.mesh.vert_slots());
+    initialize_solution(&am.mesh, &mut field, &WaveField::unit_box(), 0.7);
+    let error = edge_error_indicator(&am.mesh, &field);
+    (am, part, error)
+}
+
+#[test]
+fn parallel_marking_equals_serial_for_many_proc_counts() {
+    for nproc in [1usize, 2, 3, 5, 8, 13] {
+        let (am, part, error) = marked_setup(nproc);
+        let threshold = am.threshold_for_final_fraction(&error, 0.2);
+        let own = Ownership::build(&am, &part, nproc);
+        let par = parallel_mark(
+            &am,
+            &own,
+            nproc,
+            MachineModel::sp2(),
+            &WorkModel::default(),
+            &error,
+            threshold,
+        );
+        let mut serial = am.mark_above(&error, threshold);
+        am.upgrade_to_fixpoint(&mut serial);
+        assert_eq!(
+            par.marks.count(),
+            serial.count(),
+            "P={nproc}: parallel and serial fixpoints differ in size"
+        );
+        for e in am.mesh.edges() {
+            assert_eq!(
+                par.marks.is_marked(e),
+                serial.is_marked(e),
+                "P={nproc}: fixpoints differ at {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn marking_time_includes_communication_only_when_shared() {
+    let (am, part, error) = marked_setup(4);
+    let threshold = am.threshold_for_final_fraction(&error, 0.2);
+    let own = Ownership::build(&am, &part, 4);
+    let par = parallel_mark(
+        &am,
+        &own,
+        4,
+        MachineModel::sp2(),
+        &WorkModel::default(),
+        &error,
+        threshold,
+    );
+    assert!(par.comm_words > 0, "a 4-way partition must exchange marks");
+    assert!(par.time > 0.0);
+
+    let own1 = Ownership::build(&am, &vec![0; am.n_roots()], 1);
+    let par1 = parallel_mark(
+        &am,
+        &own1,
+        1,
+        MachineModel::sp2(),
+        &WorkModel::default(),
+        &error,
+        threshold,
+    );
+    assert_eq!(par1.comm_words, 0, "one rank has nobody to talk to");
+}
+
+#[test]
+fn spmd_collectives_match_serial_reductions() {
+    // Cross-check parsim collectives against serial fold on real data sizes.
+    let data: Vec<u64> = (0..16).map(|i| (i * 37 + 5) as u64).collect();
+    let expect_sum: u64 = data.iter().sum();
+    let expect_max: u64 = *data.iter().max().unwrap();
+    let d = data.clone();
+    let results = spmd(16, MachineModel::sp2(), move |comm| {
+        let mine = d[comm.rank()];
+        (comm.allreduce_sum_u64(mine), comm.allreduce_max_u64(mine))
+    });
+    for r in &results {
+        assert_eq!(r.value.0, expect_sum);
+        assert_eq!(r.value.1, expect_max);
+    }
+}
+
+#[test]
+fn ownership_shared_edge_counts_are_symmetric_totals() {
+    let (am, part, _) = marked_setup(4);
+    let own = Ownership::build(&am, &part, 4);
+    // Every shared edge is counted by each of its owners.
+    let per_rank: u64 = (0..4).map(|r| own.shared_edges_of_rank(r)).sum();
+    let shared_multiplicity: u64 = own
+        .edge_ranks
+        .iter()
+        .filter(|l| l.len() > 1)
+        .map(|l| l.len() as u64)
+        .sum();
+    assert_eq!(per_rank, shared_multiplicity);
+    let cfg = PlumConfig::new(4);
+    assert_eq!(cfg.nproc, 4);
+}
