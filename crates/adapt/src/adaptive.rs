@@ -219,7 +219,11 @@ impl AdaptiveMesh {
             if k == 0 {
                 return 0;
             }
-            let threshold = if k >= n { f64::NEG_INFINITY } else { vals[n - k - 1] };
+            let threshold = if k >= n {
+                f64::NEG_INFINITY
+            } else {
+                vals[n - k - 1]
+            };
             let mut marks = self.mark_above(error, threshold);
             self.upgrade_to_fixpoint(&mut marks);
             marks.count()

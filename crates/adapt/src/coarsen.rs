@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use plum_mesh::{PairMap, VertexField, VertId};
+use plum_mesh::{PairMap, VertId, VertexField};
 
 use crate::adaptive::{AdaptiveMesh, EdgeMarks, RefineStats};
 use crate::forest::NodeId;

@@ -107,7 +107,10 @@ impl Forest {
             n.parent.expect("roots are never deleted")
         };
         let siblings = &mut self.nodes[parent as usize].children;
-        let pos = siblings.iter().position(|&c| c == id).expect("parent link broken");
+        let pos = siblings
+            .iter()
+            .position(|&c| c == id)
+            .expect("parent link broken");
         siblings.swap_remove(pos);
         self.free.push(id);
     }

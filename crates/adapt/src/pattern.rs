@@ -9,12 +9,7 @@
 use plum_mesh::{LOCAL_EDGE_VERTS, LOCAL_FACE_EDGES};
 
 /// Bitmask of the three local edges of each local face.
-pub const FACE_MASKS: [u8; 4] = [
-    face_mask(0),
-    face_mask(1),
-    face_mask(2),
-    face_mask(3),
-];
+pub const FACE_MASKS: [u8; 4] = [face_mask(0), face_mask(1), face_mask(2), face_mask(3)];
 
 const fn face_mask(f: usize) -> u8 {
     let e = LOCAL_FACE_EDGES[f];
@@ -153,7 +148,10 @@ mod tests {
     fn upgrade_is_idempotent_and_monotone() {
         for p in 0..=FULL_MASK {
             let up = upgrade(p);
-            assert!(classify(up).is_some(), "upgrade({p:#08b}) = {up:#08b} not legal");
+            assert!(
+                classify(up).is_some(),
+                "upgrade({p:#08b}) = {up:#08b} not legal"
+            );
             assert_eq!(up & p, p, "upgrade must contain the original marks");
             assert_eq!(upgrade(up), up, "upgrade must be idempotent");
         }

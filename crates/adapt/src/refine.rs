@@ -1,7 +1,7 @@
 //! Mesh refinement: subdivide every leaf element according to its (legal)
 //! marking pattern.
 
-use plum_mesh::{VertexField, VertId};
+use plum_mesh::{VertId, VertexField};
 
 use crate::adaptive::{AdaptiveMesh, EdgeMarks, RefineStats};
 use crate::pattern::classify;
@@ -25,7 +25,10 @@ impl AdaptiveMesh {
         let mut round = 0;
         loop {
             round += 1;
-            assert!(round <= 64, "refinement did not converge to a conforming mesh");
+            assert!(
+                round <= 64,
+                "refinement did not converge to a conforming mesh"
+            );
             let stats = self.refine_pass(&current, fields);
             total.elems_subdivided += stats.elems_subdivided;
             total.elems_created += stats.elems_created;
@@ -75,8 +78,9 @@ impl AdaptiveMesh {
         }
 
         for (elem, pattern) in work {
-            let kind = classify(pattern)
-                .unwrap_or_else(|| panic!("illegal pattern {pattern:#08b} on {elem}: marks not upgraded"));
+            let kind = classify(pattern).unwrap_or_else(|| {
+                panic!("illegal pattern {pattern:#08b} on {elem}: marks not upgraded")
+            });
             let verts = self.mesh.elem_verts(elem);
 
             // Create/look up midpoints of the marked edges.
@@ -168,7 +172,10 @@ mod tests {
         assert_eq!(am.mesh.n_verts(), 5);
         am.validate();
         let vol_after = geometry::total_volume(&am.mesh);
-        assert!((vol_before - vol_after).abs() < 1e-12, "volume must be preserved");
+        assert!(
+            (vol_before - vol_after).abs() < 1e-12,
+            "volume must be preserved"
+        );
         let (wc, wr) = am.weights();
         assert_eq!(wc, vec![2]);
         assert_eq!(wr, vec![3]);

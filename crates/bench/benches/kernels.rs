@@ -45,7 +45,11 @@ fn table2_matrix(nproc: usize) -> SimilarityMatrix {
     let p = marked_problem(Scale::Quick, CASES[1].1);
     let pred = p.am.predict(&p.marks);
     let (_, wremap) = p.am.weights();
-    let unit = Graph::from_csr(p.dual.xadj.clone(), p.dual.adjncy.clone(), vec![1; p.dual.n()]);
+    let unit = Graph::from_csr(
+        p.dual.xadj.clone(),
+        p.dual.adjncy.clone(),
+        vec![1; p.dual.n()],
+    );
     let old = partition_kway(&unit, &PartitionConfig::new(nproc));
     let g = Graph::from_csr(p.dual.xadj.clone(), p.dual.adjncy.clone(), pred.wcomp);
     let new = repartition_kway(&g, &PartitionConfig::new(nproc), &old);

@@ -25,7 +25,11 @@ fn real2_setup(scale: Scale, nproc: usize) -> (Graph, Vec<u32>, Vec<u64>, Vec<u6
         vec![1; p.dual.n()],
     );
     let old = partition_kway(&unit, &PartitionConfig::new(nproc));
-    let g = Graph::from_csr(p.dual.xadj.clone(), p.dual.adjncy.clone(), pred.wcomp.clone());
+    let g = Graph::from_csr(
+        p.dual.xadj.clone(),
+        p.dual.adjncy.clone(),
+        pred.wcomp.clone(),
+    );
     (g, old, pred.wcomp, wremap)
 }
 

@@ -3,8 +3,8 @@
 //! positions the framework against.
 
 use plum_partition::{
-    diffuse, migration, partition_kway, repartition_kway, DiffusionConfig, Graph,
-    PartitionConfig, quality,
+    diffuse, migration, partition_kway, quality, repartition_kway, DiffusionConfig, Graph,
+    PartitionConfig,
 };
 use plum_reassign::{greedy_mwbg, remap_stats, SimilarityMatrix};
 

@@ -8,18 +8,41 @@
 //!
 //! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
 //! `all`. `--quick` runs at ~6k elements instead of the paper's ~61k.
+//! `fig6 --trace <path>` additionally writes a Chrome-trace JSON (load it in
+//! Perfetto or `chrome://tracing`) of one adaption cycle, plus a plain-text
+//! timeline next to it at `<path>.txt`.
 
 use plum_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut what: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace needs a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            a if !a.starts_with("--") && what.is_none() => what = Some(a.to_string()),
+            a => {
+                eprintln!("unknown flag '{a}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let what = what.unwrap_or_else(|| "all".to_string());
 
     eprintln!(
         "# scale: {scale:?} (~{} initial elements), procs {:?}",
@@ -40,7 +63,17 @@ fn main() {
         "table2" => print_table2(&table2(scale)),
         "fig4" => print_fig4(sw.as_ref().unwrap()),
         "fig5" => print_fig5(sw.as_ref().unwrap()),
-        "fig6" => print_fig6(sw.as_ref().unwrap()),
+        "fig6" => {
+            print_fig6(sw.as_ref().unwrap());
+            if let Some(path) = &trace_path {
+                let nproc = scale.procs().last().copied().unwrap().min(8);
+                eprintln!("# building the per-rank cycle trace at P={nproc}…");
+                let (json, text) = fig6_trace(scale, nproc);
+                std::fs::write(path, json).expect("write chrome trace");
+                std::fs::write(format!("{path}.txt"), text).expect("write text timeline");
+                eprintln!("# wrote {path} (Perfetto/chrome://tracing) and {path}.txt");
+            }
+        }
         "fig7" => {
             print_fig7(&paper_growths());
         }

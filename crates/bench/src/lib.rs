@@ -13,7 +13,7 @@ pub mod multicycle;
 use std::time::Instant;
 
 use plum_adapt::AdaptiveMesh;
-use plum_core::{Plum, PlumConfig, RemapPolicy};
+use plum_core::{CommBreakdown, Plum, PlumConfig, RemapPolicy};
 use plum_mesh::generate::{box_dims_for_elements, box_mesh};
 use plum_mesh::{DualGraph, TetMesh, VertexField};
 use plum_partition::{partition_kway, repartition_kway, Graph, PartitionConfig};
@@ -298,6 +298,8 @@ pub struct SweepPoint {
     pub adaption_time: f64,
     pub remap_time: f64,
     pub partition_time: f64,
+    /// Wait/compute/wire split of the marking phase (from its trace).
+    pub marking_comm: CommBreakdown,
     pub growth: f64,
     pub wmax_unbalanced: u64,
     pub wmax_balanced: u64,
@@ -318,6 +320,7 @@ pub fn sweep(scale: Scale) -> Vec<SweepPoint> {
                     adaption_time: r.times.adaption(),
                     remap_time: r.times.remap,
                     partition_time: r.times.partition,
+                    marking_comm: r.traces.marking_comm,
                     growth: r.growth,
                     wmax_unbalanced: r.wmax_unbalanced,
                     wmax_balanced: r.wmax_balanced,
@@ -400,17 +403,66 @@ pub fn print_fig5(sw: &[SweepPoint]) {
 pub fn print_fig6(sw: &[SweepPoint]) {
     println!("Figure 6: execution-time anatomy (virtual seconds, remap before refinement)");
     println!(
-        "{:>8} {:>7} | {:>11} {:>12} {:>11}",
-        "case", "P", "adaption", "partitioning", "remapping"
+        "{:>8} {:>7} | {:>11} {:>12} {:>11} | {:>33}",
+        "case", "P", "adaption", "partitioning", "remapping", "marking split (compute/wire/wait)"
     );
     for (case, _) in CASES {
         for p in points(sw, case, RemapPolicy::BeforeRefinement) {
+            let c = &p.marking_comm;
             println!(
-                "{:>8} {:>7} | {:>10.4}s {:>11.4}s {:>10.4}s",
-                case, p.nproc, p.adaption_time, p.partition_time, p.remap_time
+                "{:>8} {:>7} | {:>10.4}s {:>11.4}s {:>10.4}s | {:>9.4}s {:>9.4}s {:>9.4}s",
+                case,
+                p.nproc,
+                p.adaption_time,
+                p.partition_time,
+                p.remap_time,
+                c.compute,
+                c.wire,
+                c.wait
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// fig6 --trace — merged per-rank trace of one adaption cycle
+// ---------------------------------------------------------------------------
+
+/// One remap-before adaption cycle (the Real_2 strategy) exported as a
+/// merged per-rank trace: real event streams for the parsim-executed phases
+/// (marking, reassignment, remap), synthetic spans for the modeled ones
+/// (solver, repartition, subdivide), laid out sequentially on one virtual
+/// timeline. Returns `(chrome_json, text_timeline)`.
+///
+/// Only virtual quantities enter the export (the wall-clocked mapper time is
+/// deliberately excluded), so two runs at the same scale produce
+/// byte-identical output.
+pub fn fig6_trace(scale: Scale, nproc: usize) -> (String, String) {
+    let r = run_case(scale, CASES[1].1, nproc, RemapPolicy::BeforeRefinement);
+    let mut merged = plum_parsim::MergedTrace::new(nproc);
+    let mut t = 0.0;
+    merged.add_uniform_span("solver", t, t + r.times.solver);
+    t += r.times.solver;
+    merged.add_log("marking", &r.traces.marking, t);
+    t += r.times.marking;
+    merged.add_uniform_span("repartition", t, t + r.times.partition);
+    t += r.times.partition;
+    if let Some(tr) = &r.traces.reassign {
+        merged.add_log("reassignment", tr, t);
+        t += r.decision.reassign_comm_time;
+    }
+    if let Some(tr) = &r.traces.remap {
+        merged.add_log("remap", tr, t);
+        t += r.times.remap;
+    }
+    merged.add_uniform_span("subdivide", t, t + r.times.subdivide);
+
+    let violations = plum_parsim::check_protocol(merged.log());
+    assert!(
+        violations.is_empty(),
+        "cycle trace violates SPMD discipline: {violations:?}"
+    );
+    (merged.log().chrome_json(), merged.log().text_timeline())
 }
 
 /// Fig. 7: maximum impact of load balancing (analytic).
@@ -424,7 +476,10 @@ pub fn print_fig7(growths: &[(String, f64)]) {
     for p in [1usize, 2, 4, 8, 16, 20, 32, 48, 64] {
         print!("{p:>7}");
         for (_, g) in growths {
-            print!(" | {:>16.3}", max_balancing_improvement(p, (*g).clamp(1.0, 8.0)));
+            print!(
+                " | {:>16.3}",
+                max_balancing_improvement(p, (*g).clamp(1.0, 8.0))
+            );
         }
         println!();
     }

@@ -5,8 +5,8 @@
 //! workload (per-cycle max load × N_adapt iterations).
 
 use plum_core::{Plum, PlumConfig};
-use plum_mesh::generate::unit_box_mesh;
 use plum_mesh::generate::box_dims_for_elements;
+use plum_mesh::generate::unit_box_mesh;
 use plum_solver::WaveField;
 
 use crate::Scale;
@@ -69,7 +69,9 @@ pub fn multicycle(scale: Scale, nproc: usize, cycles: usize) -> Vec<MulticycleRo
 
 /// Pretty-print the multicycle experiment.
 pub fn print_multicycle(rows: &[MulticycleRow]) {
-    println!("Repeated adaption: cumulative impact of load balancing (moving wave, 8% edges/cycle)");
+    println!(
+        "Repeated adaption: cumulative impact of load balancing (moving wave, 8% edges/cycle)"
+    );
     println!(
         "{:>6} | {:>13} {:>15} | {:>11}",
         "cycle", "balanced max", "unbalanced max", "cum. impact"

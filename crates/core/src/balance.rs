@@ -4,10 +4,10 @@
 use std::time::Instant;
 
 use plum_mesh::DualGraph;
+use plum_parsim::TraceLog;
 use plum_partition::{partition_kway, repartition_kway, Graph};
 use plum_reassign::{
-    greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats,
-    SimilarityMatrix,
+    greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats, SimilarityMatrix,
 };
 use plum_remap::RemapMetric;
 
@@ -39,6 +39,9 @@ pub struct BalanceDecision {
     /// Virtual time of the distributed row-gather/solution-scatter protocol
     /// around the mapper (§4.3 — "a minuscule amount of time").
     pub reassign_comm_time: f64,
+    /// Event trace of the reassignment protocol (`None` when the balancer
+    /// short-circuited without repartitioning).
+    pub reassign_trace: Option<TraceLog>,
     /// Movement statistics of the proposed mapping.
     pub stats: Option<RemapStats>,
     /// Computational gain and redistribution cost compared by the
@@ -104,6 +107,7 @@ pub fn balance_step(
         partition_time: 0.0,
         reassign_seconds: 0.0,
         reassign_comm_time: 0.0,
+        reassign_trace: None,
         stats: None,
         gain: 0.0,
         cost: 0.0,
@@ -144,6 +148,7 @@ pub fn balance_step(
     let assignment = par.assignment;
     decision.reassign_seconds = par.mapper_seconds;
     decision.reassign_comm_time = par.time;
+    decision.reassign_trace = Some(par.trace);
 
     // Compose: dual vertex → new partition → processor.
     let new_proc: Vec<u32> = new_part
@@ -158,8 +163,14 @@ pub fn balance_step(
     let stats = remap_stats(&sm, &assignment);
 
     // Gain/cost acceptance test.
-    let rmax_old = *per_proc_wcomp(refine_work, old_proc, nproc).iter().max().unwrap();
-    let rmax_new = *per_proc_wcomp(refine_work, &new_proc, nproc).iter().max().unwrap();
+    let rmax_old = *per_proc_wcomp(refine_work, old_proc, nproc)
+        .iter()
+        .max()
+        .unwrap();
+    let rmax_new = *per_proc_wcomp(refine_work, &new_proc, nproc)
+        .iter()
+        .max()
+        .unwrap();
     decision.gain =
         cfg.cost
             .computational_gain(decision.wmax_old, decision.wmax_new, rmax_old, rmax_new);
@@ -209,7 +220,13 @@ mod tests {
         let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
         let part = partition_kway(&graph, &plum_partition::PartitionConfig::new(4));
         let cfg = PlumConfig::new(4);
-        let d = balance_step(&dual, &part, &vec![0; dual.n()], &cfg, &WorkModel::default());
+        let d = balance_step(
+            &dual,
+            &part,
+            &vec![0; dual.n()],
+            &cfg,
+            &WorkModel::default(),
+        );
         assert!(!d.repartitioned, "balanced mesh must not repartition");
         assert!(!d.accepted);
         assert_eq!(d.new_proc, part);
@@ -242,10 +259,23 @@ mod tests {
         cfg.cost.t_refine = 0.0;
         cfg.cost.m_words = 1_000_000;
         cfg.imbalance_trigger = 1.01;
-        let d = balance_step(&dual, &part, &vec![0; dual.n()], &cfg, &WorkModel::default());
+        let d = balance_step(
+            &dual,
+            &part,
+            &vec![0; dual.n()],
+            &cfg,
+            &WorkModel::default(),
+        );
         assert!(d.repartitioned);
-        assert!(!d.accepted, "gain {} should not beat cost {}", d.gain, d.cost);
-        assert_eq!(d.new_proc, part, "rejected mapping must leave assignment unchanged");
+        assert!(
+            !d.accepted,
+            "gain {} should not beat cost {}",
+            d.gain, d.cost
+        );
+        assert_eq!(
+            d.new_proc, part,
+            "rejected mapping must leave assignment unchanged"
+        );
     }
 
     #[test]
@@ -254,7 +284,13 @@ mod tests {
         for mapper in [Mapper::GreedyMwbg, Mapper::OptimalMwbg, Mapper::OptimalBmcm] {
             let mut cfg = PlumConfig::new(4);
             cfg.mapper = mapper;
-            let d = balance_step(&dual, &part, &vec![0; dual.n()], &cfg, &WorkModel::default());
+            let d = balance_step(
+                &dual,
+                &part,
+                &vec![0; dual.n()],
+                &cfg,
+                &WorkModel::default(),
+            );
             assert!(d.repartitioned);
             assert!(d.reassign_seconds >= 0.0);
             assert!(d.imbalance_new <= d.imbalance_old + 1e-9, "{mapper:?}");

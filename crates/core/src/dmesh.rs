@@ -94,11 +94,8 @@ pub fn finalize(dm: &DistributedMesh, machine: MachineModel) -> FinalizedMesh {
                 .map(|v| ((2 * v.len() as u64).max(1), v))
                 .collect();
             let incoming = comm.alltoallv(items);
-            let by_orig: HashMap<VertId, VertId> = sub
-                .local_vert
-                .iter()
-                .map(|(&g, &l)| (g, l))
-                .collect();
+            let by_orig: HashMap<VertId, VertId> =
+                sub.local_vert.iter().map(|(&g, &l)| (g, l)).collect();
             for batch in incoming {
                 for (orig, gid) in batch {
                     let local = by_orig[&VertId(orig as u32)];
@@ -151,7 +148,8 @@ pub fn finalize(dm: &DistributedMesh, machine: MachineModel) -> FinalizedMesh {
                     }
                 }
                 for (gid, p) in pos_of.into_iter().enumerate() {
-                    let v = mesh.add_vertex(p.unwrap_or_else(|| panic!("global id {gid} unassigned")));
+                    let v =
+                        mesh.add_vertex(p.unwrap_or_else(|| panic!("global id {gid} unassigned")));
                     debug_assert_eq!(v.idx(), gid);
                 }
                 for r in &all_elems {
@@ -223,7 +221,10 @@ mod tests {
         let part = slab_part(&mesh, 3);
         let dm = distribute(&mesh, &part, 3);
         let copies: usize = dm.subs.iter().map(|s| s.mesh.n_verts()).sum();
-        assert!(copies > mesh.n_verts(), "slabs must share interface vertices");
+        assert!(
+            copies > mesh.n_verts(),
+            "slabs must share interface vertices"
+        );
         let fin = finalize(&dm, MachineModel::zero());
         assert_eq!(fin.mesh.n_verts(), mesh.n_verts());
     }

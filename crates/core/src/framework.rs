@@ -4,13 +4,17 @@
 use plum_adapt::AdaptiveMesh;
 use plum_mesh::{DualGraph, MeshCounts, TetMesh, VertexField};
 use plum_partition::{partition_kway, Graph};
-use plum_solver::{edge_error_indicator, initialize_solution, solve, SolverConfig, WaveField, NCOMP};
+use plum_solver::{
+    edge_error_indicator, initialize_solution, solve, SolverConfig, WaveField, NCOMP,
+};
+
+use plum_parsim::TraceLog;
 
 use crate::balance::{balance_step, BalanceDecision};
 use crate::config::{PlumConfig, RemapPolicy};
 use crate::marking::{parallel_mark, Ownership};
 use crate::migrate::{parallel_migrate, MigrationOutcome};
-use crate::timing::WorkModel;
+use crate::timing::{CommBreakdown, WorkModel};
 
 /// Virtual wall time spent in each phase of one adaption cycle.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,10 +45,29 @@ impl PhaseTimes {
     }
 }
 
+/// Event traces and aggregate communication metrics of the parsim-executed
+/// phases of one cycle (the modeled phases — solver, repartitioner,
+/// subdivision — have no event detail; their virtual times live in
+/// [`PhaseTimes`]).
+#[derive(Debug, Clone, Default)]
+pub struct CycleTraces {
+    /// Edge-marking phase trace and its wait/compute/wire split.
+    pub marking: TraceLog,
+    pub marking_comm: CommBreakdown,
+    /// Reassignment protocol trace (when the balancer repartitioned).
+    pub reassign: Option<TraceLog>,
+    pub reassign_comm: Option<CommBreakdown>,
+    /// Data-remapping trace (when a new mapping was adopted).
+    pub remap: Option<TraceLog>,
+    pub remap_comm: Option<CommBreakdown>,
+}
+
 /// Everything one adaption cycle reports.
 #[derive(Debug, Clone)]
 pub struct CycleReport {
     pub times: PhaseTimes,
+    /// Per-phase event traces and communication breakdowns.
+    pub traces: CycleTraces,
     /// Mesh counts after the cycle.
     pub counts: MeshCounts,
     /// Mesh growth factor of this refinement.
@@ -160,7 +183,13 @@ impl Plum {
         // --- FLOW SOLVER ---------------------------------------------------
         // Real field update (a few iterations suffice to track the wave);
         // virtual time charged for the full N_adapt iterations.
-        solve(&self.am.mesh, &mut self.field, &self.wave, self.time, &self.solver_cfg);
+        solve(
+            &self.am.mesh,
+            &mut self.field,
+            &self.wave,
+            self.time,
+            &self.solver_cfg,
+        );
         let (wcomp_now, wremap_now) = self.am.weights();
         let own = Ownership::build(&self.am, &self.proc_of_root, self.cfg.nproc);
         times.solver = self.solver_time(&wcomp_now, &self.proc_of_root, &own);
@@ -216,7 +245,8 @@ impl Plum {
                     None
                 };
                 // Subdivide on the (re)balanced partitions.
-                self.am.refine(&mark.marks, std::slice::from_mut(&mut self.field));
+                self.am
+                    .refine(&mark.marks, std::slice::from_mut(&mut self.field));
                 times.subdivide =
                     self.subdivide_time(&children_per_root, &wcomp_now, &self.proc_of_root);
                 (decision, migration)
@@ -224,7 +254,8 @@ impl Plum {
             RemapPolicy::AfterRefinement => {
                 // Baseline: subdivide first (unbalanced), then move the
                 // grown mesh.
-                self.am.refine(&mark.marks, std::slice::from_mut(&mut self.field));
+                self.am
+                    .refine(&mark.marks, std::slice::from_mut(&mut self.field));
                 times.subdivide =
                     self.subdivide_time(&children_per_root, &wcomp_now, &self.proc_of_root);
                 let (wcomp_after, wremap_after) = self.am.weights();
@@ -269,7 +300,22 @@ impl Plum {
             .max()
             .unwrap();
 
+        let traces = CycleTraces {
+            marking_comm: CommBreakdown::from_trace(&mark.trace),
+            marking: mark.trace,
+            reassign_comm: decision
+                .reassign_trace
+                .as_ref()
+                .map(CommBreakdown::from_trace),
+            reassign: decision.reassign_trace.clone(),
+            remap_comm: migration
+                .as_ref()
+                .map(|m| CommBreakdown::from_trace(&m.trace)),
+            remap: migration.as_ref().map(|m| m.trace.clone()),
+        };
+
         CycleReport {
+            traces,
             counts: self.am.mesh.counts(),
             growth: pred.growth_factor,
             marking_sweeps: mark.sweeps,
@@ -309,7 +355,11 @@ mod tests {
     use plum_mesh::generate::unit_box_mesh;
 
     fn plum(nproc: usize, n: usize) -> Plum {
-        Plum::new(unit_box_mesh(n), WaveField::unit_box(), PlumConfig::new(nproc))
+        Plum::new(
+            unit_box_mesh(n),
+            WaveField::unit_box(),
+            PlumConfig::new(nproc),
+        )
     }
 
     #[test]
@@ -334,7 +384,10 @@ mod tests {
         let marks = p.am.mark_above(&error, th);
         let n = p.am.mesh.n_edges();
         let k = marks.count();
-        assert!((k as f64 - n as f64 * 0.25).abs() <= 2.0, "marked {k} of {n}");
+        assert!(
+            (k as f64 - n as f64 * 0.25).abs() <= 2.0,
+            "marked {k} of {n}"
+        );
     }
 
     #[test]
@@ -344,7 +397,10 @@ mod tests {
         let total: u64 = per.iter().sum();
         assert_eq!(total as usize, p.dual.n());
         let max = *per.iter().max().unwrap() as f64;
-        assert!(max / (total as f64 / 4.0) < 1.10, "initial partition unbalanced: {per:?}");
+        assert!(
+            max / (total as f64 / 4.0) < 1.10,
+            "initial partition unbalanced: {per:?}"
+        );
     }
 
     #[test]
@@ -360,6 +416,53 @@ mod tests {
         p.am.validate();
         // The adopted configuration is at least as balanced as not moving.
         assert!(report.wmax_balanced <= report.wmax_unbalanced);
+    }
+
+    #[test]
+    fn cycle_traces_match_phase_times_and_pass_protocol_check() {
+        let mut p = plum(4, 4);
+        let report = p.adaption_cycle(0.33, 0.1);
+
+        // The marking makespan is the slowest rank's accounted trace time.
+        let summary = report.traces.marking.summary();
+        let slowest = summary.ranks.iter().map(|r| r.total()).fold(0.0, f64::max);
+        assert!(
+            (slowest - report.times.marking).abs() < 1e-9,
+            "marking trace accounts {slowest}, phase time {}",
+            report.times.marking
+        );
+        assert!(
+            (report.traces.marking_comm.total()
+                - summary.ranks.iter().map(|r| r.total()).sum::<f64>())
+            .abs()
+                < 1e-9
+        );
+
+        // Same for the reassignment protocol and the remap, when they ran.
+        if let Some(tr) = &report.traces.reassign {
+            let s = tr.summary();
+            let max = s.ranks.iter().map(|r| r.total()).fold(0.0, f64::max);
+            assert!((max - report.decision.reassign_comm_time).abs() < 1e-9);
+        }
+        if let (Some(tr), Some(mig)) = (&report.traces.remap, &report.migration) {
+            let s = tr.summary();
+            let max = s.ranks.iter().map(|r| r.total()).fold(0.0, f64::max);
+            assert!((max - mig.time).abs() < 1e-9);
+            let comm = report.traces.remap_comm.unwrap();
+            assert_eq!(
+                comm.words, mig.words_moved,
+                "trace traffic == migration traffic"
+            );
+        }
+
+        // Every phase obeys SPMD discipline.
+        assert!(plum_parsim::check_protocol(&report.traces.marking).is_empty());
+        for tr in [&report.traces.reassign, &report.traces.remap]
+            .into_iter()
+            .flatten()
+        {
+            assert!(plum_parsim::check_protocol(tr).is_empty());
+        }
     }
 
     #[test]
@@ -385,7 +488,12 @@ mod tests {
             mb.elems_moved,
             ma.elems_moved
         );
-        assert!(mb.time < ma.time, "and take less time: {} vs {}", mb.time, ma.time);
+        assert!(
+            mb.time < ma.time,
+            "and take less time: {} vs {}",
+            mb.time,
+            ma.time
+        );
     }
 
     #[test]
@@ -408,6 +516,8 @@ mod tests {
         p.am.validate();
         assert!(reports.iter().all(|r| r.growth >= 1.0));
         // The mesh grows monotonically (no coarsening in this loop).
-        assert!(reports.windows(2).all(|w| w[1].counts.elements >= w[0].counts.elements));
+        assert!(reports
+            .windows(2)
+            .all(|w| w[1].counts.elements >= w[0].counts.elements));
     }
 }

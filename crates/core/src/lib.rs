@@ -43,9 +43,9 @@ mod timing;
 pub use balance::{balance_step, run_mapper, BalanceDecision};
 pub use config::{Mapper, PlumConfig, RemapPolicy};
 pub use dmesh::{distribute, finalize, DistributedMesh, FinalizedMesh};
-pub use framework::{fraction_threshold, CycleReport, PhaseTimes, Plum};
+pub use framework::{fraction_threshold, CycleReport, CycleTraces, PhaseTimes, Plum};
 pub use marking::{parallel_mark, MarkResult, Ownership};
 pub use migrate::{parallel_migrate, MigrationOutcome};
 pub use reassign_par::{parallel_reassign, ParallelReassign};
 pub use snapshot::{read_snapshot, snapshot_words, write_snapshot};
-pub use timing::WorkModel;
+pub use timing::{CommBreakdown, WorkModel};

@@ -10,7 +10,7 @@
 
 use plum_adapt::{AdaptiveMesh, EdgeMarks};
 use plum_mesh::{EdgeId, ElemId};
-use plum_parsim::{makespan, spmd, MachineModel};
+use plum_parsim::{makespan, spmd, MachineModel, TraceLog};
 
 use crate::timing::WorkModel;
 
@@ -67,6 +67,8 @@ pub struct MarkResult {
     pub time: f64,
     /// Total words exchanged during propagation.
     pub comm_words: u64,
+    /// Structured event trace of the phase (one stream per rank).
+    pub trace: TraceLog,
 }
 
 /// Run the marking phase in parallel: every rank marks its own edges whose
@@ -82,6 +84,7 @@ pub fn parallel_mark(
     threshold: f64,
 ) -> MarkResult {
     let results = spmd(nproc, machine, |comm| {
+        comm.phase_begin("marking");
         let rank = comm.rank();
         let my_elems = &own.elems_of_rank[rank];
         let mut marks = EdgeMarks::new(&am.mesh);
@@ -146,8 +149,10 @@ pub fn parallel_mark(
                 break;
             }
         }
+        comm.phase_end("marking");
         (marks, sweeps, comm.sent_words())
     });
+    let trace = TraceLog::from_results(&results);
 
     // Merge: union of all ranks' marks (identical on shared edges at
     // fixpoint; the union is what a global observer sees).
@@ -161,13 +166,17 @@ pub fn parallel_mark(
         sweeps = sweeps.max(r.value.1);
         comm_words += r.value.2;
     }
-    debug_assert!(am.marks_are_legal(&merged), "parallel marking fixpoint is not legal");
+    debug_assert!(
+        am.marks_are_legal(&merged),
+        "parallel marking fixpoint is not legal"
+    );
 
     MarkResult {
         marks: merged,
         sweeps,
         time: makespan(&results),
         comm_words,
+        trace,
     }
 }
 
@@ -228,9 +237,17 @@ mod tests {
         let mut serial = am.mark_above(&error, threshold);
         am.upgrade_to_fixpoint(&mut serial);
 
-        assert_eq!(par.marks.count(), serial.count(), "parallel ≠ serial marking");
+        assert_eq!(
+            par.marks.count(),
+            serial.count(),
+            "parallel ≠ serial marking"
+        );
         for e in am.mesh.edges() {
-            assert_eq!(par.marks.is_marked(e), serial.is_marked(e), "differs at {e}");
+            assert_eq!(
+                par.marks.is_marked(e),
+                serial.is_marked(e),
+                "differs at {e}"
+            );
         }
         assert!(par.sweeps >= 1);
         assert!(par.time > 0.0);

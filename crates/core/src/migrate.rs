@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use plum_adapt::AdaptiveMesh;
 use plum_mesh::VertexField;
-use plum_parsim::{makespan, spmd, MachineModel};
+use plum_parsim::{makespan, spmd, MachineModel, TraceLog};
 use plum_remap::{Packer, Unpacker};
 
 /// Outcome of a parallel migration phase.
@@ -29,6 +29,8 @@ pub struct MigrationOutcome {
     /// Elements received per rank (for auditing against the similarity
     /// matrix).
     pub received_per_rank: Vec<u64>,
+    /// Structured event trace of the phase (one stream per rank).
+    pub trace: TraceLog,
 }
 
 /// Migrate every dual vertex whose assignment changed from `old_proc` to
@@ -44,6 +46,7 @@ pub fn parallel_migrate(
 ) -> MigrationOutcome {
     let ncomp = field.ncomp();
     let results = spmd(nproc, machine, |comm| {
+        comm.phase_begin("remap");
         let rank = comm.rank() as u32;
 
         // Pack: one buffer per destination rank.
@@ -117,6 +120,7 @@ pub fn parallel_migrate(
             assert_eq!(*count, expect, "tree {root} arrived fragmented");
         }
 
+        comm.phase_end("remap");
         (packed_elems, received, msgs, comm.sent_words())
     });
 
@@ -126,6 +130,7 @@ pub fn parallel_migrate(
         words_moved: 0,
         msgs: 0,
         received_per_rank: vec![0; nproc],
+        trace: TraceLog::from_results(&results),
     };
     for r in &results {
         outcome.elems_moved += r.value.0;
@@ -135,7 +140,10 @@ pub fn parallel_migrate(
     }
     // Conservation: everything packed is received somewhere.
     let total_received: u64 = outcome.received_per_rank.iter().sum();
-    assert_eq!(outcome.elems_moved, total_received, "elements lost in flight");
+    assert_eq!(
+        outcome.elems_moved, total_received,
+        "elements lost in flight"
+    );
     outcome
 }
 
@@ -190,7 +198,10 @@ mod tests {
             "every tree node must move in a full swap"
         );
         assert!(out.time > 0.0);
-        assert!(out.words_moved > out.elems_moved, "records are multiple words");
+        assert!(
+            out.words_moved > out.elems_moved,
+            "records are multiple words"
+        );
         assert_eq!(out.msgs, 2);
     }
 

@@ -10,7 +10,7 @@
 //! one row of the matrix (P×F integers) needs to be communicated" — the
 //! virtual times measured here confirm exactly that.
 
-use plum_parsim::{makespan, spmd, MachineModel};
+use plum_parsim::{makespan, spmd, MachineModel, TraceLog};
 use plum_reassign::{Assignment, SimilarityMatrix};
 
 use crate::config::Mapper;
@@ -27,6 +27,9 @@ pub struct ParallelReassign {
     pub time: f64,
     /// Real measured seconds the host spent in the mapper.
     pub mapper_seconds: f64,
+    /// Structured event trace of the protocol (one stream per rank). Only
+    /// virtual quantities — the wall-clocked mapper run leaves no events.
+    pub trace: TraceLog,
 }
 
 /// Run the reassignment the way the paper does: every rank computes its own
@@ -45,6 +48,7 @@ pub fn parallel_reassign(
     assert_eq!(wremap.len(), old_proc.len());
     assert_eq!(wremap.len(), new_part.len());
     let results = spmd(nproc, machine, |comm| {
+        comm.phase_begin("reassignment");
         let rank = comm.rank() as u32;
         // Local row: weights of my dual vertices per new partition. Each
         // rank touches only its own subdomain — O(n/P) work.
@@ -81,10 +85,12 @@ pub fn parallel_reassign(
             nparts as u64,
             host.as_ref().map(|(_, a, _)| a.proc_of_part.clone()),
         );
+        comm.phase_end("reassignment");
         (host, proc_of_part)
     });
 
     let time = makespan(&results);
+    let trace = TraceLog::from_results(&results);
     let mut matrix = None;
     let mut assignment = None;
     let mut mapper_seconds = 0.0;
@@ -108,6 +114,7 @@ pub fn parallel_reassign(
         assignment,
         time,
         mapper_seconds,
+        trace,
     }
 }
 
@@ -148,15 +155,7 @@ mod tests {
         let (wremap, old, new) = toy_inputs(120, 4);
         let serial = SimilarityMatrix::from_assignments(&wremap, &old, &new, 4, 4);
         for mapper in [Mapper::GreedyMwbg, Mapper::OptimalMwbg, Mapper::OptimalBmcm] {
-            let par = parallel_reassign(
-                &wremap,
-                &old,
-                &new,
-                4,
-                4,
-                mapper,
-                MachineModel::zero(),
-            );
+            let par = parallel_reassign(&wremap, &old, &new, 4, 4, mapper, MachineModel::zero());
             // Objectives must match (ties may be broken differently).
             let serial_assign = crate::balance::run_mapper(&serial, mapper).0;
             assert_eq!(

@@ -9,7 +9,7 @@
 //! snapshot's size in words is exactly what the cost model would charge to
 //! ship it.
 
-use plum_mesh::{TetMesh, VertexField, VertId};
+use plum_mesh::{TetMesh, VertId, VertexField};
 use plum_remap::{Packer, Unpacker};
 
 const MAGIC: u32 = 0x504c_554d; // "PLUM"
@@ -140,11 +140,7 @@ mod tests {
         let (mesh, _) = adapted_state();
         let bytes = write_snapshot(&mesh, &VertexField::new(NCOMP, mesh.vert_slots()));
         let (restored, _) = read_snapshot(&bytes);
-        let mut plum = crate::Plum::new(
-            restored,
-            WaveField::unit_box(),
-            crate::PlumConfig::new(4),
-        );
+        let mut plum = crate::Plum::new(restored, WaveField::unit_box(), crate::PlumConfig::new(4));
         let r = plum.adaption_cycle(0.15, 0.2);
         plum.am.validate();
         assert!(r.growth >= 1.0);

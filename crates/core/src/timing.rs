@@ -8,7 +8,7 @@
 //! counts with the per-unit constants below, calibrated so the 64-processor
 //! figures land in the regime the paper reports (see EXPERIMENTS.md).
 
-use plum_parsim::MachineModel;
+use plum_parsim::{MachineModel, TraceLog};
 
 /// Work-unit constants for the modeled phases (seconds per unit).
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +79,44 @@ impl WorkModel {
     ) -> f64 {
         let edges = wcomp as f64 * 1.2;
         edges * self.t_edge_visit + machine.transfer_time(shared_edges * 5)
+    }
+}
+
+/// Aggregate virtual-time split of one parsim-executed phase, summed over
+/// ranks and derived from its trace: where the phase's virtual seconds went
+/// (local work vs. send startup vs. idling for in-flight data) and how much
+/// traffic it generated. `compute + wire + wait` equals the sum of the
+/// per-rank elapsed times (not the makespan, which is the max).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommBreakdown {
+    /// Seconds of local computation charges.
+    pub compute: f64,
+    /// Seconds of message startup charges (the sender's wire share).
+    pub wire: f64,
+    /// Seconds receivers idled waiting for in-flight data.
+    pub wait: f64,
+    /// Point-to-point messages sent.
+    pub msgs: u64,
+    /// Words sent.
+    pub words: u64,
+}
+
+impl CommBreakdown {
+    /// Aggregate a phase's trace.
+    pub fn from_trace(log: &TraceLog) -> Self {
+        let s = log.summary();
+        CommBreakdown {
+            compute: s.total_compute(),
+            wire: s.total_wire(),
+            wait: s.total_wait(),
+            msgs: s.total_msgs(),
+            words: s.total_words(),
+        }
+    }
+
+    /// Total accounted rank-seconds of the phase.
+    pub fn total(&self) -> f64 {
+        self.compute + self.wire + self.wait
     }
 }
 

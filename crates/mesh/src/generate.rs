@@ -161,7 +161,10 @@ mod tests {
                 vol
             })
             .sum();
-        assert!((total - 12.0).abs() < 1e-9, "volumes must tile the box, got {total}");
+        assert!(
+            (total - 12.0).abs() < 1e-9,
+            "volumes must tile the box, got {total}"
+        );
     }
 
     #[test]

@@ -179,7 +179,11 @@ mod tests {
         }
         assert_eq!(m.len(), 1000);
         for i in 0..1000u32 {
-            assert_eq!(m.get(PairMap::pair_key(i + 1, i)), Some(i), "pair order normalized");
+            assert_eq!(
+                m.get(PairMap::pair_key(i + 1, i)),
+                Some(i),
+                "pair order normalized"
+            );
         }
         assert_eq!(m.get(PairMap::pair_key(5000, 5001)), None);
     }

@@ -200,12 +200,7 @@ mod tests {
         let part = slab_partition(&m, 4);
         let subs = extract_submeshes(&m, &part, 4);
         // Middle slabs touch two neighbours; some vertex SPL should contain 2 parts.
-        let max_spl = subs[1]
-            .vert_spl
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(0);
+        let max_spl = subs[1].vert_spl.iter().map(|s| s.len()).max().unwrap_or(0);
         assert!(max_spl >= 1);
     }
 

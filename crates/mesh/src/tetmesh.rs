@@ -13,8 +13,7 @@ use crate::pairmap::PairMap;
 /// Local edge `k` of an element connects local vertices
 /// `LOCAL_EDGE_VERTS[k]`. The ordering is canonical so a 6-bit edge-marking
 /// pattern has a fixed meaning for every element.
-pub const LOCAL_EDGE_VERTS: [(usize, usize); 6] =
-    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+pub const LOCAL_EDGE_VERTS: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
 
 /// Local face `k` of an element is the triangle opposite local vertex `k`.
 pub const LOCAL_FACE_VERTS: [(usize, usize, usize); 4] =
@@ -370,7 +369,10 @@ impl TetMesh {
         };
         for &eid in &edges {
             let list = &mut self.edges[eid.idx()].elems;
-            let pos = list.iter().position(|&x| x == id).expect("incidence broken");
+            let pos = list
+                .iter()
+                .position(|&x| x == id)
+                .expect("incidence broken");
             list.swap_remove(pos);
         }
         self.n_elems -= 1;
@@ -391,7 +393,10 @@ impl TetMesh {
         self.edge_lookup.remove(PairMap::pair_key(a.0, b.0));
         for v in [a, b] {
             let list = &mut self.verts[v.idx()].edges;
-            let pos = list.iter().position(|&x| x == id).expect("incidence broken");
+            let pos = list
+                .iter()
+                .position(|&x| x == id)
+                .expect("incidence broken");
             list.swap_remove(pos);
         }
         self.n_edges -= 1;
@@ -503,7 +508,8 @@ impl TetMesh {
                 );
             }
             assert_eq!(
-                self.edge_lookup.get(PairMap::pair_key(ed.v[0].0, ed.v[1].0)),
+                self.edge_lookup
+                    .get(PairMap::pair_key(ed.v[0].0, ed.v[1].0)),
                 Some(id.0),
                 "lookup table misses {id}"
             );
@@ -544,8 +550,11 @@ mod tests {
     fn face_edge_table_is_consistent() {
         // Each local face's edge set must equal the pairs of its vertices.
         for (f, &(a, b, c)) in LOCAL_FACE_VERTS.iter().enumerate() {
-            let want: Vec<(usize, usize)> =
-                vec![(a.min(b), a.max(b)), (a.min(c), a.max(c)), (b.min(c), b.max(c))];
+            let want: Vec<(usize, usize)> = vec![
+                (a.min(b), a.max(b)),
+                (a.min(c), a.max(c)),
+                (b.min(c), b.max(c)),
+            ];
             let mut got: Vec<(usize, usize)> = LOCAL_FACE_EDGES[f]
                 .iter()
                 .map(|&k| LOCAL_EDGE_VERTS[k])

@@ -113,7 +113,11 @@ pub fn quality_stats(mesh: &TetMesh) -> QualityStats {
         min,
         max,
         mean: if n > 0 { sum / n as f64 } else { 0.0 },
-        sliver_fraction: if n > 0 { slivers as f64 / n as f64 } else { 0.0 },
+        sliver_fraction: if n > 0 {
+            slivers as f64 / n as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -6,15 +6,27 @@
 /// The clock is advanced explicitly: by [`VirtualClock::advance`] for local
 /// work and by [`VirtualClock::advance_to`] when a received message carries a
 /// later arrival timestamp (the receiver must wait for the data to arrive).
+///
+/// Monotonicity is enforced in **all** build profiles: a negative (or NaN)
+/// `dt` never moves the clock. Saturating rather than panicking is a
+/// deliberate choice — a rewind attempt is a cost-model bug in the caller,
+/// and letting the run complete means the trace layer can record the attempt
+/// (see `TraceEvent::RewindBlocked`) and the protocol checker can report it
+/// with full context, instead of the evidence dying with the panic. Blocked
+/// attempts are counted in [`VirtualClock::rewinds_blocked`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct VirtualClock {
     now: f64,
+    rewinds_blocked: u64,
 }
 
 impl VirtualClock {
     /// A clock at time zero.
     pub fn new() -> Self {
-        VirtualClock { now: 0.0 }
+        VirtualClock {
+            now: 0.0,
+            rewinds_blocked: 0,
+        }
     }
 
     /// Current virtual time in seconds.
@@ -23,11 +35,23 @@ impl VirtualClock {
         self.now
     }
 
-    /// Advance the clock by `dt` seconds. `dt` must be non-negative.
+    /// Number of negative-duration charges that were blocked.
+    #[inline]
+    pub fn rewinds_blocked(&self) -> u64 {
+        self.rewinds_blocked
+    }
+
+    /// Advance the clock by `dt` seconds.
+    ///
+    /// `dt` must be non-negative; a negative or NaN `dt` is blocked (the
+    /// clock saturates — it never rewinds) and counted.
     #[inline]
     pub fn advance(&mut self, dt: f64) {
-        debug_assert!(dt >= 0.0, "clock cannot run backwards (dt={dt})");
-        self.now += dt;
+        if dt >= 0.0 {
+            self.now += dt;
+        } else {
+            self.rewinds_blocked += 1;
+        }
     }
 
     /// Move the clock forward to `t` if `t` is later than the current time;
@@ -52,6 +76,20 @@ mod tests {
         c.advance(1.5);
         c.advance(0.25);
         assert!((c.now() - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_advance_is_blocked_in_all_profiles() {
+        let mut c = VirtualClock::new();
+        c.advance(2.0);
+        c.advance(-1.0);
+        assert_eq!(c.now(), 2.0, "negative dt must not rewind the clock");
+        assert_eq!(c.rewinds_blocked(), 1);
+        c.advance(f64::NAN);
+        assert_eq!(c.now(), 2.0, "NaN dt must not corrupt the clock");
+        assert_eq!(c.rewinds_blocked(), 2);
+        c.advance(0.5);
+        assert!((c.now() - 2.5).abs() < 1e-15);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! host rank, exactly like the paper's similarity-matrix gather.
 
 use crate::comm::{Comm, Tag};
+use crate::trace::CollectiveKind;
 
 const TAG_BARRIER: Tag = 1 << 60;
 const TAG_BCAST: Tag = (1 << 60) + 1;
@@ -22,10 +23,8 @@ impl Comm {
     /// the latest participating rank's clock at entry (plus the barrier's own
     /// message costs).
     pub fn barrier(&mut self) {
+        self.collective_enter(CollectiveKind::Barrier);
         let p = self.nranks();
-        if p == 1 {
-            return;
-        }
         let rank = self.rank();
         let mut step = 1;
         while step < p {
@@ -35,6 +34,7 @@ impl Comm {
             self.recv::<()>(from, TAG_BARRIER);
             step <<= 1;
         }
+        self.collective_exit(CollectiveKind::Barrier);
     }
 
     /// Binomial-tree broadcast of `value` (size `words`) from `root`.
@@ -47,6 +47,7 @@ impl Comm {
         words: u64,
         value: Option<T>,
     ) -> T {
+        self.collective_enter(CollectiveKind::Bcast);
         let p = self.nranks();
         let vrank = (self.rank() + p - root) % p;
         let mut have: Option<T> = if vrank == 0 {
@@ -71,7 +72,9 @@ impl Comm {
             }
             mask <<= 1;
         }
-        have.expect("bcast: value never arrived")
+        let out = have.expect("bcast: value never arrived");
+        self.collective_exit(CollectiveKind::Bcast);
+        out
     }
 
     /// Flat gather of one value per rank to `root`. Returns `Some(values)`
@@ -82,7 +85,8 @@ impl Comm {
         words_each: u64,
         value: T,
     ) -> Option<Vec<T>> {
-        if self.rank() == root {
+        self.collective_enter(CollectiveKind::Gather);
+        let out = if self.rank() == root {
             let p = self.nranks();
             let mut slot: Vec<Option<T>> = (0..p).map(|_| None).collect();
             slot[root] = Some(value);
@@ -95,7 +99,9 @@ impl Comm {
         } else {
             self.send(root, TAG_GATHER, words_each, value);
             None
-        }
+        };
+        self.collective_exit(CollectiveKind::Gather);
+        out
     }
 
     /// Flat scatter: root supplies one value per rank; every rank receives
@@ -106,7 +112,8 @@ impl Comm {
         words_each: u64,
         values: Option<Vec<T>>,
     ) -> T {
-        if self.rank() == root {
+        self.collective_enter(CollectiveKind::Scatter);
+        let out = if self.rank() == root {
             let p = self.nranks();
             let values = values.expect("scatter root must supply values");
             assert_eq!(values.len(), p, "scatter needs one value per rank");
@@ -121,14 +128,19 @@ impl Comm {
             own.unwrap()
         } else {
             self.recv::<T>(root, TAG_SCATTER)
-        }
+        };
+        self.collective_exit(CollectiveKind::Scatter);
+        out
     }
 
     /// Allgather (gather to rank 0, broadcast the vector).
     pub fn allgather<T: Clone + Send + 'static>(&mut self, words_each: u64, value: T) -> Vec<T> {
+        self.collective_enter(CollectiveKind::Allgather);
         let gathered = self.gather(0, words_each, value);
         let total_words = words_each * self.nranks() as u64;
-        self.bcast(0, total_words, gathered)
+        let out = self.bcast(0, total_words, gathered);
+        self.collective_exit(CollectiveKind::Allgather);
+        out
     }
 
     /// Generic allreduce: combine one value per rank with `op` (must be
@@ -138,12 +150,15 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
-        if let Some(all) = self.gather(0, words, value) {
+        self.collective_enter(CollectiveKind::Allreduce);
+        let out = if let Some(all) = self.gather(0, words, value) {
             let reduced = all.into_iter().reduce(&op).expect("at least one rank");
             self.bcast(0, words, Some(reduced))
         } else {
             self.bcast::<T>(0, words, None)
-        }
+        };
+        self.collective_exit(CollectiveKind::Allreduce);
+        out
     }
 
     /// Allreduce with `f64` addition.
@@ -178,6 +193,7 @@ impl Comm {
     /// Sends are staggered (`rank+1, rank+2, ...`) so no two ranks hammer the
     /// same destination in the same round.
     pub fn alltoallv<T: Send + 'static>(&mut self, items: Vec<(u64, T)>) -> Vec<T> {
+        self.collective_enter(CollectiveKind::Alltoallv);
         let p = self.nranks();
         let rank = self.rank();
         assert_eq!(items.len(), p, "alltoallv needs one item per rank");
@@ -193,7 +209,9 @@ impl Comm {
             let s = (rank + p - i) % p;
             slots[s] = Some(self.recv::<T>(s, TAG_A2A));
         }
-        slots.into_iter().map(|v| v.unwrap()).collect()
+        let out = slots.into_iter().map(|v| v.unwrap()).collect();
+        self.collective_exit(CollectiveKind::Alltoallv);
+        out
     }
 
     /// Reduce to root only (others get `None`).
@@ -202,7 +220,8 @@ impl Comm {
         T: Send + 'static,
         F: Fn(T, T) -> T,
     {
-        if self.rank() == root {
+        self.collective_enter(CollectiveKind::Reduce);
+        let out = if self.rank() == root {
             let p = self.nranks();
             let mut acc = value;
             for s in 0..p {
@@ -215,6 +234,8 @@ impl Comm {
         } else {
             self.send(root, TAG_REDUCE, words, value);
             None
-        }
+        };
+        self.collective_exit(CollectiveKind::Reduce);
+        out
     }
 }

@@ -1,9 +1,9 @@
 //! Point-to-point communication context handed to each SPMD rank.
 
 use std::any::Any;
+use std::sync::mpsc::{Receiver, Sender};
 
-use crossbeam::channel::{Receiver, Sender};
-
+use crate::trace::{CollectiveKind, TraceEvent};
 use crate::{MachineModel, VirtualClock};
 
 /// Message tag. Matching is FIFO per (source, destination) pair: a receive
@@ -35,6 +35,11 @@ pub struct Comm {
     rx: Vec<Receiver<Envelope>>,
     sent_messages: u64,
     sent_words: u64,
+    /// Structured event stream (see [`crate::trace`]); every clock charge
+    /// records exactly one event, so the trace reconstructs `now()` exactly.
+    events: Vec<TraceEvent>,
+    /// Current collective nesting depth (allgather calls gather + bcast).
+    coll_depth: u32,
 }
 
 impl Comm {
@@ -54,6 +59,8 @@ impl Comm {
             rx,
             sent_messages: 0,
             sent_words: 0,
+            events: Vec::new(),
+            coll_depth: 0,
         }
     }
 
@@ -96,13 +103,32 @@ impl Comm {
     /// Charge `units` units of local computation to the virtual clock.
     #[inline]
     pub fn compute(&mut self, units: f64) {
-        self.clock.advance(self.model.compute_time(units));
+        self.charge(self.model.compute_time(units));
     }
 
     /// Charge raw virtual seconds (for costs computed outside the model).
     #[inline]
     pub fn advance(&mut self, seconds: f64) {
+        self.charge(seconds);
+    }
+
+    /// Charge local work to the clock and record the matching trace event.
+    /// Negative charges are blocked (the clock saturates) and recorded as
+    /// [`TraceEvent::RewindBlocked`] so the protocol checker can flag them.
+    fn charge(&mut self, seconds: f64) {
+        let start = self.clock.now();
         self.clock.advance(seconds);
+        if seconds < 0.0 || seconds.is_nan() {
+            self.events.push(TraceEvent::RewindBlocked {
+                at: start,
+                dt: seconds,
+            });
+        } else if seconds > 0.0 {
+            self.events.push(TraceEvent::Compute {
+                start,
+                end: self.clock.now(),
+            });
+        }
     }
 
     /// Send `value` (declared size `words` 8-byte words) to rank `to`.
@@ -111,10 +137,20 @@ impl Comm {
     /// the receiver at `send_completion + words * t_word`.
     pub fn send<T: Send + 'static>(&mut self, to: usize, tag: Tag, words: u64, value: T) {
         assert!(to < self.nranks, "send to rank {to} of {}", self.nranks);
+        let start = self.clock.now();
         self.clock.advance(self.model.t_setup);
-        let arrival = self.clock.now() + words as f64 * self.model.t_word;
+        let end = self.clock.now();
+        let arrival = end + words as f64 * self.model.t_word;
         self.sent_messages += 1;
         self.sent_words += words;
+        self.events.push(TraceEvent::Send {
+            start,
+            end,
+            peer: to,
+            tag,
+            words,
+            arrival,
+        });
         self.tx[to]
             .send(Envelope {
                 tag,
@@ -122,7 +158,12 @@ impl Comm {
                 arrival,
                 payload: Box::new(value),
             })
-            .expect("peer rank hung up");
+            .unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: peer {to} hung up before a tag {tag} send",
+                    self.rank
+                )
+            });
     }
 
     /// Receive the next message from rank `from`; it must carry `tag` and
@@ -132,7 +173,33 @@ impl Comm {
     /// the receiver's clock advances to the message arrival time if it was
     /// still in flight.
     pub fn recv<T: 'static>(&mut self, from: usize, tag: Tag) -> T {
-        assert!(from < self.nranks, "recv from rank {from} of {}", self.nranks);
+        self.recv_counted::<T>(from, tag).0
+    }
+
+    /// Receive a message of unknown size from `from`, returning `(value,
+    /// words)`.
+    pub fn recv_counted<T: 'static>(&mut self, from: usize, tag: Tag) -> (T, u64) {
+        let env = self.recv_envelope(from, tag);
+        let words = env.words;
+        let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: payload type mismatch from {from} tag {tag}",
+                self.rank
+            )
+        });
+        (value, words)
+    }
+
+    /// Shared receive path: block for the next envelope from `from`, verify
+    /// the tag, charge any wait time, and record the trace event. All
+    /// diagnostics carry rank, peer, and expected tag.
+    fn recv_envelope(&mut self, from: usize, tag: Tag) -> Envelope {
+        assert!(
+            from < self.nranks,
+            "recv from rank {from} of {}",
+            self.nranks
+        );
+        let posted = self.clock.now();
         let env = self.rx[from].recv().unwrap_or_else(|_| {
             panic!(
                 "rank {}: peer {from} disconnected while waiting for tag {tag}",
@@ -145,25 +212,68 @@ impl Comm {
             self.rank, env.tag
         );
         self.clock.advance_to(env.arrival);
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {}: payload type mismatch from {from} tag {tag}",
-                self.rank
-            )
-        })
+        let completed = self.clock.now();
+        self.events.push(TraceEvent::Recv {
+            posted,
+            completed,
+            peer: from,
+            tag,
+            words: env.words,
+            wait: completed - posted,
+        });
+        env
     }
 
-    /// Receive a message of unknown size from `from`, returning `(value,
-    /// words)`.
-    pub fn recv_counted<T: 'static>(&mut self, from: usize, tag: Tag) -> (T, u64) {
-        let env = self.rx[from].recv().expect("peer rank hung up");
-        assert_eq!(env.tag, tag, "tag mismatch");
-        self.clock.advance_to(env.arrival);
-        let words = env.words;
-        let value = *env
-            .payload
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("payload type mismatch from {from} tag {tag}"));
-        (value, words)
+    // --- tracing hooks -----------------------------------------------------
+
+    /// Mark entry into a collective (called by the collective impls).
+    pub(crate) fn collective_enter(&mut self, kind: CollectiveKind) {
+        self.events.push(TraceEvent::CollectiveEnter {
+            kind,
+            depth: self.coll_depth,
+            start: self.clock.now(),
+        });
+        self.coll_depth += 1;
+    }
+
+    /// Mark exit from the innermost open collective.
+    pub(crate) fn collective_exit(&mut self, kind: CollectiveKind) {
+        self.coll_depth -= 1;
+        self.events.push(TraceEvent::CollectiveExit {
+            kind,
+            depth: self.coll_depth,
+            end: self.clock.now(),
+        });
+    }
+
+    /// Open a named phase span (pair with [`Comm::phase_end`], or use
+    /// [`Comm::phase`] for scoped spans). Phases nest.
+    pub fn phase_begin(&mut self, name: &str) {
+        self.events.push(TraceEvent::PhaseBegin {
+            name: name.to_string(),
+            start: self.clock.now(),
+        });
+    }
+
+    /// Close the innermost open phase span.
+    pub fn phase_end(&mut self, name: &str) {
+        self.events.push(TraceEvent::PhaseEnd {
+            name: name.to_string(),
+            end: self.clock.now(),
+        });
+    }
+
+    /// Run `f` inside a named phase span on this rank's timeline.
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.phase_begin(name);
+        let out = f(self);
+        self.phase_end(name);
+        out
+    }
+
+    /// Move the recorded event stream out (called by the executor once the
+    /// rank body returns).
+    pub(crate) fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 }

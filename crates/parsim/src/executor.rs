@@ -1,8 +1,9 @@
 //! The SPMD executor: spawns one thread per virtual rank.
 
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 
 use crate::comm::{Comm, Envelope};
+use crate::trace::TraceEvent;
 use crate::MachineModel;
 
 /// Result of one rank's execution: its return value plus communication and
@@ -20,6 +21,9 @@ pub struct RankResult<T> {
     pub sent_messages: u64,
     /// Number of words this rank sent.
     pub sent_words: u64,
+    /// The rank's structured event stream (see [`crate::trace`]); gather the
+    /// streams of a whole run with [`crate::TraceLog::from_results`].
+    pub events: Vec<TraceEvent>,
 }
 
 /// Run `body` on `nranks` virtual ranks (one OS thread each) under the given
@@ -32,9 +36,12 @@ where
     T: Send,
     F: Fn(&mut Comm) -> T + Send + Sync,
 {
-    spmd_with_args(nranks, model, (0..nranks).map(|_| ()).collect(), |comm, ()| {
-        body(comm)
-    })
+    spmd_with_args(
+        nranks,
+        model,
+        (0..nranks).map(|_| ()).collect(),
+        |comm, ()| body(comm),
+    )
 }
 
 /// Like [`spmd`], but moves a per-rank argument into each rank body. This is
@@ -54,13 +61,15 @@ where
     assert_eq!(args.len(), nranks, "one argument per rank");
 
     // Channel matrix: chan[s][d] carries messages from s to d.
-    let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Envelope>>>> =
-        (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
-    let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
-        (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+    let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Envelope>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
     for s in 0..nranks {
         for d in 0..nranks {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders[s][d] = Some(tx);
             // receivers indexed by destination, then source.
             receivers[d][s] = Some(rx);
@@ -89,6 +98,7 @@ where
                         elapsed: comm.now(),
                         sent_messages: comm.sent_messages(),
                         sent_words: comm.sent_words(),
+                        events: comm.take_events(),
                     }
                 }),
             ));
@@ -221,8 +231,58 @@ mod tests {
     }
 
     #[test]
+    fn barrier_and_alltoallv_at_odd_rank_counts() {
+        for p in [3, 5, 7] {
+            let r = spmd(p, MachineModel::sp2(), move |comm| {
+                comm.advance(comm.rank() as f64 * 0.25); // skew the clocks
+                comm.barrier();
+                let items: Vec<(u64, (usize, usize))> =
+                    (0..p).map(|d| (2, (comm.rank(), d))).collect();
+                comm.alltoallv(items)
+            });
+            for (d, res) in r.iter().enumerate() {
+                for (s, got) in res.value.iter().enumerate() {
+                    assert_eq!(*got, (s, d), "P={p}, slot {s} on rank {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_from_every_nonzero_root() {
+        for p in [3, 5, 7] {
+            for root in 1..p {
+                let r = spmd(p, MachineModel::sp2(), move |comm| {
+                    let g = comm.gather(root, 1, comm.rank() as u64 * 2);
+                    if comm.rank() == root {
+                        assert_eq!(
+                            g.unwrap(),
+                            (0..p as u64).map(|x| x * 2).collect::<Vec<_>>(),
+                            "gather to root {root} at P={p}"
+                        );
+                    } else {
+                        assert!(g.is_none());
+                    }
+                    let vals = (comm.rank() == root)
+                        .then(|| (0..p).map(|d| (d * 10 + root) as u64).collect::<Vec<_>>());
+                    comm.scatter(root, 1, vals)
+                });
+                for (d, res) in r.iter().enumerate() {
+                    assert_eq!(
+                        res.value,
+                        (d * 10 + root) as u64,
+                        "scatter root {root} P={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn allgather_collects_everything_everywhere() {
-        let r = spmd(7, MachineModel::sp2(), |comm| comm.allgather(1, comm.rank() as u32));
+        let r = spmd(7, MachineModel::sp2(), |comm| {
+            comm.allgather(1, comm.rank() as u32)
+        });
         for res in &r {
             assert_eq!(res.value, (0..7u32).collect::<Vec<_>>());
         }
@@ -247,8 +307,7 @@ mod tests {
     fn alltoallv_permutes_correctly() {
         let p = 5;
         let r = spmd(p, MachineModel::sp2(), move |comm| {
-            let items: Vec<(u64, (usize, usize))> =
-                (0..p).map(|d| (1, (comm.rank(), d))).collect();
+            let items: Vec<(u64, (usize, usize))> = (0..p).map(|d| (1, (comm.rank(), d))).collect();
             comm.alltoallv(items)
         });
         for (d, res) in r.iter().enumerate() {

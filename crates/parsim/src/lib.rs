@@ -34,11 +34,16 @@ mod executor;
 mod model;
 #[cfg(test)]
 mod proptests;
+pub mod trace;
 
 pub use clock::VirtualClock;
 pub use comm::{Comm, Tag};
 pub use executor::{makespan, spmd, spmd_with_args, RankResult};
 pub use model::MachineModel;
+pub use trace::{
+    check_protocol, CollectiveKind, CollectiveStats, MergedTrace, ProtocolViolation, RankSummary,
+    TraceEvent, TraceLog, TraceSummary, COLLECTIVE_KINDS,
+};
 
 /// Convenience: number of 8-byte words needed to hold `bytes` bytes.
 #[inline]

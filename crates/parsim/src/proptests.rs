@@ -78,6 +78,51 @@ proptest! {
         }
     }
 
+    /// Every collective's virtual cost is bit-for-bit deterministic across
+    /// repeated runs (real thread interleaving must not leak into the
+    /// virtual clocks).
+    #[test]
+    fn each_collective_is_time_deterministic(
+        nranks in 2usize..8,
+        root_sel in 0usize..8,
+        which in 0usize..8,
+    ) {
+        let root = root_sel % nranks;
+        let run = move || -> Vec<f64> {
+            let r = spmd(nranks, MachineModel::sp2(), move |comm| {
+                match which {
+                    0 => comm.barrier(),
+                    1 => {
+                        comm.bcast(root, 3, (comm.rank() == root).then_some(7u64));
+                    }
+                    2 => {
+                        comm.gather(root, 1, comm.rank() as u64);
+                    }
+                    3 => {
+                        let v = (comm.rank() == root).then(|| vec![1u64; comm.nranks()]);
+                        comm.scatter(root, 1, v);
+                    }
+                    4 => {
+                        comm.allgather(1, comm.rank() as u64);
+                    }
+                    5 => {
+                        comm.allreduce_sum_u64(comm.rank() as u64);
+                    }
+                    6 => {
+                        let items: Vec<(u64, u64)> =
+                            (0..comm.nranks()).map(|d| (1, d as u64)).collect();
+                        comm.alltoallv(items);
+                    }
+                    _ => {
+                        comm.reduce(root, 1, comm.rank() as u64, |a, b| a + b);
+                    }
+                }
+            });
+            r.iter().map(|x| x.elapsed).collect()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
     /// Virtual clocks never decrease and barriers dominate the slowest rank.
     #[test]
     fn barrier_dominates_slowest(delays in proptest::collection::vec(0.0f64..10.0, 2..8)) {

@@ -1,0 +1,1013 @@
+//! Structured event tracing for SPMD runs.
+//!
+//! Every [`Comm`](crate::Comm) records a typed event for each virtual-clock
+//! charge it makes: local computation, sends (with wire size and arrival
+//! stamp), receives (with the wait the receiver paid), collective
+//! enter/exit markers, user-defined phase spans, and blocked clock-rewind
+//! attempts. After [`spmd`](crate::spmd) returns, the per-rank event
+//! streams are gathered into a [`TraceLog`], which supports:
+//!
+//! * **aggregation** ([`TraceLog::summary`]): per-rank wait / compute /
+//!   wire split (which reconstructs each rank's elapsed virtual time
+//!   exactly) and message/word counters per collective kind;
+//! * **export**: Chrome-trace JSON ([`TraceLog::chrome_json`], loadable in
+//!   `chrome://tracing` or Perfetto) and a plain-text timeline
+//!   ([`TraceLog::text_timeline`]);
+//! * **protocol checking** ([`check_protocol`]): replaying the log to flag
+//!   SPMD discipline violations — mismatched collective sequences across
+//!   ranks, tag-order inconsistencies on a channel, and clock-rewind
+//!   attempts — before they surface as opaque cross-rank panics.
+//!
+//! Virtual timestamps are deterministic, so two runs of the same program
+//! produce byte-identical exports.
+
+use std::fmt;
+
+use crate::comm::Tag;
+use crate::executor::RankResult;
+
+/// The collective operations [`Comm`](crate::Comm) provides, for sequence
+/// checking and per-collective counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    Barrier,
+    Bcast,
+    Gather,
+    Scatter,
+    Allgather,
+    Allreduce,
+    Alltoallv,
+    Reduce,
+}
+
+/// All kinds, in counter-array order.
+pub const COLLECTIVE_KINDS: [CollectiveKind; 8] = [
+    CollectiveKind::Barrier,
+    CollectiveKind::Bcast,
+    CollectiveKind::Gather,
+    CollectiveKind::Scatter,
+    CollectiveKind::Allgather,
+    CollectiveKind::Allreduce,
+    CollectiveKind::Alltoallv,
+    CollectiveKind::Reduce,
+];
+
+impl CollectiveKind {
+    /// Stable lowercase name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Alltoallv => "alltoallv",
+            CollectiveKind::Reduce => "reduce",
+        }
+    }
+
+    fn index(self) -> usize {
+        COLLECTIVE_KINDS.iter().position(|&k| k == self).unwrap()
+    }
+}
+
+/// One typed event on one rank's virtual timeline. All times are virtual
+/// seconds on that rank's clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Local work charged via `compute` or `advance`.
+    Compute { start: f64, end: f64 },
+    /// A send: the local clock ran `start..end` (the startup charge); the
+    /// payload of `words` words arrives at `peer` at `arrival`.
+    Send {
+        start: f64,
+        end: f64,
+        peer: usize,
+        tag: Tag,
+        words: u64,
+        arrival: f64,
+    },
+    /// A receive: posted at `posted`, satisfied at `completed` (the clock
+    /// after advancing to the arrival stamp). `wait = completed - posted`
+    /// is the time the receiver idled for in-flight data.
+    Recv {
+        posted: f64,
+        completed: f64,
+        peer: usize,
+        tag: Tag,
+        words: u64,
+        wait: f64,
+    },
+    /// Entry into a collective. `depth` is the nesting level (allgather
+    /// calls gather + bcast, so those appear at depth 1).
+    CollectiveEnter {
+        kind: CollectiveKind,
+        depth: u32,
+        start: f64,
+    },
+    /// Exit from a collective (matches the most recent unmatched enter).
+    CollectiveExit {
+        kind: CollectiveKind,
+        depth: u32,
+        end: f64,
+    },
+    /// Begin of a user-defined phase span (see `Comm::phase`).
+    PhaseBegin { name: String, start: f64 },
+    /// End of a user-defined phase span.
+    PhaseEnd { name: String, end: f64 },
+    /// A negative-duration clock charge was requested and blocked (the
+    /// clock saturated instead of rewinding). Always a protocol violation.
+    RewindBlocked { at: f64, dt: f64 },
+}
+
+impl TraceEvent {
+    /// The event's position on the timeline (its start time).
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Compute { start, .. } => start,
+            TraceEvent::Send { start, .. } => start,
+            TraceEvent::Recv { posted, .. } => posted,
+            TraceEvent::CollectiveEnter { start, .. } => start,
+            TraceEvent::CollectiveExit { end, .. } => end,
+            TraceEvent::PhaseBegin { start, .. } => start,
+            TraceEvent::PhaseEnd { end, .. } => end,
+            TraceEvent::RewindBlocked { at, .. } => at,
+        }
+    }
+
+    /// When the event's local clock effect ends.
+    pub fn end_time(&self) -> f64 {
+        match *self {
+            TraceEvent::Compute { end, .. } => end,
+            TraceEvent::Send { end, .. } => end,
+            TraceEvent::Recv { completed, .. } => completed,
+            TraceEvent::CollectiveEnter { start, .. } => start,
+            TraceEvent::CollectiveExit { end, .. } => end,
+            TraceEvent::PhaseBegin { start, .. } => start,
+            TraceEvent::PhaseEnd { end, .. } => end,
+            TraceEvent::RewindBlocked { at, .. } => at,
+        }
+    }
+}
+
+/// The gathered event streams of one SPMD run, indexed by rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// `events[r]` is rank `r`'s stream, in program (= virtual-time) order.
+    pub events: Vec<Vec<TraceEvent>>,
+}
+
+/// Per-collective counters on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollectiveStats {
+    /// Top-level invocations (nested sub-collectives are not counted).
+    pub calls: u64,
+    /// Point-to-point messages sent inside this collective.
+    pub msgs: u64,
+    /// Words sent inside this collective.
+    pub words: u64,
+    /// Virtual seconds spent inside top-level spans of this collective.
+    pub seconds: f64,
+}
+
+/// Aggregate virtual-time split of one rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankSummary {
+    pub rank: usize,
+    /// Seconds charged via `compute` / `advance`.
+    pub compute: f64,
+    /// Seconds of send startup charges (the sender's share of wire time).
+    pub wire: f64,
+    /// Seconds idled in receives waiting for in-flight data.
+    pub wait: f64,
+    /// Messages / words this rank sent.
+    pub msgs_sent: u64,
+    pub words_sent: u64,
+    /// Blocked clock-rewind attempts.
+    pub rewinds_blocked: u64,
+    /// Counters per collective kind, indexed like [`COLLECTIVE_KINDS`].
+    pub collectives: [CollectiveStats; 8],
+}
+
+impl RankSummary {
+    /// Counters for one collective kind.
+    pub fn collective(&self, kind: CollectiveKind) -> &CollectiveStats {
+        &self.collectives[kind.index()]
+    }
+
+    /// The rank's total accounted virtual time. Equal (to rounding) to the
+    /// rank's final clock: every clock charge generates exactly one event.
+    pub fn total(&self) -> f64 {
+        self.compute + self.wire + self.wait
+    }
+}
+
+/// Aggregates of a whole [`TraceLog`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    pub ranks: Vec<RankSummary>,
+}
+
+impl TraceSummary {
+    /// Sum of a per-rank quantity.
+    fn sum(&self, f: impl Fn(&RankSummary) -> f64) -> f64 {
+        self.ranks.iter().map(f).sum()
+    }
+
+    /// Total wait seconds over all ranks.
+    pub fn total_wait(&self) -> f64 {
+        self.sum(|r| r.wait)
+    }
+
+    /// Total compute seconds over all ranks.
+    pub fn total_compute(&self) -> f64 {
+        self.sum(|r| r.compute)
+    }
+
+    /// Total wire (send-startup) seconds over all ranks.
+    pub fn total_wire(&self) -> f64 {
+        self.sum(|r| r.wire)
+    }
+
+    /// Total messages sent over all ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// Total words sent over all ranks.
+    pub fn total_words(&self) -> u64 {
+        self.ranks.iter().map(|r| r.words_sent).sum()
+    }
+}
+
+impl TraceLog {
+    /// Gather the per-rank event streams out of `spmd` results.
+    pub fn from_results<T>(results: &[RankResult<T>]) -> Self {
+        TraceLog {
+            events: results.iter().map(|r| r.events.clone()).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Compute the per-rank aggregate metrics.
+    pub fn summary(&self) -> TraceSummary {
+        let mut ranks = Vec::with_capacity(self.events.len());
+        for (rank, stream) in self.events.iter().enumerate() {
+            let mut s = RankSummary {
+                rank,
+                ..RankSummary::default()
+            };
+            // Stack of enclosing collective kinds; index 0 = top level.
+            let mut coll_stack: Vec<CollectiveKind> = Vec::new();
+            for ev in stream {
+                match *ev {
+                    TraceEvent::Compute { start, end } => s.compute += end - start,
+                    TraceEvent::Send {
+                        start, end, words, ..
+                    } => {
+                        s.wire += end - start;
+                        s.msgs_sent += 1;
+                        s.words_sent += words;
+                        if let Some(&top) = coll_stack.first() {
+                            let c = &mut s.collectives[top.index()];
+                            c.msgs += 1;
+                            c.words += words;
+                        }
+                    }
+                    TraceEvent::Recv { wait, .. } => s.wait += wait,
+                    TraceEvent::CollectiveEnter { kind, start, .. } => {
+                        if coll_stack.is_empty() {
+                            let c = &mut s.collectives[kind.index()];
+                            c.calls += 1;
+                            c.seconds -= start; // paired with += end below
+                        }
+                        coll_stack.push(kind);
+                    }
+                    TraceEvent::CollectiveExit { kind, end, .. } => {
+                        let popped = coll_stack.pop();
+                        debug_assert_eq!(popped, Some(kind), "unbalanced collective markers");
+                        if coll_stack.is_empty() {
+                            s.collectives[kind.index()].seconds += end;
+                        }
+                    }
+                    TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => {}
+                    TraceEvent::RewindBlocked { .. } => s.rewinds_blocked += 1,
+                }
+            }
+            ranks.push(s);
+        }
+        TraceSummary { ranks }
+    }
+
+    /// Serialize as Chrome-trace JSON (the `chrome://tracing` / Perfetto
+    /// "JSON object format"). One track (`tid`) per rank; timestamps in
+    /// microseconds of virtual time. Deterministic: identical logs
+    /// serialize to identical bytes.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, line: String| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(&line);
+        };
+        for rank in 0..self.events.len() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"rank {rank}\"}}}}"
+                ),
+            );
+        }
+        for (rank, stream) in self.events.iter().enumerate() {
+            // Stacks matching begin/end markers to complete ("X") events.
+            let mut phase_stack: Vec<(&str, f64)> = Vec::new();
+            let mut coll_stack: Vec<(CollectiveKind, f64)> = Vec::new();
+            for ev in stream {
+                match ev {
+                    TraceEvent::Compute { start, end } => push(
+                        &mut out,
+                        &mut first,
+                        chrome_span(rank, "compute", "compute", *start, *end, ""),
+                    ),
+                    TraceEvent::Send {
+                        start,
+                        end,
+                        peer,
+                        tag,
+                        words,
+                        arrival,
+                    } => push(
+                        &mut out,
+                        &mut first,
+                        chrome_span(
+                            rank,
+                            &format!("send\\u2192{peer}"),
+                            "comm",
+                            *start,
+                            *end,
+                            &format!(
+                                ",\"args\":{{\"peer\":{peer},\"tag\":{tag},\"words\":{words},\
+                                 \"arrival_us\":{}}}",
+                                us(*arrival)
+                            ),
+                        ),
+                    ),
+                    TraceEvent::Recv {
+                        posted,
+                        completed,
+                        peer,
+                        tag,
+                        words,
+                        wait,
+                    } => {
+                        if *wait > 0.0 {
+                            push(
+                                &mut out,
+                                &mut first,
+                                chrome_span(
+                                    rank,
+                                    &format!("wait\\u2190{peer}"),
+                                    "wait",
+                                    *posted,
+                                    *completed,
+                                    &format!(
+                                        ",\"args\":{{\"peer\":{peer},\"tag\":{tag},\
+                                         \"words\":{words}}}"
+                                    ),
+                                ),
+                            );
+                        }
+                    }
+                    TraceEvent::CollectiveEnter { kind, start, .. } => {
+                        coll_stack.push((*kind, *start));
+                    }
+                    TraceEvent::CollectiveExit { kind, end, .. } => {
+                        if let Some((k, start)) = coll_stack.pop() {
+                            debug_assert_eq!(k, *kind);
+                            push(
+                                &mut out,
+                                &mut first,
+                                chrome_span(rank, kind.name(), "collective", start, *end, ""),
+                            );
+                        }
+                    }
+                    TraceEvent::PhaseBegin { name, start } => phase_stack.push((name, *start)),
+                    TraceEvent::PhaseEnd { name, end } => {
+                        if let Some((n, start)) = phase_stack.pop() {
+                            debug_assert_eq!(n, name);
+                            push(
+                                &mut out,
+                                &mut first,
+                                chrome_span(rank, n, "phase", start, *end, ""),
+                            );
+                        }
+                    }
+                    TraceEvent::RewindBlocked { at, dt } => push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{rank},\"ts\":{},\"s\":\"t\",\
+                             \"name\":\"clock-rewind-blocked\",\"cat\":\"violation\",\
+                             \"args\":{{\"dt_us\":{}}}}}",
+                            us(*at),
+                            us(*dt)
+                        ),
+                    ),
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Plain-text per-rank timeline (chronological within each rank).
+    pub fn text_timeline(&self) -> String {
+        let mut out = String::new();
+        for (rank, stream) in self.events.iter().enumerate() {
+            out.push_str(&format!("== rank {rank} ==\n"));
+            for ev in stream {
+                let line = match ev {
+                    TraceEvent::Compute { start, end } => {
+                        format!(
+                            "{:>14}  compute {:.3}us",
+                            span(*start, *end),
+                            us_f(*end - *start)
+                        )
+                    }
+                    TraceEvent::Send {
+                        start,
+                        end,
+                        peer,
+                        tag,
+                        words,
+                        arrival,
+                    } => format!(
+                        "{:>14}  send -> {peer} tag={tag} words={words} arrives@{}",
+                        span(*start, *end),
+                        ts(*arrival)
+                    ),
+                    TraceEvent::Recv {
+                        posted,
+                        completed,
+                        peer,
+                        tag,
+                        words,
+                        wait,
+                    } => format!(
+                        "{:>14}  recv <- {peer} tag={tag} words={words} wait={:.3}us",
+                        span(*posted, *completed),
+                        us_f(*wait)
+                    ),
+                    TraceEvent::CollectiveEnter { kind, depth, start } => format!(
+                        "{:>14}  {}enter {}",
+                        ts(*start),
+                        "  ".repeat(*depth as usize),
+                        kind.name()
+                    ),
+                    TraceEvent::CollectiveExit { kind, depth, end } => format!(
+                        "{:>14}  {}exit  {}",
+                        ts(*end),
+                        "  ".repeat(*depth as usize),
+                        kind.name()
+                    ),
+                    TraceEvent::PhaseBegin { name, start } => {
+                        format!("{:>14}  === phase {name} begin ===", ts(*start))
+                    }
+                    TraceEvent::PhaseEnd { name, end } => {
+                        format!("{:>14}  === phase {name} end ===", ts(*end))
+                    }
+                    TraceEvent::RewindBlocked { at, dt } => format!(
+                        "{:>14}  !! clock rewind blocked (dt={:.3}us)",
+                        ts(*at),
+                        us_f(*dt)
+                    ),
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Microseconds string with fixed precision (deterministic formatting).
+fn us(seconds: f64) -> String {
+    format!("{:.6}", seconds * 1e6)
+}
+
+fn us_f(seconds: f64) -> f64 {
+    seconds * 1e6
+}
+
+fn ts(seconds: f64) -> String {
+    format!("{:.3}us", seconds * 1e6)
+}
+
+fn span(start: f64, end: f64) -> String {
+    format!("{:.3}..{:.3}us", start * 1e6, end * 1e6)
+}
+
+fn chrome_span(rank: usize, name: &str, cat: &str, start: f64, end: f64, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{rank},\"ts\":{},\"dur\":{},\
+         \"name\":\"{name}\",\"cat\":\"{cat}\"{args}}}",
+        us(start),
+        us(end - start)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Protocol checker
+// ---------------------------------------------------------------------------
+
+/// One SPMD discipline violation found by [`check_protocol`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolViolation {
+    /// Rank `rank`'s `index`-th collective call differs from rank 0's
+    /// (`None` = that rank's sequence ended early).
+    CollectiveSequenceMismatch {
+        rank: usize,
+        index: usize,
+        reference: Option<CollectiveKind>,
+        got: Option<CollectiveKind>,
+    },
+    /// The `index`-th message on the `src → dst` channel was sent with one
+    /// tag but received expecting another (`None` = one side stopped
+    /// early: unreceived sends or unmatched receives).
+    TagOrderMismatch {
+        src: usize,
+        dst: usize,
+        index: usize,
+        sent: Option<Tag>,
+        received: Option<Tag>,
+    },
+    /// A rank attempted to rewind its virtual clock (negative charge).
+    ClockRewind { rank: usize, at: f64, dt: f64 },
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolViolation::CollectiveSequenceMismatch {
+                rank,
+                index,
+                reference,
+                got,
+            } => write!(
+                f,
+                "collective sequence mismatch: rank {rank} call #{index} is {}, rank 0 has {}",
+                got.map_or("<none>", |k| k.name()),
+                reference.map_or("<none>", |k| k.name()),
+            ),
+            ProtocolViolation::TagOrderMismatch {
+                src,
+                dst,
+                index,
+                sent,
+                received,
+            } => write!(
+                f,
+                "tag order mismatch on channel {src} -> {dst}, message #{index}: \
+                 sent tag {sent:?}, received expecting tag {received:?}",
+            ),
+            ProtocolViolation::ClockRewind { rank, at, dt } => write!(
+                f,
+                "clock rewind attempt on rank {rank} at t={:.3}us (dt={:.3}us)",
+                at * 1e6,
+                dt * 1e6
+            ),
+        }
+    }
+}
+
+/// Replay a [`TraceLog`] and report every SPMD discipline violation:
+///
+/// 1. **Collective sequences**: every rank must issue the same collectives
+///    in the same order (rank 0 is the reference).
+/// 2. **Tag order**: per `src → dst` channel, the sender's tag sequence
+///    must equal the receiver's expected-tag sequence (channels are FIFO).
+/// 3. **Clock rewinds**: any blocked negative clock charge.
+pub fn check_protocol(log: &TraceLog) -> Vec<ProtocolViolation> {
+    let mut out = Vec::new();
+    let p = log.events.len();
+
+    // 1. Collective call sequences (all nesting levels, in order).
+    let seqs: Vec<Vec<CollectiveKind>> = log
+        .events
+        .iter()
+        .map(|stream| {
+            stream
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::CollectiveEnter { kind, .. } => Some(*kind),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    if let Some(reference) = seqs.first() {
+        for (rank, seq) in seqs.iter().enumerate().skip(1) {
+            let n = reference.len().max(seq.len());
+            for i in 0..n {
+                let a = reference.get(i).copied();
+                let b = seq.get(i).copied();
+                if a != b {
+                    out.push(ProtocolViolation::CollectiveSequenceMismatch {
+                        rank,
+                        index: i,
+                        reference: a,
+                        got: b,
+                    });
+                    break; // one desynchronization point per rank
+                }
+            }
+        }
+    }
+
+    // 2. Tag order per channel.
+    for src in 0..p {
+        for dst in 0..p {
+            let sent: Vec<Tag> = log.events[src]
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::Send { peer, tag, .. } if *peer == dst => Some(*tag),
+                    _ => None,
+                })
+                .collect();
+            let recd: Vec<Tag> = log.events[dst]
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::Recv { peer, tag, .. } if *peer == src => Some(*tag),
+                    _ => None,
+                })
+                .collect();
+            let n = sent.len().max(recd.len());
+            for i in 0..n {
+                let a = sent.get(i).copied();
+                let b = recd.get(i).copied();
+                if a != b {
+                    out.push(ProtocolViolation::TagOrderMismatch {
+                        src,
+                        dst,
+                        index: i,
+                        sent: a,
+                        received: b,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // 3. Clock rewinds.
+    for (rank, stream) in log.events.iter().enumerate() {
+        for ev in stream {
+            if let TraceEvent::RewindBlocked { at, dt } = ev {
+                out.push(ProtocolViolation::ClockRewind {
+                    rank,
+                    at: *at,
+                    dt: *dt,
+                });
+            }
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Multi-log merging (phase-by-phase export of a whole adaption cycle)
+// ---------------------------------------------------------------------------
+
+/// Builds one merged Chrome trace out of several [`TraceLog`]s (each offset
+/// on the global timeline) plus synthetic spans for phases that run outside
+/// the simulator (modeled costs). Used by the `reproduce -- fig6 --trace`
+/// exporter to lay out a whole adaption cycle.
+#[derive(Debug, Clone, Default)]
+pub struct MergedTrace {
+    log: TraceLog,
+}
+
+impl MergedTrace {
+    /// A merged trace over `nranks` tracks.
+    pub fn new(nranks: usize) -> Self {
+        MergedTrace {
+            log: TraceLog {
+                events: vec![Vec::new(); nranks],
+            },
+        }
+    }
+
+    /// Append every event of `log`, shifted by `offset` seconds, wrapped in
+    /// a phase span named `phase` covering each rank's local activity. A
+    /// stream that already opens with its own `phase`-named span is not
+    /// wrapped again.
+    pub fn add_log(&mut self, phase: &str, log: &TraceLog, offset: f64) {
+        for (rank, stream) in log.events.iter().enumerate() {
+            if rank >= self.log.events.len() {
+                break;
+            }
+            let wrapped = matches!(
+                stream.first(),
+                Some(TraceEvent::PhaseBegin { name, .. }) if name == phase
+            );
+            let end = stream.iter().map(|e| e.end_time()).fold(0.0, f64::max);
+            let dst = &mut self.log.events[rank];
+            if !wrapped {
+                dst.push(TraceEvent::PhaseBegin {
+                    name: phase.to_string(),
+                    start: offset,
+                });
+            }
+            for ev in stream {
+                dst.push(shift(ev, offset));
+            }
+            if !wrapped {
+                dst.push(TraceEvent::PhaseEnd {
+                    name: phase.to_string(),
+                    end: offset + end,
+                });
+            }
+        }
+    }
+
+    /// Add the same synthetic span on every rank (modeled phases with no
+    /// per-rank event detail).
+    pub fn add_uniform_span(&mut self, phase: &str, start: f64, end: f64) {
+        for stream in &mut self.log.events {
+            stream.push(TraceEvent::PhaseBegin {
+                name: phase.to_string(),
+                start,
+            });
+            stream.push(TraceEvent::PhaseEnd {
+                name: phase.to_string(),
+                end,
+            });
+        }
+    }
+
+    /// The merged log (for export or checking).
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+}
+
+fn shift(ev: &TraceEvent, dt: f64) -> TraceEvent {
+    let mut out = ev.clone();
+    match &mut out {
+        TraceEvent::Compute { start, end } => {
+            *start += dt;
+            *end += dt;
+        }
+        TraceEvent::Send {
+            start,
+            end,
+            arrival,
+            ..
+        } => {
+            *start += dt;
+            *end += dt;
+            *arrival += dt;
+        }
+        TraceEvent::Recv {
+            posted, completed, ..
+        } => {
+            *posted += dt;
+            *completed += dt;
+        }
+        TraceEvent::CollectiveEnter { start, .. } => *start += dt,
+        TraceEvent::CollectiveExit { end, .. } => *end += dt,
+        TraceEvent::PhaseBegin { start, .. } => *start += dt,
+        TraceEvent::PhaseEnd { end, .. } => *end += dt,
+        TraceEvent::RewindBlocked { at, .. } => *at += dt,
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spmd, MachineModel};
+
+    /// A small but communication-heavy program touching every collective.
+    fn run_workload() -> Vec<RankResult<f64>> {
+        spmd(5, MachineModel::sp2(), |comm| {
+            comm.phase("setup", |c| c.compute(50.0 + c.rank() as f64));
+            comm.barrier();
+            let v = comm.bcast(2, 4, (comm.rank() == 2).then(|| vec![1u64; 4]));
+            comm.gather(1, 4, v.clone());
+            let back = comm.scatter(3, 2, (comm.rank() == 3).then(|| vec![0u64; 5]));
+            comm.allgather(1, back);
+            comm.allreduce_sum_f64(comm.rank() as f64);
+            let p = comm.nranks();
+            let items: Vec<(u64, usize)> = (0..p).map(|d| (3, d)).collect();
+            comm.alltoallv(items);
+            comm.reduce(4, 1, comm.rank() as u64, |a, b| a + b);
+            comm.now()
+        })
+    }
+
+    #[test]
+    fn summary_reconstructs_elapsed_exactly() {
+        let results = run_workload();
+        let log = TraceLog::from_results(&results);
+        let summary = log.summary();
+        for (r, s) in results.iter().zip(&summary.ranks) {
+            assert!(
+                (s.total() - r.elapsed).abs() < 1e-9,
+                "rank {}: trace accounts for {} but clock says {}",
+                r.rank,
+                s.total(),
+                r.elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn summary_counters_match_comm_statistics() {
+        let results = run_workload();
+        let summary = TraceLog::from_results(&results).summary();
+        for (r, s) in results.iter().zip(&summary.ranks) {
+            assert_eq!(s.msgs_sent, r.sent_messages, "rank {}", r.rank);
+            assert_eq!(s.words_sent, r.sent_words, "rank {}", r.rank);
+        }
+        // Each collective was called exactly once per rank, at top level.
+        for s in &summary.ranks {
+            for kind in COLLECTIVE_KINDS {
+                assert_eq!(
+                    s.collective(kind).calls,
+                    1,
+                    "rank {} collective {}",
+                    s.rank,
+                    kind.name()
+                );
+            }
+            // The nested gather/bcast inside allgather/allreduce must not be
+            // double-counted as top-level calls.
+            assert!(s.collective(CollectiveKind::Gather).calls == 1);
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic_across_runs() {
+        let a = TraceLog::from_results(&run_workload());
+        let b = TraceLog::from_results(&run_workload());
+        assert_eq!(a.chrome_json(), b.chrome_json());
+        assert_eq!(a.text_timeline(), b.text_timeline());
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_has_rank_tracks() {
+        let json = TraceLog::from_results(&run_workload()).chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.trim_end().ends_with("]}"));
+        for rank in 0..5 {
+            assert!(json.contains(&format!("\"args\":{{\"name\":\"rank {rank}\"}}")));
+        }
+        assert!(json.contains("\"name\":\"barrier\""));
+        assert!(json.contains("\"name\":\"setup\""));
+        // Balanced braces / brackets (cheap well-formedness proxy; none of
+        // the emitted strings contain braces).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn clean_run_passes_protocol_check() {
+        let log = TraceLog::from_results(&run_workload());
+        let violations = check_protocol(&log);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn checker_flags_corrupted_collective_sequence() {
+        let mut log = TraceLog::from_results(&run_workload());
+        // Corrupt rank 3: swap its barrier for a bcast, as if one rank took
+        // a different branch and called a different collective.
+        let stream = &mut log.events[3];
+        let pos = stream
+            .iter()
+            .position(|ev| {
+                matches!(
+                    ev,
+                    TraceEvent::CollectiveEnter {
+                        kind: CollectiveKind::Barrier,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        if let TraceEvent::CollectiveEnter { kind, .. } = &mut stream[pos] {
+            *kind = CollectiveKind::Bcast;
+        }
+        let violations = check_protocol(&log);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                ProtocolViolation::CollectiveSequenceMismatch {
+                    rank: 3,
+                    reference: Some(CollectiveKind::Barrier),
+                    got: Some(CollectiveKind::Bcast),
+                    ..
+                }
+            )),
+            "checker missed the corruption: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn checker_flags_tag_order_mismatch() {
+        let mut log = TraceLog::from_results(&run_workload());
+        // Corrupt one send tag on rank 0 so the sender/receiver tag
+        // sequences on that channel disagree.
+        let ev = log.events[0]
+            .iter_mut()
+            .find_map(|ev| match ev {
+                TraceEvent::Send { tag, .. } => Some(tag),
+                _ => None,
+            })
+            .unwrap();
+        *ev += 1;
+        let violations = check_protocol(&log);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, ProtocolViolation::TagOrderMismatch { src: 0, .. })),
+            "checker missed the tag corruption: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn rewind_attempt_is_traced_and_flagged() {
+        let results = spmd(2, MachineModel::sp2(), |comm| {
+            comm.advance(1.0);
+            comm.advance(-0.5); // cost-model bug: blocked, not applied
+            comm.now()
+        });
+        for r in &results {
+            assert!((r.value - 1.0).abs() < 1e-15, "clock must saturate");
+        }
+        let log = TraceLog::from_results(&results);
+        assert_eq!(log.summary().ranks[0].rewinds_blocked, 1);
+        let violations = check_protocol(&log);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| matches!(v, ProtocolViolation::ClockRewind { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn phase_spans_nest_and_export() {
+        let results = spmd(2, MachineModel::sp2(), |comm| {
+            comm.phase("outer", |c| {
+                c.compute(10.0);
+                c.phase("inner", |c| c.barrier());
+            });
+        });
+        let log = TraceLog::from_results(&results);
+        let json = log.chrome_json();
+        assert!(json.contains("\"name\":\"outer\""));
+        assert!(json.contains("\"name\":\"inner\""));
+        let text = log.text_timeline();
+        assert!(text.contains("phase outer begin"));
+        assert!(text.contains("phase inner end"));
+    }
+
+    #[test]
+    fn merged_trace_offsets_and_wraps_phases() {
+        let results = spmd(2, MachineModel::sp2(), |comm| comm.barrier());
+        let log = TraceLog::from_results(&results);
+        let mut merged = MergedTrace::new(2);
+        merged.add_uniform_span("solver", 0.0, 1.0);
+        merged.add_log("marking", &log, 1.0);
+        let mlog = merged.log();
+        assert_eq!(mlog.nranks(), 2);
+        // Every shifted event sits at or after the offset.
+        for stream in &mlog.events {
+            for ev in stream {
+                assert!(ev.time() >= 0.0);
+            }
+            assert!(stream.iter().any(
+                |ev| matches!(ev, TraceEvent::PhaseBegin { name, start } if name == "marking" && *start == 1.0)
+            ));
+        }
+        // The merged log still passes the protocol check (tag sequences are
+        // preserved by shifting).
+        assert!(check_protocol(mlog).is_empty());
+    }
+}

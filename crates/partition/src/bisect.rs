@@ -184,8 +184,14 @@ mod tests {
         let side = bisect(&g, total / 2, 1.05, 4, &mut rng);
         let part: Vec<u32> = side.iter().map(|&s| s as u32).collect();
         let w = part_weights(&g, &part, 2);
-        assert!(w[0] as f64 <= total as f64 / 2.0 * 1.06, "side 0 overweight: {w:?}");
-        assert!(w[1] as f64 <= total as f64 / 2.0 * 1.06, "side 1 overweight: {w:?}");
+        assert!(
+            w[0] as f64 <= total as f64 / 2.0 * 1.06,
+            "side 0 overweight: {w:?}"
+        );
+        assert!(
+            w[1] as f64 <= total as f64 / 2.0 * 1.06,
+            "side 1 overweight: {w:?}"
+        );
         // A 12x12 grid's optimal bisection cut is 12; allow some slack.
         let cut = edge_cut(&g, &part);
         assert!(cut <= 24, "cut {cut} far from optimal 12");
@@ -232,6 +238,9 @@ mod tests {
         let part: Vec<u32> = side.iter().map(|&s| s as u32).collect();
         let w = part_weights(&g, &part, 2);
         // The two heavy vertices must be separated for any feasible balance.
-        assert!(w[0] >= 50 && w[1] >= 50, "heavy vertices not separated: {w:?}");
+        assert!(
+            w[0] >= 50 && w[1] >= 50,
+            "heavy vertices not separated: {w:?}"
+        );
     }
 }

@@ -82,7 +82,10 @@ pub fn contract(g: &Graph, mate: &[u32]) -> (Graph, Vec<u32>) {
         debug_assert_eq!(*c as usize, ci);
         let members: [usize; 2] = [*rep, mate[*rep] as usize];
         touched.clear();
-        for &v in members.iter().take(if members[0] == members[1] { 1 } else { 2 }) {
+        for &v in members
+            .iter()
+            .take(if members[0] == members[1] { 1 } else { 2 })
+        {
             vwgt[ci] += g.vwgt[v];
             for (u, w) in g.edges(v) {
                 let cu = cmap[u as usize] as usize;

@@ -184,7 +184,11 @@ mod tests {
         hotspot(&mut g, &prev, 6);
         let r = diffuse(&g, &prev, 4, &DiffusionConfig::default());
         let q = quality(&g, &r.part, 4);
-        assert!(q.imbalance <= 1.10, "diffusion left imbalance {}", q.imbalance);
+        assert!(
+            q.imbalance <= 1.10,
+            "diffusion left imbalance {}",
+            q.imbalance
+        );
         assert!(r.rounds > 0);
         assert!(r.total_moved > 0);
     }
@@ -211,9 +215,7 @@ mod tests {
         // structural weakness the global method avoids.
         let mut g = grid(64, 4);
         // 8 slab parts left to right.
-        let part: Vec<u32> = (0..g.n())
-            .map(|v| ((v % 64) / 8) as u32)
-            .collect();
+        let part: Vec<u32> = (0..g.n()).map(|v| ((v % 64) / 8) as u32).collect();
         for v in 0..g.n() {
             if part[v] == 0 {
                 g.vwgt[v] = 16;

@@ -86,7 +86,10 @@ impl Graph {
                     return Err(format!("edge {v}→{u} out of range"));
                 }
                 // Symmetric edge with identical weight must exist.
-                if !self.edges(u as usize).any(|(x, xw)| x as usize == v && xw == w) {
+                if !self
+                    .edges(u as usize)
+                    .any(|(x, xw)| x as usize == v && xw == w)
+                {
                     return Err(format!("edge {v}→{u} (w={w}) not symmetric"));
                 }
             }

@@ -57,8 +57,12 @@ fn recursive_bisect(g: &Graph, k: usize, offset: u32, tol: f64, rng: &mut Rng, o
     let k1 = k - k0;
     let target0 = g.total_vwgt() * k0 as u64 / k as u64;
     let side = bisect(g, target0, tol, 3, rng);
-    let verts0: Vec<u32> = (0..g.n() as u32).filter(|&v| side[v as usize] == 0).collect();
-    let verts1: Vec<u32> = (0..g.n() as u32).filter(|&v| side[v as usize] == 1).collect();
+    let verts0: Vec<u32> = (0..g.n() as u32)
+        .filter(|&v| side[v as usize] == 0)
+        .collect();
+    let verts1: Vec<u32> = (0..g.n() as u32)
+        .filter(|&v| side[v as usize] == 1)
+        .collect();
     let g0 = g.induced(&verts0);
     let g1 = g.induced(&verts1);
     let mut out0 = vec![0u32; g0.n()];
@@ -140,12 +144,7 @@ pub(crate) fn kway_refine_pass(
 /// (falling back to the globally lightest part so interior vertices cannot
 /// deadlock the drain). Each sweep is `O(n + m)`; overweight regions drain
 /// layer by layer, and the subsequent refinement passes repair the cut.
-pub(crate) fn kway_balance(
-    g: &Graph,
-    part: &mut [u32],
-    weights: &mut [u64],
-    max_w: u64,
-) -> usize {
+pub(crate) fn kway_balance(g: &Graph, part: &mut [u32], weights: &mut [u64], max_w: u64) -> usize {
     let nparts = weights.len();
     let mut moves = 0;
     for _sweep in 0..64 {
@@ -362,7 +361,11 @@ mod tests {
         let k = 4;
         let part = partition_kway(&g, &PartitionConfig::new(k));
         let q = quality(&g, &part, k);
-        assert!(q.imbalance <= 1.12, "imbalance {} with heavy corner", q.imbalance);
+        assert!(
+            q.imbalance <= 1.12,
+            "imbalance {} with heavy corner",
+            q.imbalance
+        );
     }
 
     #[test]

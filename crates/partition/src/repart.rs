@@ -101,7 +101,11 @@ mod tests {
         }
         let next = repartition_kway(&g, &cfg, &prev);
         let q = quality(&g, &next, 4);
-        assert!(q.imbalance <= cfg.imbalance_tol * 1.10 + 0.02, "imbalance {}", q.imbalance);
+        assert!(
+            q.imbalance <= cfg.imbalance_tol * 1.10 + 0.02,
+            "imbalance {}",
+            q.imbalance
+        );
         let (moved, _) = migration(&g, &prev, &next);
         // Fresh partitioning would relabel almost everything; diffusion
         // should keep the majority in place.
@@ -121,6 +125,10 @@ mod tests {
         let prev = vec![0u32; g.n()];
         let next = repartition_kway(&g, &cfg, &prev);
         let q = quality(&g, &next, 4);
-        assert!(q.imbalance <= cfg.imbalance_tol * 1.12, "imbalance {}", q.imbalance);
+        assert!(
+            q.imbalance <= cfg.imbalance_tol * 1.12,
+            "imbalance {}",
+            q.imbalance
+        );
     }
 }

@@ -123,7 +123,10 @@ pub fn optimal_bmcm(sm: &SimilarityMatrix, alpha: f64, beta: f64) -> Assignment 
 
     let mut lo = 0usize;
     let mut hi = costs.len() - 1;
-    debug_assert!(feasible(costs[hi]).is_some(), "full matrix must be feasible");
+    debug_assert!(
+        feasible(costs[hi]).is_some(),
+        "full matrix must be feasible"
+    );
     while lo < hi {
         let mid = (lo + hi) / 2;
         if feasible(costs[mid]).is_some() {
@@ -189,16 +192,16 @@ mod tests {
                 bottleneck_value(&sm, &assign, 1.0, 1.0)
             })
             .fold(f64::INFINITY, f64::min);
-        assert!((got - best).abs() < 1e-9, "bmcm {got} vs brute force {best}");
+        assert!(
+            (got - best).abs() < 1e-9,
+            "bmcm {got} vs brute force {best}"
+        );
     }
 
     #[test]
     fn bmcm_bottleneck_never_worse_than_mwbg() {
-        let sm = SimilarityMatrix::from_rows(vec![
-            vec![30, 20, 0],
-            vec![25, 0, 15],
-            vec![0, 10, 40],
-        ]);
+        let sm =
+            SimilarityMatrix::from_rows(vec![vec![30, 20, 0], vec![25, 0, 15], vec![0, 10, 40]]);
         let bm = optimal_bmcm(&sm, 1.0, 1.0);
         let mw = optimal_mwbg(&sm);
         assert!(

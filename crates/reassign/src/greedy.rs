@@ -35,9 +35,9 @@ fn radix_sort_desc(entries: &mut Vec<(u64, u32)>) {
         }
         std::mem::swap(entries, &mut aux);
     }
-    // LSB-first radix with descending buckets yields descending order after
-    // the final (most significant) pass only if stability is maintained —
-    // it is, and the final pass dominates.
+    // LSB-first radix relies on stability: the final (most significant)
+    // pass orders entries by their top byte, and ties within that byte keep
+    // the descending order the earlier, less-significant passes established.
 }
 
 /// The greedy heuristic mapper. Exactly the paper's pseudocode: flag all
@@ -126,11 +126,8 @@ mod tests {
 
     #[test]
     fn greedy_picks_the_diagonal_when_dominant() {
-        let sm = SimilarityMatrix::from_rows(vec![
-            vec![100, 1, 2],
-            vec![3, 100, 4],
-            vec![5, 6, 100],
-        ]);
+        let sm =
+            SimilarityMatrix::from_rows(vec![vec![100, 1, 2], vec![3, 100, 4], vec![5, 6, 100]]);
         let a = greedy_mwbg(&sm);
         assert_eq!(a.proc_of_part, vec![0, 1, 2]);
         assert_eq!(sm.objective(&a.proc_of_part), 300);
@@ -157,10 +154,7 @@ mod tests {
 
     #[test]
     fn greedy_with_f2() {
-        let sm = SimilarityMatrix::from_rows(vec![
-            vec![9, 8, 1, 1],
-            vec![1, 1, 9, 8],
-        ]);
+        let sm = SimilarityMatrix::from_rows(vec![vec![9, 8, 1, 1], vec![1, 1, 9, 8]]);
         let a = greedy_mwbg(&sm);
         a.validate(2, 2);
         assert_eq!(a.proc_of_part, vec![0, 0, 1, 1]);

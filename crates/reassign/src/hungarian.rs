@@ -118,11 +118,7 @@ mod tests {
     #[test]
     fn forced_suboptimal_diagonal() {
         // The diagonal (1+1+1) is beaten by the anti-diagonal pattern.
-        let cost = vec![
-            vec![1, 0, 100],
-            vec![0, 100, 100],
-            vec![1, 100, 0],
-        ];
+        let cost = vec![vec![1, 0, 100], vec![0, 100, 100], vec![1, 100, 0]];
         let (total, cols) = min_cost_assignment(&cost);
         assert_eq!(total, 0);
         assert_eq!(cols, vec![1, 0, 2]);
@@ -139,11 +135,8 @@ mod tests {
     #[test]
     fn optimal_beats_greedy_on_crafted_matrix() {
         // Greedy grabs the 100 in the corner, which forces a bad completion.
-        let sm = SimilarityMatrix::from_rows(vec![
-            vec![100, 99, 0],
-            vec![99, 0, 0],
-            vec![98, 0, 1],
-        ]);
+        let sm =
+            SimilarityMatrix::from_rows(vec![vec![100, 99, 0], vec![99, 0, 0], vec![98, 0, 1]]);
         let g = greedy_mwbg(&sm);
         let o = optimal_mwbg(&sm);
         let go = sm.objective(&g.proc_of_part);
@@ -177,10 +170,7 @@ mod tests {
 
     #[test]
     fn f2_duplication() {
-        let sm = SimilarityMatrix::from_rows(vec![
-            vec![9, 8, 0, 0],
-            vec![0, 0, 9, 8],
-        ]);
+        let sm = SimilarityMatrix::from_rows(vec![vec![9, 8, 0, 0], vec![0, 0, 9, 8]]);
         let a = optimal_mwbg(&sm);
         a.validate(2, 2);
         assert_eq!(sm.objective(&a.proc_of_part), 34);

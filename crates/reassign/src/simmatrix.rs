@@ -35,7 +35,10 @@ impl SimilarityMatrix {
     ) -> Self {
         assert_eq!(wremap.len(), old_proc.len());
         assert_eq!(wremap.len(), new_part.len());
-        assert!(nparts.is_multiple_of(nproc), "nparts must be a multiple of nproc");
+        assert!(
+            nparts.is_multiple_of(nproc),
+            "nparts must be a multiple of nproc"
+        );
         let mut m = Self::zeros(nproc, nparts);
         for v in 0..wremap.len() {
             let i = old_proc[v] as usize;

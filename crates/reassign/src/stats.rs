@@ -58,9 +58,7 @@ pub fn remap_stats(sm: &SimilarityMatrix, assignment: &Assignment) -> RemapStats
         }
         let msgs = (0..p)
             .filter(|&q| q != i && (transfer[i * p + q] > 0 || transfer[q * p + i] > 0))
-            .map(|q| {
-                u64::from(transfer[i * p + q] > 0) + u64::from(transfer[q * p + i] > 0)
-            })
+            .map(|q| u64::from(transfer[i * p + q] > 0) + u64::from(transfer[q * p + i] > 0))
             .sum::<u64>();
         if msgs > max_msgs {
             max_msgs = msgs;
@@ -103,16 +101,15 @@ mod tests {
         assert_eq!(s.received, vec![20, 10]);
         assert_eq!(s.total_msgs, 2);
         assert_eq!(s.max_elems, 20);
-        assert_eq!(s.max_msgs, 2, "each processor sends one set and receives one");
+        assert_eq!(
+            s.max_msgs, 2,
+            "each processor sends one set and receives one"
+        );
     }
 
     #[test]
     fn sent_equals_received_in_total() {
-        let sm = SimilarityMatrix::from_rows(vec![
-            vec![5, 3, 2],
-            vec![1, 8, 4],
-            vec![6, 0, 9],
-        ]);
+        let sm = SimilarityMatrix::from_rows(vec![vec![5, 3, 2], vec![1, 8, 4], vec![6, 0, 9]]);
         let a = Assignment {
             proc_of_part: vec![2, 0, 1],
         };

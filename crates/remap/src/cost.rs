@@ -74,8 +74,7 @@ impl CostModel {
     /// Redistribution cost `M·C·T_lat + N·T_setup` for `elems` elements in
     /// `msgs` messages.
     pub fn redistribution_cost(&self, elems: u64, msgs: u64) -> f64 {
-        (self.m_words * elems) as f64 * self.machine.t_word
-            + msgs as f64 * self.machine.t_setup
+        (self.m_words * elems) as f64 * self.machine.t_word + msgs as f64 * self.machine.t_setup
     }
 
     /// The acceptance test: is the gain strictly larger than the cost?
@@ -161,7 +160,10 @@ mod tests {
         let v2 = max_balancing_improvement(2, g);
         let v8 = max_balancing_improvement(8, g);
         let v20 = max_balancing_improvement(20, g);
-        assert!(v2 < v8 && v8 < v20, "ramp must be increasing: {v2} {v8} {v20}");
+        assert!(
+            v2 < v8 && v8 < v20,
+            "ramp must be increasing: {v2} {v8} {v20}"
+        );
         assert!((v2 - (2.0 * (g - 1.0) + 1.0) / g).abs() < 1e-12);
     }
 }

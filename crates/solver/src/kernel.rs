@@ -157,8 +157,8 @@ mod tests {
             .max_by(|&a, &b| err[a.idx()].partial_cmp(&err[b.idx()]).unwrap())
             .unwrap();
         let mp = mesh.edge_midpoint(best);
-        let d = ((mp[0] - tip[0]).powi(2) + (mp[1] - tip[1]).powi(2) + (mp[2] - tip[2]).powi(2))
-            .sqrt();
+        let d =
+            ((mp[0] - tip[0]).powi(2) + (mp[1] - tip[1]).powi(2) + (mp[2] - tip[2]).powi(2)).sqrt();
         assert!(d < 0.35, "peak-error edge is {d} away from the tip");
     }
 

@@ -35,16 +35,20 @@ fn main() {
 
     println!(
         "{:>4} | {:>12} {:>10} {:>12} | {:>12} {:>10} {:>12} | {:>12} {:>10} {:>12}",
-        "P", "opt elems", "opt max", "opt time", "heu elems", "heu max", "heu time", "bmcm elems",
-        "bmcm max", "bmcm time"
+        "P",
+        "opt elems",
+        "opt max",
+        "opt time",
+        "heu elems",
+        "heu max",
+        "heu time",
+        "bmcm elems",
+        "bmcm max",
+        "bmcm time"
     );
     for p in [2usize, 4, 8, 16, 32] {
         // Old partition: balanced for UNIT weights (i.e., pre-adaption).
-        let unit_graph = Graph::from_csr(
-            dual.xadj.clone(),
-            dual.adjncy.clone(),
-            vec![1; dual.n()],
-        );
+        let unit_graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), vec![1; dual.n()]);
         let old = partition_kway(&unit_graph, &PartitionConfig::new(p));
         // New partition: balanced for the adapted weights, seeded from old.
         let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
@@ -80,8 +84,7 @@ fn main() {
         assert!(sm.objective(&opt.proc_of_part) >= sm.objective(&heu.proc_of_part));
         assert!(2 * sm.objective(&heu.proc_of_part) >= sm.objective(&opt.proc_of_part));
         assert!(
-            bottleneck_value(&sm, &bmc, 1.0, 1.0)
-                <= bottleneck_value(&sm, &opt, 1.0, 1.0) + 1e-9
+            bottleneck_value(&sm, &bmc, 1.0, 1.0) <= bottleneck_value(&sm, &opt, 1.0, 1.0) + 1e-9
         );
     }
     println!("\nall Theorem-1 and BMCM-optimality invariants held");

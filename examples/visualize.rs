@@ -45,7 +45,9 @@ fn main() -> std::io::Result<()> {
             &mut w,
             &am.mesh,
             &[
-                ("partition", &|e| proc_of_root[am.root_of_elem(e) as usize] as f64),
+                ("partition", &|e| {
+                    proc_of_root[am.root_of_elem(e) as usize] as f64
+                }),
                 ("level", &|e| am.level_of_elem(e) as f64),
             ],
             &[("density", &|v| field.comp(v, 0))],

@@ -6,7 +6,11 @@ use plum_mesh::geometry::total_volume;
 use plum_solver::WaveField;
 
 fn plum(nproc: usize, n: usize) -> Plum {
-    Plum::new(unit_box_mesh(n), WaveField::unit_box(), PlumConfig::new(nproc))
+    Plum::new(
+        unit_box_mesh(n),
+        WaveField::unit_box(),
+        PlumConfig::new(nproc),
+    )
 }
 
 #[test]
@@ -56,7 +60,11 @@ fn virtual_times_are_deterministic() {
             r.decision.accepted,
         )
     };
-    assert_eq!(run(), run(), "same inputs must give identical virtual times");
+    assert_eq!(
+        run(),
+        run(),
+        "same inputs must give identical virtual times"
+    );
 }
 
 #[test]
@@ -118,7 +126,10 @@ fn rejected_remap_keeps_everything_in_place() {
     let r = p.adaption_cycle(0.3, 0.1);
     assert!(!r.decision.accepted);
     assert!(r.migration.is_none());
-    assert_eq!(p.proc_of_root, before, "rejected mapping must not move data");
+    assert_eq!(
+        p.proc_of_root, before,
+        "rejected mapping must not move data"
+    );
     p.am.validate();
 }
 
@@ -132,20 +143,14 @@ fn solver_tracks_the_wave_across_cycles() {
         p.adaption_cycle(0.1, 0.5);
     }
     let tip = p.wave.tip_position(p.time);
-    let hottest = p
-        .am
-        .mesh
-        .verts()
-        .max_by(|&a, &b| {
-            p.field
-                .comp(a, 0)
-                .partial_cmp(&p.field.comp(b, 0))
-                .unwrap()
-        })
-        .unwrap();
+    let hottest =
+        p.am.mesh
+            .verts()
+            .max_by(|&a, &b| p.field.comp(a, 0).partial_cmp(&p.field.comp(b, 0)).unwrap())
+            .unwrap();
     let pos = p.am.mesh.vert_pos(hottest);
-    let d = ((pos[0] - tip[0]).powi(2) + (pos[1] - tip[1]).powi(2) + (pos[2] - tip[2]).powi(2))
-        .sqrt();
+    let d =
+        ((pos[0] - tip[0]).powi(2) + (pos[1] - tip[1]).powi(2) + (pos[2] - tip[2]).powi(2)).sqrt();
     assert!(
         d < 0.45,
         "solution peak at {pos:?} drifted {d} away from the tip {tip:?}"

@@ -1,0 +1,158 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of the criterion API the workspace's bench targets
+//! use — `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `b.iter` / `b.iter_batched`, and
+//! `BatchSize` — with a simple measurement loop: warm up once, run a fixed
+//! number of timed samples, report the median. It keeps `cargo bench`
+//! working and the bench sources compiling; it makes no statistical claims.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batches are sized in [`Bencher::iter_batched`]. Only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let median = b.median();
+        println!("  {}/{}: median {:?}", self.name, id, median);
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`] / [`Bencher::iter_batched`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.samples.push(t0.elapsed());
+    }
+
+    /// Time `routine` on a fresh `setup()` input (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.samples.push(t0.elapsed());
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// Group benchmark functions under one name, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0;
+        group.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_input() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.samples.len(), 1);
+    }
+}

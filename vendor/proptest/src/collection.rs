@@ -1,0 +1,84 @@
+//! Collection strategies: `collection::vec(elem, size)`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range {r:?}");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of `elem`-generated values with a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.range_u64(self.size.lo as u64, self.size.hi as u64) as usize
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::for_test("vec");
+        let fixed = vec(0u64..5, 4);
+        let ranged = vec(0u64..5, 1..7);
+        for _ in 0..200 {
+            assert_eq!(fixed.generate(&mut rng).len(), 4);
+            let l = ranged.generate(&mut rng).len();
+            assert!((1..7).contains(&l));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let mut rng = TestRng::for_test("vv");
+        let s = vec(vec(0u64..1000, 3), 3);
+        let m = s.generate(&mut rng);
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|row| row.len() == 3));
+    }
+}
