@@ -7,12 +7,13 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use plum_bench::{initial_mesh, marked_problem, Scale, CASES};
+use plum_core::Ownership;
 use plum_mesh::DualGraph;
 use plum_partition::{partition_kway, repartition_kway, Graph, PartitionConfig};
 use plum_reassign::{greedy_mwbg, optimal_bmcm, optimal_mwbg, SimilarityMatrix};
 use plum_remap::{Packer, Unpacker};
 
-fn dual_graph_of(scale: Scale) -> (DualGraph, Graph) {
+fn dual_graph_of(scale: Scale) -> (DualGraph, Graph<'static>) {
     let mesh = initial_mesh(scale);
     let dual = DualGraph::build(&mesh);
     let g = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
@@ -32,7 +33,7 @@ fn bench_partitioner(c: &mut Criterion) {
     let mut drifted = g.clone();
     for v in 0..drifted.n() {
         if base[v] < 4 {
-            drifted.vwgt[v] = 6;
+            drifted.vwgt.to_mut()[v] = 6;
         }
     }
     group.bench_function("repartition_p16_drifted", |b| {
@@ -91,6 +92,24 @@ fn bench_adaption(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ownership(c: &mut Criterion) {
+    // From-scratch ownership construction on a refined mesh — the walk the
+    // cycle engine's incremental maintenance avoids. `build` feeds the
+    // shared-edge tracker rank by rank, so insertions hit the sorted
+    // last-entry fast path; this pins that cost.
+    let mut group = c.benchmark_group("ownership");
+    let mut p = marked_problem(Scale::Quick, CASES[1].1);
+    p.am.refine(&p.marks, std::slice::from_mut(&mut p.field));
+    for nproc in [8usize, 64] {
+        let roots = p.am.n_roots();
+        let proc: Vec<u32> = (0..roots).map(|v| (v * nproc / roots) as u32).collect();
+        group.bench_function(format!("build_p{nproc}"), |b| {
+            b.iter(|| Ownership::build(black_box(&p.am), black_box(&proc), nproc))
+        });
+    }
+    group.finish();
+}
+
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("migration_codec");
     group.bench_function("pack_unpack_10k_records", |b| {
@@ -128,6 +147,7 @@ criterion_group!(
     bench_partitioner,
     bench_mappers,
     bench_adaption,
+    bench_ownership,
     bench_codec
 );
 criterion_main!(benches);

@@ -15,7 +15,7 @@ use plum_reassign::{
 
 use crate::{marked_problem, Scale, CASES};
 
-fn real2_setup(scale: Scale, nproc: usize) -> (Graph, Vec<u32>, Vec<u64>, Vec<u64>) {
+fn real2_setup(scale: Scale, nproc: usize) -> (Graph<'static>, Vec<u32>, Vec<u64>, Vec<u64>) {
     let p = marked_problem(scale, CASES[1].1);
     let pred = p.am.predict(&p.marks);
     let (_, wremap) = p.am.weights();

@@ -429,40 +429,25 @@ pub fn print_fig6(sw: &[SweepPoint]) {
 // ---------------------------------------------------------------------------
 
 /// One remap-before adaption cycle (the Real_2 strategy) exported as a
-/// merged per-rank trace: real event streams for the parsim-executed phases
-/// (marking, reassignment, remap), synthetic spans for the modeled ones
-/// (solver, repartition, subdivide), laid out sequentially on one virtual
-/// timeline. Returns `(chrome_json, text_timeline)`.
+/// per-rank trace. The cycle engine already runs every phase on one
+/// long-lived SPMD session, so [`plum_core::CycleTraces::session`] *is* the
+/// continuous timeline — modeled spans (solver, partition, subdivide) and
+/// executed protocols (marking, reassignment, remap) follow one another on
+/// the same virtual clocks, no host-side stitching required. Returns
+/// `(chrome_json, text_timeline)`.
 ///
 /// Only virtual quantities enter the export (the wall-clocked mapper time is
 /// deliberately excluded), so two runs at the same scale produce
 /// byte-identical output.
 pub fn fig6_trace(scale: Scale, nproc: usize) -> (String, String) {
     let r = run_case(scale, CASES[1].1, nproc, RemapPolicy::BeforeRefinement);
-    let mut merged = plum_parsim::MergedTrace::new(nproc);
-    let mut t = 0.0;
-    merged.add_uniform_span("solver", t, t + r.times.solver);
-    t += r.times.solver;
-    merged.add_log("marking", &r.traces.marking, t);
-    t += r.times.marking;
-    merged.add_uniform_span("repartition", t, t + r.times.partition);
-    t += r.times.partition;
-    if let Some(tr) = &r.traces.reassign {
-        merged.add_log("reassignment", tr, t);
-        t += r.decision.reassign_comm_time;
-    }
-    if let Some(tr) = &r.traces.remap {
-        merged.add_log("remap", tr, t);
-        t += r.times.remap;
-    }
-    merged.add_uniform_span("subdivide", t, t + r.times.subdivide);
-
-    let violations = plum_parsim::check_protocol(merged.log());
+    let log = &r.traces.session;
+    let violations = plum_parsim::check_protocol(log);
     assert!(
         violations.is_empty(),
         "cycle trace violates SPMD discipline: {violations:?}"
     );
-    (merged.log().chrome_json(), merged.log().text_timeline())
+    (log.chrome_json(), log.text_timeline())
 }
 
 /// Fig. 7: maximum impact of load balancing (analytic).

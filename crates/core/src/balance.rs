@@ -77,20 +77,16 @@ pub fn run_mapper(sm: &SimilarityMatrix, mapper: Mapper) -> (Assignment, f64) {
     (a, t0.elapsed().as_secs_f64())
 }
 
-/// The full load-balancer step on the weighted dual graph.
-///
-/// * `dual` carries the (possibly predicted) `wcomp` and the `wremap` that
-///   applies at the moment data would move;
-/// * `old_proc` is the current per-dual-vertex processor assignment;
-/// * `refine_work[v]` is the number of new elements subdivision will create
-///   in tree `v` (for the refinement term of the gain).
-pub fn balance_step(
+/// Stage 1 of the load balancer (host side): evaluate the current balance
+/// and, when it exceeds the trigger, repartition the dual graph. Returns
+/// the partially filled decision plus the proposed partition vector (`None`
+/// when the evaluation short-circuited).
+pub(crate) fn evaluate_and_repartition(
     dual: &DualGraph,
     old_proc: &[u32],
-    refine_work: &[u64],
     cfg: &PlumConfig,
     work: &WorkModel,
-) -> BalanceDecision {
+) -> (BalanceDecision, Option<Vec<u32>>) {
     let nproc = cfg.nproc;
     let w_old = per_proc_wcomp(&dual.wcomp, old_proc, nproc);
     let imb_old = imbalance(&w_old);
@@ -116,12 +112,12 @@ pub fn balance_step(
     // Evaluation step: keep the current partitions if they remain adequately
     // balanced.
     if imb_old <= cfg.imbalance_trigger || nproc == 1 {
-        return decision;
+        return (decision, None);
     }
     decision.repartitioned = true;
 
     // Parallel repartitioning on the dual graph with the new W_comp.
-    let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+    let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
     let mut pcfg = cfg.partition;
     pcfg.nparts = cfg.nparts();
     let new_part = if cfg.partitions_per_proc == 1 {
@@ -131,24 +127,24 @@ pub fn balance_step(
         partition_kway(&graph, &pcfg)
     };
     decision.partition_time = work.partition_time(dual.n(), nproc);
+    (decision, Some(new_part))
+}
 
-    // Similarity matrix (W_remap) and processor reassignment, run as the
-    // paper's distributed protocol: per-rank rows, host gather, mapper on
-    // the host, solution scatter.
-    let par = crate::reassign_par::parallel_reassign(
-        &dual.wremap,
-        old_proc,
-        &new_part,
-        nproc,
-        cfg.nparts(),
-        cfg.mapper,
-        cfg.machine,
-    );
-    let sm = par.matrix;
-    let assignment = par.assignment;
-    decision.reassign_seconds = par.mapper_seconds;
-    decision.reassign_comm_time = par.time;
-    decision.reassign_trace = Some(par.trace);
+/// Stage 2 of the load balancer (host side): given the reassignment
+/// protocol's outputs, compose the dual vertex → partition → processor
+/// assignment and run the gain/cost acceptance test.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_reassignment(
+    decision: &mut BalanceDecision,
+    dual: &DualGraph,
+    old_proc: &[u32],
+    refine_work: &[u64],
+    cfg: &PlumConfig,
+    new_part: &[u32],
+    sm: &SimilarityMatrix,
+    assignment: &Assignment,
+) {
+    let nproc = cfg.nproc;
 
     // Compose: dual vertex → new partition → processor.
     let new_proc: Vec<u32> = new_part
@@ -160,7 +156,7 @@ pub fn balance_step(
     decision.imbalance_new = imbalance(&w_new);
     decision.wmax_new = *w_new.iter().max().unwrap();
 
-    let stats = remap_stats(&sm, &assignment);
+    let stats = remap_stats(sm, assignment);
 
     // Gain/cost acceptance test.
     let rmax_old = *per_proc_wcomp(refine_work, old_proc, nproc)
@@ -188,6 +184,53 @@ pub fn balance_step(
         decision.imbalance_new = decision.imbalance_old;
         decision.wmax_new = decision.wmax_old;
     }
+}
+
+/// The full load-balancer step on the weighted dual graph.
+///
+/// * `dual` carries the (possibly predicted) `wcomp` and the `wremap` that
+///   applies at the moment data would move;
+/// * `old_proc` is the current per-dual-vertex processor assignment;
+/// * `refine_work[v]` is the number of new elements subdivision will create
+///   in tree `v` (for the refinement term of the gain).
+pub fn balance_step(
+    dual: &DualGraph,
+    old_proc: &[u32],
+    refine_work: &[u64],
+    cfg: &PlumConfig,
+    work: &WorkModel,
+) -> BalanceDecision {
+    let (mut decision, new_part) = evaluate_and_repartition(dual, old_proc, cfg, work);
+    let Some(new_part) = new_part else {
+        return decision;
+    };
+
+    // Similarity matrix (W_remap) and processor reassignment, run as the
+    // paper's distributed protocol: per-rank rows, host gather, mapper on
+    // the host, solution scatter.
+    let par = crate::reassign_par::parallel_reassign(
+        &dual.wremap,
+        old_proc,
+        &new_part,
+        cfg.nproc,
+        cfg.nparts(),
+        cfg.mapper,
+        cfg.machine,
+    );
+    decision.reassign_seconds = par.mapper_seconds;
+    decision.reassign_comm_time = par.time;
+    decision.reassign_trace = Some(par.trace);
+
+    apply_reassignment(
+        &mut decision,
+        dual,
+        old_proc,
+        refine_work,
+        cfg,
+        &new_part,
+        &par.matrix,
+        &par.assignment,
+    );
     decision
 }
 

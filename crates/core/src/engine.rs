@@ -1,0 +1,553 @@
+//! The rank-resident cycle engine: one long-lived SPMD [`Session`] per
+//! adaption cycle, with per-rank state that persists *across* cycles.
+//!
+//! The reference driver ([`Plum::adaption_cycle_reference`]) runs each
+//! parallel phase as an isolated `spmd` program: fresh rank clocks, fresh
+//! channels, and a from-scratch [`Ownership`] rebuild every cycle. The
+//! engine instead keeps a [`CycleEngine`] inside [`Plum`] — resident root
+//! lists plus the incrementally maintained ownership maps — and threads a
+//! single [`Session`] through solver → marking → balancing → remap →
+//! subdivision, so virtual clocks flow continuously from phase to phase
+//! and the cycle produces one gap-free timeline
+//! ([`crate::CycleTraces::session`]).
+//!
+//! Because the machine model is time-shift invariant (message arrivals are
+//! offsets from the send end, never absolute times), running a phase from
+//! aligned clocks at `t > 0` reproduces the fresh-clock makespan of the
+//! reference driver to floating-point rounding; the integer outputs (marks,
+//! assignments, migration volumes) are bit-identical. The golden tests at
+//! the bottom of this file pin that equivalence at several processor counts.
+
+use plum_adapt::{AdaptiveMesh, RefineDelta};
+use plum_parsim::{RankResult, Session, TraceLog};
+use plum_solver::{edge_error_indicator, solve};
+
+use crate::balance::{apply_reassignment, evaluate_and_repartition, BalanceDecision};
+use crate::config::{PlumConfig, RemapPolicy};
+use crate::framework::{CycleReport, CycleTraces, PhaseTimes, Plum};
+use crate::marking::{mark_body, merge_marks, MarkValue, Ownership};
+use crate::migrate::{migrate_body, migration_outcome_from};
+use crate::reassign_par::collect_reassign;
+use crate::timing::CommBreakdown;
+
+/// State resident on one virtual rank between cycles.
+#[derive(Debug, Clone, Default)]
+pub struct RankState {
+    /// The rank id.
+    pub rank: u32,
+    /// Refinement-tree roots (dual-graph vertices) living on this rank.
+    pub roots: Vec<u32>,
+}
+
+/// Per-rank resident state plus the incrementally maintained ownership
+/// maps. Lives inside [`Plum`] and survives from cycle to cycle — migrations
+/// and refinements update it in place instead of rebuilding from the global
+/// mesh (the reference driver's per-cycle `Ownership::build` walk).
+pub struct CycleEngine {
+    /// One entry per rank.
+    pub ranks: Vec<RankState>,
+    /// Element/edge ownership, maintained incrementally.
+    pub own: Ownership,
+}
+
+impl CycleEngine {
+    /// Build the resident state from scratch (startup, or after the
+    /// reference driver mutated the mesh behind the engine's back).
+    pub fn new(am: &AdaptiveMesh, proc_of_root: &[u32], nproc: usize) -> Self {
+        let mut ranks: Vec<RankState> = (0..nproc)
+            .map(|r| RankState {
+                rank: r as u32,
+                roots: Vec::new(),
+            })
+            .collect();
+        for (v, &r) in proc_of_root.iter().enumerate() {
+            ranks[r as usize].roots.push(v as u32);
+        }
+        CycleEngine {
+            ranks,
+            own: Ownership::build(am, proc_of_root, nproc),
+        }
+    }
+
+    /// Per-rank sums of a per-root weight vector, from the resident root
+    /// lists — each rank sums only what it owns.
+    pub fn per_rank_load(&self, w: &[u64]) -> Vec<u64> {
+        self.ranks
+            .iter()
+            .map(|rs| rs.roots.iter().map(|&v| w[v as usize]).sum())
+            .collect()
+    }
+
+    /// Apply an adopted migration: move reassigned roots between resident
+    /// lists and update the ownership maps incrementally.
+    pub fn apply_migration(&mut self, am: &AdaptiveMesh, old_proc: &[u32], new_proc: &[u32]) {
+        self.own.apply_migration(am, old_proc, new_proc);
+        let mut touched = vec![false; self.ranks.len()];
+        for (v, (&old, &new)) in old_proc.iter().zip(new_proc).enumerate() {
+            if old != new {
+                touched[old as usize] = true;
+                self.ranks[new as usize].roots.push(v as u32);
+            }
+        }
+        for (r, dirty) in touched.iter().enumerate() {
+            if *dirty {
+                self.ranks[r]
+                    .roots
+                    .retain(|&v| new_proc[v as usize] == r as u32);
+            }
+        }
+    }
+
+    /// Apply a refinement change log. Root residency is untouched —
+    /// subdivision never moves a tree — so only the ownership maps change.
+    pub fn apply_refinement(&mut self, delta: &RefineDelta, proc_of_root: &[u32]) {
+        self.own.apply_refinement(delta, proc_of_root);
+    }
+}
+
+/// Append each rank's step events to the session-wide timeline.
+fn absorb<T>(slog: &mut TraceLog, results: &[RankResult<T>]) {
+    for r in results {
+        slog.events[r.rank].extend(r.events.iter().cloned());
+    }
+}
+
+/// The balancer on the running session: host-side evaluation and
+/// repartitioning, then the distributed reassignment protocol as a session
+/// step (instead of the standalone `parallel_reassign` program).
+fn balance_on_session(
+    session: &mut Session,
+    slog: &mut TraceLog,
+    p: &Plum,
+    refine_work: &[u64],
+) -> BalanceDecision {
+    let cfg: &PlumConfig = &p.cfg;
+    let (mut decision, new_part) = evaluate_and_repartition(&p.dual, &p.proc_of_root, cfg, &p.work);
+    let Some(new_part) = new_part else {
+        return decision;
+    };
+
+    // The repartitioner is modeled: every rank is busy for the same
+    // modeled wall time.
+    let results = session.modeled_phase("partition", &vec![decision.partition_time; cfg.nproc]);
+    absorb(slog, &results);
+
+    // Distributed reassignment: rows, gather, host mapper, scatter.
+    let t0 = session.now();
+    let results = {
+        let wremap = &p.dual.wremap;
+        let old_proc = &p.proc_of_root;
+        let new_part = &new_part;
+        session.run(vec![(); cfg.nproc], move |comm, ()| {
+            crate::reassign_par::reassign_body(
+                comm,
+                wremap,
+                old_proc,
+                new_part,
+                cfg.nparts(),
+                cfg.mapper,
+            )
+        })
+    };
+    decision.reassign_comm_time = session.now() - t0;
+    decision.reassign_trace = Some(TraceLog::from_results(&results));
+    absorb(slog, &results);
+    let (sm, assignment, mapper_seconds) = collect_reassign(results.into_iter().map(|r| r.value));
+    decision.reassign_seconds = mapper_seconds;
+
+    apply_reassignment(
+        &mut decision,
+        &p.dual,
+        &p.proc_of_root,
+        refine_work,
+        cfg,
+        &new_part,
+        &sm,
+        &assignment,
+    );
+    decision
+}
+
+/// The remap phase on the running session. Adopts the new assignment into
+/// both `proc_of_root` and the resident engine state.
+fn migrate_on_session(
+    session: &mut Session,
+    slog: &mut TraceLog,
+    p: &mut Plum,
+    new_proc: &[u32],
+) -> crate::migrate::MigrationOutcome {
+    let nproc = p.cfg.nproc;
+    let t0 = session.now();
+    let results = {
+        let am = &p.am;
+        let field = &p.field;
+        let old_proc = &p.proc_of_root;
+        session.run(vec![(); nproc], move |comm, ()| {
+            migrate_body(comm, am, field, old_proc, new_proc)
+        })
+    };
+    let out = migration_outcome_from(&results, nproc, session.now() - t0);
+    absorb(slog, &results);
+    p.engine.apply_migration(&p.am, &p.proc_of_root, new_proc);
+    p.proc_of_root = new_proc.to_vec();
+    out
+}
+
+/// Run one full Fig.-1 cycle on the rank-resident engine: one [`Session`]
+/// carries the virtual clocks through every phase, and the persistent
+/// [`CycleEngine`] supplies (and incrementally absorbs) the ownership state
+/// the phases need. Equivalent to [`Plum::adaption_cycle_reference`] up to
+/// floating-point rounding of the virtual times.
+pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
+    let nproc = p.cfg.nproc;
+    let mut times = PhaseTimes::default();
+    p.time += dt;
+
+    // --- FLOW SOLVER -------------------------------------------------------
+    // Real field update; virtual time charged per rank from the resident
+    // loads and halo sizes, inside the session timeline.
+    solve(&p.am.mesh, &mut p.field, &p.wave, p.time, &p.solver_cfg);
+    let (wcomp_now, wremap_now) = p.am.weights();
+
+    let mut session = Session::new(nproc, p.cfg.machine);
+    let mut slog = TraceLog {
+        events: vec![Vec::new(); nproc],
+    };
+
+    let per = p.engine.per_rank_load(&wcomp_now);
+    let solver_secs: Vec<f64> = (0..nproc)
+        .map(|r| {
+            p.work.solver_iteration_time(
+                per[r],
+                p.engine.own.shared_edges_of_rank(r as u32),
+                &p.cfg.machine,
+            ) * p.cfg.cost.n_adapt as f64
+        })
+        .collect();
+    let t0 = session.now();
+    let results = session.modeled_phase("solver", &solver_secs);
+    absorb(&mut slog, &results);
+    times.solver = session.now() - t0;
+
+    // --- MESH ADAPTOR: edge marking (executed, with propagation) -----------
+    let error = edge_error_indicator(&p.am.mesh, &p.field);
+    let threshold = p.am.threshold_for_final_fraction(&error, refine_frac);
+    let t0 = session.now();
+    let results = {
+        let am = &p.am;
+        let own = &p.engine.own;
+        let work = &p.work;
+        let error = &error;
+        session.run(vec![(); nproc], move |comm, ()| {
+            mark_body(comm, am, own, work, error, threshold)
+        })
+    };
+    times.marking = session.now() - t0;
+    let mark_trace = TraceLog::from_results(&results);
+    absorb(&mut slog, &results);
+    let values: Vec<MarkValue> = results.into_iter().map(|r| r.value).collect();
+    let (marks, marking_sweeps, _comm_words) = merge_marks(&p.am, values.iter());
+
+    // --- exact prediction of the refined mesh -------------------------------
+    let pred = p.am.predict(&marks);
+    let children_per_root: Vec<u64> = (0..p.dual.n())
+        .map(|v| pred.wremap[v] - wremap_now[v])
+        .collect();
+
+    let (decision, migration) = match p.cfg.policy {
+        RemapPolicy::BeforeRefinement => {
+            // Weights as though subdivision already happened; the data that
+            // moves is still the small, unrefined grid.
+            p.dual.wcomp = pred.wcomp.clone();
+            p.dual.wremap = wremap_now.clone();
+            let decision = balance_on_session(&mut session, &mut slog, p, &children_per_root);
+            times.partition = decision.partition_time;
+            times.reassign = decision.reassign_seconds;
+            let migration = decision.accepted.then(|| {
+                let out = migrate_on_session(&mut session, &mut slog, p, &decision.new_proc);
+                times.remap = out.time;
+                out
+            });
+            // Subdivide on the (re)balanced partitions.
+            let (_stats, delta) =
+                p.am.refine_with_delta(&marks, std::slice::from_mut(&mut p.field));
+            p.engine.apply_refinement(&delta, &p.proc_of_root);
+            let kids = p.engine.per_rank_load(&children_per_root);
+            let sweep = p.engine.per_rank_load(&wcomp_now);
+            let secs: Vec<f64> = (0..nproc)
+                .map(|r| p.work.subdivision_time(kids[r], sweep[r]))
+                .collect();
+            let t0 = session.now();
+            let results = session.modeled_phase("subdivide", &secs);
+            absorb(&mut slog, &results);
+            times.subdivide = session.now() - t0;
+            (decision, migration)
+        }
+        RemapPolicy::AfterRefinement => {
+            // Baseline: subdivide first (unbalanced), then move the grown
+            // mesh.
+            let kids = p.engine.per_rank_load(&children_per_root);
+            let sweep = p.engine.per_rank_load(&wcomp_now);
+            let (_stats, delta) =
+                p.am.refine_with_delta(&marks, std::slice::from_mut(&mut p.field));
+            p.engine.apply_refinement(&delta, &p.proc_of_root);
+            let secs: Vec<f64> = (0..nproc)
+                .map(|r| p.work.subdivision_time(kids[r], sweep[r]))
+                .collect();
+            let t0 = session.now();
+            let results = session.modeled_phase("subdivide", &secs);
+            absorb(&mut slog, &results);
+            times.subdivide = session.now() - t0;
+
+            let (wcomp_after, wremap_after) = p.am.weights();
+            p.dual.wcomp = wcomp_after;
+            p.dual.wremap = wremap_after;
+            let refine_work = vec![0; p.dual.n()];
+            let decision = balance_on_session(&mut session, &mut slog, p, &refine_work);
+            times.partition = decision.partition_time;
+            times.reassign = decision.reassign_seconds;
+            let migration = decision.accepted.then(|| {
+                let out = migrate_on_session(&mut session, &mut slog, p, &decision.new_proc);
+                times.remap = out.time;
+                out
+            });
+            (decision, migration)
+        }
+    };
+
+    // Fig. 8 bookkeeping: post-refinement solver load with and without the
+    // rebalance (prediction is exact, so `decision.wmax_old` is precisely
+    // the "no load balancing" workload).
+    let (wcomp_final, _) = p.am.weights();
+    let wmax_balanced = *p.engine.per_rank_load(&wcomp_final).iter().max().unwrap();
+
+    let traces = CycleTraces {
+        marking_comm: CommBreakdown::from_trace(&mark_trace),
+        marking: mark_trace,
+        reassign_comm: decision
+            .reassign_trace
+            .as_ref()
+            .map(CommBreakdown::from_trace),
+        reassign: decision.reassign_trace.clone(),
+        remap_comm: migration
+            .as_ref()
+            .map(|m| CommBreakdown::from_trace(&m.trace)),
+        remap: migration.as_ref().map(|m| m.trace.clone()),
+        session: slog,
+    };
+
+    CycleReport {
+        traces,
+        counts: p.am.mesh.counts(),
+        growth: pred.growth_factor,
+        marking_sweeps,
+        wmax_unbalanced: decision.wmax_old,
+        wmax_balanced,
+        migration,
+        decision,
+        times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plum_mesh::generate::unit_box_mesh;
+    use plum_parsim::TraceEvent;
+    use plum_solver::WaveField;
+
+    const TOL: f64 = 1e-9;
+
+    fn plum(nproc: usize, n: usize, policy: RemapPolicy) -> Plum {
+        let mut cfg = PlumConfig::new(nproc);
+        cfg.policy = policy;
+        Plum::new(unit_box_mesh(n), WaveField::unit_box(), cfg)
+    }
+
+    /// Engine report == reference report: virtual times to fp rounding,
+    /// everything discrete bit-exactly. `times.reassign` and
+    /// `decision.reassign_seconds` are real host wall-clock of the mapper
+    /// run, so they are the one legitimate difference.
+    fn assert_equivalent(e: &CycleReport, r: &CycleReport, what: &str) {
+        for (name, a, b) in [
+            ("solver", e.times.solver, r.times.solver),
+            ("marking", e.times.marking, r.times.marking),
+            ("partition", e.times.partition, r.times.partition),
+            ("remap", e.times.remap, r.times.remap),
+            ("subdivide", e.times.subdivide, r.times.subdivide),
+            (
+                "reassign_comm",
+                e.decision.reassign_comm_time,
+                r.decision.reassign_comm_time,
+            ),
+            ("growth", e.growth, r.growth),
+            (
+                "imb_old",
+                e.decision.imbalance_old,
+                r.decision.imbalance_old,
+            ),
+            (
+                "imb_new",
+                e.decision.imbalance_new,
+                r.decision.imbalance_new,
+            ),
+            ("gain", e.decision.gain, r.decision.gain),
+            ("cost", e.decision.cost, r.decision.cost),
+        ] {
+            assert!(
+                (a - b).abs() < TOL,
+                "{what}: {name} diverged: engine {a} vs reference {b}"
+            );
+        }
+        assert_eq!(e.counts, r.counts, "{what}: mesh counts");
+        assert_eq!(e.marking_sweeps, r.marking_sweeps, "{what}: sweeps");
+        assert_eq!(
+            e.decision.repartitioned, r.decision.repartitioned,
+            "{what}: repartitioned"
+        );
+        assert_eq!(e.decision.accepted, r.decision.accepted, "{what}: accepted");
+        assert_eq!(e.decision.new_proc, r.decision.new_proc, "{what}: new_proc");
+        assert_eq!(e.decision.wmax_old, r.decision.wmax_old, "{what}: wmax_old");
+        assert_eq!(e.decision.wmax_new, r.decision.wmax_new, "{what}: wmax_new");
+        assert_eq!(e.wmax_unbalanced, r.wmax_unbalanced, "{what}: wmax_unbal");
+        assert_eq!(e.wmax_balanced, r.wmax_balanced, "{what}: wmax_bal");
+        assert_eq!(
+            e.migration.is_some(),
+            r.migration.is_some(),
+            "{what}: migration presence"
+        );
+        if let (Some(me), Some(mr)) = (&e.migration, &r.migration) {
+            assert_eq!(me.elems_moved, mr.elems_moved, "{what}: elems moved");
+            assert_eq!(me.words_moved, mr.words_moved, "{what}: words moved");
+            assert_eq!(me.msgs, mr.msgs, "{what}: messages");
+            assert_eq!(
+                me.received_per_rank, mr.received_per_rank,
+                "{what}: received"
+            );
+        }
+    }
+
+    fn golden(nproc: usize, n: usize, policy: RemapPolicy) {
+        let mut engine = plum(nproc, n, policy);
+        let mut reference = plum(nproc, n, policy);
+        for cycle in 0..2 {
+            let e = engine.adaption_cycle(0.3, 0.1);
+            let r = reference.adaption_cycle_reference(0.3, 0.1);
+            assert_equivalent(&e, &r, &format!("P={nproc} {policy:?} cycle {cycle}"));
+        }
+        engine.am.validate();
+    }
+
+    #[test]
+    fn golden_equivalence_uniprocessor() {
+        golden(1, 3, RemapPolicy::BeforeRefinement);
+    }
+
+    #[test]
+    fn golden_equivalence_p8_both_policies() {
+        golden(8, 4, RemapPolicy::BeforeRefinement);
+        golden(8, 4, RemapPolicy::AfterRefinement);
+    }
+
+    #[test]
+    fn golden_equivalence_p64() {
+        golden(64, 5, RemapPolicy::BeforeRefinement);
+    }
+
+    #[test]
+    fn session_timeline_is_continuous_and_ordered() {
+        let mut p = plum(6, 4, RemapPolicy::BeforeRefinement);
+        let report = p.adaption_cycle(0.33, 0.1);
+        let slog = &report.traces.session;
+        assert_eq!(slog.events.len(), 6);
+
+        // Clock-continuity invariant: each rank's stream is one monotone
+        // timeline — every event starts at or after the previous one ends,
+        // with no per-phase reset to zero.
+        for (rank, stream) in slog.events.iter().enumerate() {
+            assert!(!stream.is_empty(), "rank {rank} has an empty timeline");
+            let mut frontier = 0.0f64;
+            for ev in stream {
+                assert!(
+                    ev.time() >= frontier - TOL,
+                    "rank {rank}: event at {} begins before the frontier {frontier}",
+                    ev.time()
+                );
+                assert!(
+                    ev.end_time() >= ev.time() - TOL,
+                    "rank {rank}: negative span"
+                );
+                frontier = frontier.max(ev.end_time());
+            }
+        }
+
+        // Phase ordering on every rank matches the remap-before cycle.
+        for stream in &slog.events {
+            let phases: Vec<&str> = stream
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::PhaseBegin { name, .. } => Some(name.as_str()),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                phases,
+                [
+                    "solver",
+                    "marking",
+                    "partition",
+                    "reassignment",
+                    "remap",
+                    "subdivide"
+                ],
+                "phase order on the session timeline"
+            );
+        }
+
+        // Per-phase durations recovered from the timeline equal the
+        // reported phase times (the timeline is the phases, end to end).
+        let total: f64 = report.times.solver
+            + report.times.marking
+            + report.times.partition
+            + report.times.remap
+            + report.times.subdivide
+            + report.decision.reassign_comm_time;
+        let end = slog
+            .events
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|ev| ev.end_time())
+            .fold(0.0, f64::max);
+        assert!(
+            (end - total).abs() < TOL,
+            "timeline ends at {end}, phases sum to {total}"
+        );
+    }
+
+    #[test]
+    fn engine_state_stays_consistent_across_cycles() {
+        // Three engine cycles without any from-scratch rebuild: the
+        // resident root lists and ownership must keep matching a fresh
+        // build after every cycle.
+        let mut p = plum(4, 3, RemapPolicy::BeforeRefinement);
+        for _ in 0..3 {
+            p.adaption_cycle(0.2, 0.4);
+            let fresh = CycleEngine::new(&p.am, &p.proc_of_root, p.cfg.nproc);
+            for (resident, rebuilt) in p.engine.ranks.iter().zip(&fresh.ranks) {
+                let mut a = resident.roots.clone();
+                let mut b = rebuilt.roots.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "resident roots of rank {} drifted", resident.rank);
+            }
+            for r in 0..p.cfg.nproc {
+                assert_eq!(
+                    p.engine.own.shared_edges_of_rank(r as u32),
+                    fresh.own.shared_edges_of_rank(r as u32),
+                    "shared-edge count of rank {r} drifted"
+                );
+            }
+        }
+        p.am.validate();
+    }
+}

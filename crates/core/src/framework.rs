@@ -12,6 +12,7 @@ use plum_parsim::TraceLog;
 
 use crate::balance::{balance_step, BalanceDecision};
 use crate::config::{PlumConfig, RemapPolicy};
+use crate::engine::CycleEngine;
 use crate::marking::{parallel_mark, Ownership};
 use crate::migrate::{parallel_migrate, MigrationOutcome};
 use crate::timing::{CommBreakdown, WorkModel};
@@ -60,6 +61,11 @@ pub struct CycleTraces {
     /// Data-remapping trace (when a new mapping was adopted).
     pub remap: Option<TraceLog>,
     pub remap_comm: Option<CommBreakdown>,
+    /// The whole cycle on one continuous virtual timeline (engine path
+    /// only; empty under [`Plum::adaption_cycle_reference`]). Event times
+    /// are absolute session times, so phases follow one another without
+    /// per-phase clock resets.
+    pub session: TraceLog,
 }
 
 /// Everything one adaption cycle reports.
@@ -102,7 +108,10 @@ pub struct Plum {
     pub proc_of_root: Vec<u32>,
     /// Physical simulation time.
     pub time: f64,
-    solver_cfg: SolverConfig,
+    /// Rank-resident state: per-rank root lists and incrementally
+    /// maintained ownership, persisting across cycles.
+    pub engine: CycleEngine,
+    pub(crate) solver_cfg: SolverConfig,
 }
 
 impl Plum {
@@ -110,7 +119,7 @@ impl Plum {
     /// processors (identity at startup), and set the initial solution.
     pub fn new(mesh: TetMesh, wave: WaveField, cfg: PlumConfig) -> Self {
         let dual = DualGraph::build(&mesh);
-        let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+        let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
         let mut pcfg = cfg.partition;
         pcfg.nparts = cfg.nproc;
         let proc_of_root = if cfg.nproc > 1 {
@@ -121,6 +130,7 @@ impl Plum {
         let am = AdaptiveMesh::new(mesh);
         let mut field = VertexField::new(NCOMP, am.mesh.vert_slots());
         initialize_solution(&am.mesh, &mut field, &wave, 0.0);
+        let engine = CycleEngine::new(&am, &proc_of_root, cfg.nproc);
         Plum {
             cfg,
             work: WorkModel::default(),
@@ -130,6 +140,7 @@ impl Plum {
             wave,
             proc_of_root,
             time: 0.0,
+            engine,
             solver_cfg: SolverConfig::default(),
         }
     }
@@ -176,7 +187,20 @@ impl Plum {
     /// balance, remap, subdivide. `refine_frac` is the fraction of edges the
     /// error indicator targets; `dt` advances the physical time (moving the
     /// wave so successive cycles refine different regions).
+    ///
+    /// Runs on the rank-resident [`CycleEngine`]: one SPMD session per
+    /// cycle, incrementally maintained ownership, and a continuous virtual
+    /// timeline in [`CycleTraces::session`].
     pub fn adaption_cycle(&mut self, refine_frac: f64, dt: f64) -> CycleReport {
+        crate::engine::run_cycle(self, refine_frac, dt)
+    }
+
+    /// The original per-phase driver, kept as the golden reference for the
+    /// engine: every parallel phase is its own `spmd` program with fresh
+    /// clocks, and ownership is rebuilt from scratch. Produces the same
+    /// report as [`Plum::adaption_cycle`] up to floating-point rounding of
+    /// the virtual times (and without the session timeline).
+    pub fn adaption_cycle_reference(&mut self, refine_frac: f64, dt: f64) -> CycleReport {
         let mut times = PhaseTimes::default();
         self.time += dt;
 
@@ -312,7 +336,13 @@ impl Plum {
                 .as_ref()
                 .map(|m| CommBreakdown::from_trace(&m.trace)),
             remap: migration.as_ref().map(|m| m.trace.clone()),
+            session: TraceLog::default(),
         };
+
+        // The reference path mutates the mesh and assignment without
+        // incremental updates — resynchronize the resident engine state so
+        // the two drivers can be interleaved freely.
+        self.engine = CycleEngine::new(&self.am, &self.proc_of_root, self.cfg.nproc);
 
         CycleReport {
             traces,

@@ -33,9 +33,12 @@
 mod balance;
 mod config;
 mod dmesh;
+mod engine;
 mod framework;
 mod marking;
 mod migrate;
+#[cfg(test)]
+mod proptests;
 mod reassign_par;
 mod snapshot;
 mod timing;
@@ -43,9 +46,10 @@ mod timing;
 pub use balance::{balance_step, run_mapper, BalanceDecision};
 pub use config::{Mapper, PlumConfig, RemapPolicy};
 pub use dmesh::{distribute, finalize, DistributedMesh, FinalizedMesh};
+pub use engine::{run_cycle, CycleEngine, RankState};
 pub use framework::{fraction_threshold, CycleReport, CycleTraces, PhaseTimes, Plum};
 pub use marking::{parallel_mark, MarkResult, Ownership};
 pub use migrate::{parallel_migrate, MigrationOutcome};
 pub use reassign_par::{parallel_reassign, ParallelReassign};
-pub use snapshot::{read_snapshot, snapshot_words, write_snapshot};
+pub use snapshot::{read_snapshot, snapshot_words, write_snapshot, SnapshotError};
 pub use timing::{CommBreakdown, WorkModel};

@@ -8,51 +8,153 @@
 //! protocol ("the process may continue for several iterations, and edge
 //! markings could propagate back and forth across partitions").
 
-use plum_adapt::{AdaptiveMesh, EdgeMarks};
-use plum_mesh::{EdgeId, ElemId};
-use plum_parsim::{makespan, spmd, MachineModel, TraceLog};
+use plum_adapt::{AdaptiveMesh, EdgeMarks, RefineDelta, RefineEvent};
+use plum_mesh::{EdgeId, ElemId, SharedEdgeTracker};
+use plum_parsim::{makespan, spmd, Comm, MachineModel, TraceLog};
 
 use crate::timing::WorkModel;
 
 /// Ownership maps derived from the root→processor assignment.
+///
+/// Built once from the global mesh and then maintained *incrementally*: a
+/// migration moves whole root subtrees between ranks
+/// ([`Ownership::apply_migration`]) and refinement replays the element
+/// change log ([`Ownership::apply_refinement`]) — no per-cycle walk over
+/// every element×edge.
 pub struct Ownership {
     /// Elements owned by each rank.
     pub elems_of_rank: Vec<Vec<ElemId>>,
-    /// For each edge slot, the sorted list of ranks sharing it (len > 1 ⇒
-    /// shared edge).
-    pub edge_ranks: Vec<Vec<u32>>,
+    /// Per element slot: owning rank (`u32::MAX` for dead slots).
+    elem_rank: Vec<u32>,
+    /// Refcounted per-edge rank lists with cached shared counts.
+    tracker: SharedEdgeTracker,
 }
 
 impl Ownership {
     /// Compute ownership from the current assignment.
     pub fn build(am: &AdaptiveMesh, proc_of_root: &[u32], nproc: usize) -> Self {
         let mut elems_of_rank: Vec<Vec<ElemId>> = vec![Vec::new(); nproc];
-        let mut edge_ranks: Vec<Vec<u32>> = vec![Vec::new(); am.mesh.edge_slots()];
+        let mut elem_rank = vec![u32::MAX; am.mesh.elem_slots()];
         for e in am.mesh.elems() {
             let r = proc_of_root[am.root_of_elem(e) as usize];
             elems_of_rank[r as usize].push(e);
-            for ed in am.mesh.elem_edges(e) {
-                let list = &mut edge_ranks[ed.idx()];
-                if !list.contains(&r) {
-                    list.push(r);
+            elem_rank[e.idx()] = r;
+        }
+        // Feed the tracker rank by rank so every edge's rank list grows in
+        // ascending order and insertion hits the O(1) last-entry fast path.
+        let mut tracker = SharedEdgeTracker::new(am.mesh.edge_slots(), nproc);
+        for (r, elems) in elems_of_rank.iter().enumerate() {
+            for &e in elems {
+                for ed in am.mesh.elem_edges(e) {
+                    tracker.add(ed.idx(), r as u32);
                 }
             }
         }
-        for list in &mut edge_ranks {
-            list.sort_unstable();
-        }
         Ownership {
             elems_of_rank,
-            edge_ranks,
+            elem_rank,
+            tracker,
         }
     }
 
+    /// Ranks owning a copy of `edge`, ascending (len > 1 ⇒ shared edge).
+    #[inline]
+    pub fn ranks_of(&self, edge: EdgeId) -> impl Iterator<Item = u32> + '_ {
+        self.tracker.ranks_of(edge.idx())
+    }
+
     /// Number of shared edges a rank touches (for halo-cost modeling).
+    /// O(1) — the tracker caches per-rank counts.
     pub fn shared_edges_of_rank(&self, rank: u32) -> u64 {
-        self.edge_ranks
-            .iter()
-            .filter(|l| l.len() > 1 && l.contains(&rank))
-            .count() as u64
+        self.tracker.shared_edges_of_rank(rank)
+    }
+
+    /// Owning rank of a live element.
+    #[inline]
+    pub fn rank_of_elem(&self, e: ElemId) -> u32 {
+        self.elem_rank[e.idx()]
+    }
+
+    /// Restore the per-rank list invariants on every `touched` rank: drop
+    /// stale entries (an entry survives iff the element still maps to that
+    /// rank and was not already kept — slot reuse can otherwise leave
+    /// duplicates), then re-sort to ascending slot order. Canonical order
+    /// matters beyond aesthetics: the marking protocol visits elements in
+    /// list order, and its per-sweep message sizes depend on that order, so
+    /// incremental maintenance must leave exactly the lists a from-scratch
+    /// [`Ownership::build`] would produce.
+    fn sweep_ranks(&mut self, touched: &[bool]) {
+        let mut kept = vec![u32::MAX; self.elem_rank.len()];
+        for (r, dirty) in touched.iter().enumerate() {
+            if !dirty {
+                continue;
+            }
+            let elem_rank = &self.elem_rank;
+            self.elems_of_rank[r].retain(|&e| {
+                let keep = elem_rank[e.idx()] == r as u32 && kept[e.idx()] != r as u32;
+                if keep {
+                    kept[e.idx()] = r as u32;
+                }
+                keep
+            });
+            self.elems_of_rank[r].sort_unstable_by_key(|e| e.idx());
+        }
+    }
+
+    /// Apply a migration: every root whose processor changed moves its whole
+    /// subtree of live elements from the old rank to the new one.
+    pub fn apply_migration(&mut self, am: &AdaptiveMesh, old_proc: &[u32], new_proc: &[u32]) {
+        let nproc = self.elems_of_rank.len();
+        let mut touched = vec![false; nproc];
+        for (root, (&old, &new)) in old_proc.iter().zip(new_proc).enumerate() {
+            if old == new {
+                continue;
+            }
+            touched[old as usize] = true;
+            touched[new as usize] = true;
+            for e in am.forest().leaf_elems_of_root(root as u32) {
+                self.elem_rank[e.idx()] = new;
+                self.elems_of_rank[new as usize].push(e);
+                for ed in am.mesh.elem_edges(e) {
+                    self.tracker.remove(ed.idx(), old);
+                    self.tracker.add(ed.idx(), new);
+                }
+            }
+        }
+        self.sweep_ranks(&touched);
+    }
+
+    /// Apply a refinement change log: retired parents leave their rank,
+    /// created children join the rank of their root.
+    pub fn apply_refinement(&mut self, delta: &RefineDelta, proc_of_root: &[u32]) {
+        let nproc = self.elems_of_rank.len();
+        let mut touched = vec![false; nproc];
+        for ev in &delta.events {
+            match *ev {
+                RefineEvent::Retired { elem, root, edges } => {
+                    let r = proc_of_root[root as usize];
+                    debug_assert_eq!(self.elem_rank[elem.idx()], r);
+                    self.elem_rank[elem.idx()] = u32::MAX;
+                    touched[r as usize] = true;
+                    for ed in edges {
+                        self.tracker.remove(ed.idx(), r);
+                    }
+                }
+                RefineEvent::Created { elem, root, edges } => {
+                    let r = proc_of_root[root as usize];
+                    if elem.idx() >= self.elem_rank.len() {
+                        self.elem_rank.resize(elem.idx() + 1, u32::MAX);
+                    }
+                    self.elem_rank[elem.idx()] = r;
+                    self.elems_of_rank[r as usize].push(elem);
+                    touched[r as usize] = true;
+                    for ed in edges {
+                        self.tracker.add(ed.idx(), r);
+                    }
+                }
+            }
+        }
+        self.sweep_ranks(&touched);
     }
 }
 
@@ -71,6 +173,117 @@ pub struct MarkResult {
     pub trace: TraceLog,
 }
 
+/// Per-rank value produced by the marking stage body: local marks, sweep
+/// count, and words this rank sent during propagation.
+pub(crate) type MarkValue = (EdgeMarks, usize, u64);
+
+/// The marking stage body for one rank. Runs under either [`spmd`] (the
+/// standalone [`parallel_mark`] wrapper) or a [`plum_parsim::Session`] step
+/// of the cycle engine — the sent-word count is a delta, since session
+/// counters accumulate across steps.
+pub(crate) fn mark_body(
+    comm: &mut Comm,
+    am: &AdaptiveMesh,
+    own: &Ownership,
+    work: &WorkModel,
+    error: &[f64],
+    threshold: f64,
+) -> MarkValue {
+    let words0 = comm.sent_words();
+    let nproc = comm.nranks();
+    comm.phase_begin("marking");
+    let rank = comm.rank();
+    let my_elems = &own.elems_of_rank[rank];
+    let mut marks = EdgeMarks::new(&am.mesh);
+
+    // Initial marking: my elements' edges above threshold. Shared edges
+    // get the same decision on all owners because the error values are
+    // identical ("shared edges have the same flow and geometry
+    // information regardless of their processor number").
+    for &e in my_elems {
+        for ed in am.mesh.elem_edges(e) {
+            if error.get(ed.idx()).copied().unwrap_or(0.0) > threshold {
+                marks.mark(ed);
+            }
+        }
+    }
+    comm.advance(my_elems.len() as f64 * work.t_mark_elem);
+
+    let mut sweeps = 0usize;
+    loop {
+        // One local upgrade sweep over my elements.
+        let mut newly: Vec<EdgeId> = Vec::new();
+        for &e in my_elems {
+            let p = am.elem_pattern(e, &marks);
+            let up = plum_adapt::upgrade(p);
+            if up != p {
+                let edges = am.mesh.elem_edges(e);
+                for (k, &ed) in edges.iter().enumerate() {
+                    if up & (1 << k) != 0 && marks.mark(ed) {
+                        newly.push(ed);
+                    }
+                }
+            }
+        }
+        comm.advance(my_elems.len() as f64 * work.t_mark_elem);
+
+        // Ship newly marked *shared* edges to their other owners.
+        let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); nproc];
+        for &ed in &newly {
+            for r in own.ranks_of(ed) {
+                if r as usize != rank {
+                    outgoing[r as usize].push(ed.0);
+                }
+            }
+        }
+        let items: Vec<(u64, Vec<u32>)> = outgoing
+            .into_iter()
+            .map(|v| ((v.len() as u64).max(1), v))
+            .collect();
+        let incoming = comm.alltoallv(items);
+        let mut received_new = false;
+        for batch in incoming {
+            for id in batch {
+                if marks.mark(EdgeId(id)) {
+                    received_new = true;
+                }
+            }
+        }
+
+        let changed = comm.allreduce_or(!newly.is_empty() || received_new);
+        sweeps += 1;
+        if !changed {
+            break;
+        }
+    }
+    comm.phase_end("marking");
+    (marks, sweeps, comm.sent_words() - words0)
+}
+
+/// Merge per-rank marking results: union of all ranks' marks (identical on
+/// shared edges at fixpoint; the union is what a global observer sees),
+/// maximum sweep count, total propagation words.
+pub(crate) fn merge_marks<'a>(
+    am: &AdaptiveMesh,
+    values: impl Iterator<Item = &'a MarkValue>,
+) -> (EdgeMarks, usize, u64) {
+    let mut merged = EdgeMarks::new(&am.mesh);
+    let mut sweeps = 0;
+    let mut comm_words = 0;
+    for (marks, rank_sweeps, words) in values {
+        for e in marks.iter() {
+            merged.mark(e);
+        }
+        sweeps = sweeps.max(*rank_sweeps);
+        comm_words += words;
+    }
+    debug_assert!(
+        am.marks_are_legal(&merged),
+        "parallel marking fixpoint is not legal"
+    );
+    (merged, sweeps, comm_words)
+}
+
 /// Run the marking phase in parallel: every rank marks its own edges whose
 /// `error` exceeds `threshold`, then propagates pattern upgrades across
 /// ranks until the markings are stable and legal everywhere.
@@ -84,97 +297,17 @@ pub fn parallel_mark(
     threshold: f64,
 ) -> MarkResult {
     let results = spmd(nproc, machine, |comm| {
-        comm.phase_begin("marking");
-        let rank = comm.rank();
-        let my_elems = &own.elems_of_rank[rank];
-        let mut marks = EdgeMarks::new(&am.mesh);
-
-        // Initial marking: my elements' edges above threshold. Shared edges
-        // get the same decision on all owners because the error values are
-        // identical ("shared edges have the same flow and geometry
-        // information regardless of their processor number").
-        for &e in my_elems {
-            for ed in am.mesh.elem_edges(e) {
-                if error.get(ed.idx()).copied().unwrap_or(0.0) > threshold {
-                    marks.mark(ed);
-                }
-            }
-        }
-        comm.advance(my_elems.len() as f64 * work.t_mark_elem);
-
-        let mut sweeps = 0usize;
-        loop {
-            // One local upgrade sweep over my elements.
-            let mut newly: Vec<EdgeId> = Vec::new();
-            for &e in my_elems {
-                let p = am.elem_pattern(e, &marks);
-                let up = plum_adapt::upgrade(p);
-                if up != p {
-                    let edges = am.mesh.elem_edges(e);
-                    for (k, &ed) in edges.iter().enumerate() {
-                        if up & (1 << k) != 0 && marks.mark(ed) {
-                            newly.push(ed);
-                        }
-                    }
-                }
-            }
-            comm.advance(my_elems.len() as f64 * work.t_mark_elem);
-
-            // Ship newly marked *shared* edges to their other owners.
-            let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); nproc];
-            for &ed in &newly {
-                for &r in &own.edge_ranks[ed.idx()] {
-                    if r as usize != rank {
-                        outgoing[r as usize].push(ed.0);
-                    }
-                }
-            }
-            let items: Vec<(u64, Vec<u32>)> = outgoing
-                .into_iter()
-                .map(|v| ((v.len() as u64).max(1), v))
-                .collect();
-            let incoming = comm.alltoallv(items);
-            let mut received_new = false;
-            for batch in incoming {
-                for id in batch {
-                    if marks.mark(EdgeId(id)) {
-                        received_new = true;
-                    }
-                }
-            }
-
-            let changed = comm.allreduce_or(!newly.is_empty() || received_new);
-            sweeps += 1;
-            if !changed {
-                break;
-            }
-        }
-        comm.phase_end("marking");
-        (marks, sweeps, comm.sent_words())
+        mark_body(comm, am, own, work, error, threshold)
     });
     let trace = TraceLog::from_results(&results);
-
-    // Merge: union of all ranks' marks (identical on shared edges at
-    // fixpoint; the union is what a global observer sees).
-    let mut merged = EdgeMarks::new(&am.mesh);
-    let mut sweeps = 0;
-    let mut comm_words = 0;
-    for r in &results {
-        for e in r.value.0.iter() {
-            merged.mark(e);
-        }
-        sweeps = sweeps.max(r.value.1);
-        comm_words += r.value.2;
-    }
-    debug_assert!(
-        am.marks_are_legal(&merged),
-        "parallel marking fixpoint is not legal"
-    );
+    let time = makespan(&results);
+    let values: Vec<MarkValue> = results.into_iter().map(|r| r.value).collect();
+    let (marks, sweeps, comm_words) = merge_marks(am, values.iter());
 
     MarkResult {
-        marks: merged,
+        marks,
         sweeps,
-        time: makespan(&results),
+        time,
         comm_words,
         trace,
     }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use plum_adapt::AdaptiveMesh;
 use plum_mesh::VertexField;
-use plum_parsim::{makespan, spmd, MachineModel, TraceLog};
+use plum_parsim::{makespan, spmd, Comm, MachineModel, RankResult, TraceLog};
 use plum_remap::{Packer, Unpacker};
 
 /// Outcome of a parallel migration phase.
@@ -33,19 +33,24 @@ pub struct MigrationOutcome {
     pub trace: TraceLog,
 }
 
-/// Migrate every dual vertex whose assignment changed from `old_proc` to
-/// `new_proc`. Data is genuinely serialized, transmitted through the
-/// simulated machine, deserialized, and validated on the receiving rank.
-pub fn parallel_migrate(
+/// Per-rank value of the remap stage body: `(packed tree nodes, received
+/// tree nodes, messages, words sent)`. Word counts are deltas, so the body
+/// can run under a [`plum_parsim::Session`] step with cumulative counters.
+pub(crate) type MigrateValue = (u64, u64, u64, u64);
+
+/// The remap stage body for one rank: pack my departing trees, exchange
+/// buffers, unpack and validate arrivals.
+pub(crate) fn migrate_body(
+    comm: &mut Comm,
     am: &AdaptiveMesh,
     field: &VertexField,
     old_proc: &[u32],
     new_proc: &[u32],
-    nproc: usize,
-    machine: MachineModel,
-) -> MigrationOutcome {
+) -> MigrateValue {
     let ncomp = field.ncomp();
-    let results = spmd(nproc, machine, |comm| {
+    let nproc = comm.nranks();
+    let words0 = comm.sent_words();
+    {
         comm.phase_begin("remap");
         let rank = comm.rank() as u32;
 
@@ -121,18 +126,27 @@ pub fn parallel_migrate(
         }
 
         comm.phase_end("remap");
-        (packed_elems, received, msgs, comm.sent_words())
-    });
+        (packed_elems, received, msgs, comm.sent_words() - words0)
+    }
+}
 
+/// Assemble a [`MigrationOutcome`] (with conservation check) out of the
+/// per-rank stage results. `time` is the caller's phase duration — the
+/// makespan under [`spmd`], or the session-step duration under the engine.
+pub(crate) fn migration_outcome_from(
+    results: &[RankResult<MigrateValue>],
+    nproc: usize,
+    time: f64,
+) -> MigrationOutcome {
     let mut outcome = MigrationOutcome {
-        time: makespan(&results),
+        time,
         elems_moved: 0,
         words_moved: 0,
         msgs: 0,
         received_per_rank: vec![0; nproc],
-        trace: TraceLog::from_results(&results),
+        trace: TraceLog::from_results(results),
     };
-    for r in &results {
+    for r in results {
         outcome.elems_moved += r.value.0;
         outcome.received_per_rank[r.rank] = r.value.1;
         outcome.msgs += r.value.2;
@@ -145,6 +159,24 @@ pub fn parallel_migrate(
         "elements lost in flight"
     );
     outcome
+}
+
+/// Migrate every dual vertex whose assignment changed from `old_proc` to
+/// `new_proc`. Data is genuinely serialized, transmitted through the
+/// simulated machine, deserialized, and validated on the receiving rank.
+pub fn parallel_migrate(
+    am: &AdaptiveMesh,
+    field: &VertexField,
+    old_proc: &[u32],
+    new_proc: &[u32],
+    nproc: usize,
+    machine: MachineModel,
+) -> MigrationOutcome {
+    let results = spmd(nproc, machine, |comm| {
+        migrate_body(comm, am, field, old_proc, new_proc)
+    });
+    let time = makespan(&results);
+    migration_outcome_from(&results, nproc, time)
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Property-based tests of incremental ownership maintenance: after any
+//! sequence of random migrations and refinements, the incrementally updated
+//! [`Ownership`] must be exactly equivalent to a from-scratch
+//! [`Ownership::build`] on the current mesh and assignment.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use plum_adapt::{AdaptiveMesh, EdgeMarks};
+use plum_mesh::generate::unit_box_mesh;
+use plum_mesh::EdgeId;
+
+use crate::marking::Ownership;
+
+/// Assert `own` (incrementally maintained) equals a fresh build.
+fn assert_equivalent(own: &Ownership, am: &AdaptiveMesh, proc: &[u32], nproc: usize) {
+    let fresh = Ownership::build(am, proc, nproc);
+    for r in 0..nproc {
+        let mut a = own.elems_of_rank[r].clone();
+        let mut b = fresh.elems_of_rank[r].clone();
+        a.sort_unstable_by_key(|e| e.idx());
+        b.sort_unstable_by_key(|e| e.idx());
+        assert_eq!(a, b, "element set of rank {r} diverged");
+        assert_eq!(
+            own.shared_edges_of_rank(r as u32),
+            fresh.shared_edges_of_rank(r as u32),
+            "shared-edge count of rank {r} diverged"
+        );
+    }
+    for slot in 0..am.mesh.edge_slots() {
+        let a: Vec<u32> = own.ranks_of(EdgeId(slot as u32)).collect();
+        let b: Vec<u32> = fresh.ranks_of(EdgeId(slot as u32)).collect();
+        assert_eq!(a, b, "rank list of edge slot {slot} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_ownership_matches_from_scratch_build(
+        nproc in 1usize..5,
+        assign in proptest::collection::vec(0u32..64, 64),
+        steps in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(0u32..64, 16)),
+            1..4,
+        ),
+    ) {
+        let mut am = AdaptiveMesh::new(unit_box_mesh(2));
+        let mut proc: Vec<u32> = (0..am.n_roots())
+            .map(|r| assign[r % assign.len()] % nproc as u32)
+            .collect();
+        let mut own = Ownership::build(&am, &proc, nproc);
+
+        for (is_refine, data) in &steps {
+            if *is_refine {
+                // Pseudo-random edge marking, legalized, then refined; the
+                // incremental path replays the change log.
+                let mut marks = EdgeMarks::new(&am.mesh);
+                for (i, e) in am.mesh.edges().collect::<Vec<_>>().into_iter().enumerate() {
+                    if (data[i % data.len()] + i as u32).is_multiple_of(5) {
+                        marks.mark(e);
+                    }
+                }
+                am.upgrade_to_fixpoint(&mut marks);
+                let (_, delta) = am.refine_with_delta(&marks, &mut []);
+                own.apply_refinement(&delta, &proc);
+            } else {
+                // Migrate a pseudo-random subset of roots to new ranks.
+                let new: Vec<u32> = proc
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &p)| {
+                        if data[r % data.len()] % 3 == 0 {
+                            data[(r + 1) % data.len()] % nproc as u32
+                        } else {
+                            p
+                        }
+                    })
+                    .collect();
+                own.apply_migration(&am, &proc, &new);
+                proc = new;
+            }
+            assert_equivalent(&own, &am, &proc, nproc);
+        }
+    }
+}

@@ -10,10 +10,96 @@
 //! one row of the matrix (P×F integers) needs to be communicated" — the
 //! virtual times measured here confirm exactly that.
 
-use plum_parsim::{makespan, spmd, MachineModel, TraceLog};
+use plum_parsim::{makespan, spmd, Comm, MachineModel, TraceLog};
 use plum_reassign::{Assignment, SimilarityMatrix};
 
 use crate::config::Mapper;
+
+/// Per-rank value of the reassignment stage body: the host triple (only on
+/// rank 0) and the scattered partition→processor solution.
+pub(crate) type ReassignValue = (Option<(SimilarityMatrix, Assignment, f64)>, Vec<u32>);
+
+/// The reassignment stage body for one rank: compute my similarity row,
+/// gather on the host, run the mapper there (wall-clocked, no virtual
+/// charge), scatter the solution. Runs under [`spmd`] or a
+/// [`plum_parsim::Session`] step.
+pub(crate) fn reassign_body(
+    comm: &mut Comm,
+    wremap: &[u64],
+    old_proc: &[u32],
+    new_part: &[u32],
+    nparts: usize,
+    mapper: Mapper,
+) -> ReassignValue {
+    comm.phase_begin("reassignment");
+    let rank = comm.rank() as u32;
+    // Local row: weights of my dual vertices per new partition. Each
+    // rank touches only its own subdomain — O(n/P) work.
+    let mut row = vec![0u64; nparts];
+    let mut mine = 0usize;
+    for v in 0..wremap.len() {
+        if old_proc[v] == rank {
+            row[new_part[v] as usize] += wremap[v];
+            mine += 1;
+        }
+    }
+    comm.compute(mine as f64);
+
+    // Gather rows on the host (rank 0): one row of P·F integers each.
+    let gathered = comm.gather(0, nparts as u64, row);
+
+    // Host builds the matrix and runs the mapper.
+    let host = gathered.map(|rows| {
+        let sm = SimilarityMatrix::from_rows(rows);
+        let t0 = std::time::Instant::now();
+        let assignment = match mapper {
+            Mapper::GreedyMwbg => plum_reassign::greedy_mwbg(&sm),
+            Mapper::OptimalMwbg => plum_reassign::optimal_mwbg(&sm),
+            Mapper::OptimalBmcm => plum_reassign::optimal_bmcm(&sm, 1.0, 1.0),
+        };
+        let mapper_seconds = t0.elapsed().as_secs_f64();
+        (sm, assignment, mapper_seconds)
+    });
+
+    // Scatter the solution back (each rank gets the full P·F-entry
+    // mapping — still "a minuscule amount" of data).
+    let proc_of_part: Vec<u32> = comm.bcast(
+        0,
+        nparts as u64,
+        host.as_ref().map(|(_, a, _)| a.proc_of_part.clone()),
+    );
+    comm.phase_end("reassignment");
+    (host, proc_of_part)
+}
+
+/// Collect the per-rank stage values: extract the host triple and assert
+/// every rank received the same scattered solution.
+pub(crate) fn collect_reassign(
+    values: impl Iterator<Item = ReassignValue>,
+) -> (SimilarityMatrix, Assignment, f64) {
+    let mut matrix = None;
+    let mut assignment = None;
+    let mut mapper_seconds = 0.0;
+    let mut scattered: Vec<Vec<u32>> = Vec::new();
+    for (host, proc_of_part) in values {
+        scattered.push(proc_of_part);
+        if let Some((sm, a, secs)) = host {
+            matrix = Some(sm);
+            assignment = Some(a);
+            mapper_seconds = secs;
+        }
+    }
+    let assignment = assignment.expect("host must produce an assignment");
+    // Every rank received the same solution.
+    for s in &scattered {
+        assert_eq!(*s, assignment.proc_of_part, "scatter diverged");
+    }
+    (
+        matrix.expect("host must produce the matrix"),
+        assignment,
+        mapper_seconds,
+    )
+}
 
 /// Result of the distributed reassignment protocol.
 pub struct ParallelReassign {
@@ -48,69 +134,15 @@ pub fn parallel_reassign(
     assert_eq!(wremap.len(), old_proc.len());
     assert_eq!(wremap.len(), new_part.len());
     let results = spmd(nproc, machine, |comm| {
-        comm.phase_begin("reassignment");
-        let rank = comm.rank() as u32;
-        // Local row: weights of my dual vertices per new partition. Each
-        // rank touches only its own subdomain — O(n/P) work.
-        let mut row = vec![0u64; nparts];
-        let mut mine = 0usize;
-        for v in 0..wremap.len() {
-            if old_proc[v] == rank {
-                row[new_part[v] as usize] += wremap[v];
-                mine += 1;
-            }
-        }
-        comm.compute(mine as f64);
-
-        // Gather rows on the host (rank 0): one row of P·F integers each.
-        let gathered = comm.gather(0, nparts as u64, row);
-
-        // Host builds the matrix and runs the mapper.
-        let host = gathered.map(|rows| {
-            let sm = SimilarityMatrix::from_rows(rows);
-            let t0 = std::time::Instant::now();
-            let assignment = match mapper {
-                Mapper::GreedyMwbg => plum_reassign::greedy_mwbg(&sm),
-                Mapper::OptimalMwbg => plum_reassign::optimal_mwbg(&sm),
-                Mapper::OptimalBmcm => plum_reassign::optimal_bmcm(&sm, 1.0, 1.0),
-            };
-            let mapper_seconds = t0.elapsed().as_secs_f64();
-            (sm, assignment, mapper_seconds)
-        });
-
-        // Scatter the solution back (each rank gets the full P·F-entry
-        // mapping — still "a minuscule amount" of data).
-        let proc_of_part: Vec<u32> = comm.bcast(
-            0,
-            nparts as u64,
-            host.as_ref().map(|(_, a, _)| a.proc_of_part.clone()),
-        );
-        comm.phase_end("reassignment");
-        (host, proc_of_part)
+        reassign_body(comm, wremap, old_proc, new_part, nparts, mapper)
     });
 
     let time = makespan(&results);
     let trace = TraceLog::from_results(&results);
-    let mut matrix = None;
-    let mut assignment = None;
-    let mut mapper_seconds = 0.0;
-    let mut scattered: Vec<Vec<u32>> = Vec::new();
-    for r in results {
-        let (host, proc_of_part) = r.value;
-        scattered.push(proc_of_part);
-        if let Some((sm, a, secs)) = host {
-            matrix = Some(sm);
-            assignment = Some(a);
-            mapper_seconds = secs;
-        }
-    }
-    let assignment = assignment.expect("host must produce an assignment");
-    // Every rank received the same solution.
-    for s in &scattered {
-        assert_eq!(*s, assignment.proc_of_part, "scatter diverged");
-    }
+    let (matrix, assignment, mapper_seconds) =
+        collect_reassign(results.into_iter().map(|r| r.value));
     ParallelReassign {
-        matrix: matrix.expect("host must produce the matrix"),
+        matrix,
         assignment,
         time,
         mapper_seconds,

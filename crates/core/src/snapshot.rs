@@ -11,9 +11,50 @@
 
 use plum_mesh::{TetMesh, VertId, VertexField};
 use plum_remap::{Packer, Unpacker};
+use std::fmt;
 
 const MAGIC: u32 = 0x504c_554d; // "PLUM"
 const VERSION: u32 = 1;
+
+/// Why a snapshot buffer was rejected by [`read_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the `PLUM` magic number.
+    BadMagic { found: u32 },
+    /// The format version is not one this build can read.
+    BadVersion { found: u32 },
+    /// The buffer ends before the data its header promises.
+    Truncated { needed: u64, available: u64 },
+    /// Extra bytes follow a structurally complete snapshot.
+    TrailingBytes { extra: usize },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a PLUM snapshot (magic {found:#010x})")
+            }
+            SnapshotError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (expected {VERSION})"
+                )
+            }
+            SnapshotError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated snapshot: need {needed} bytes, have {available}"
+                )
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after snapshot payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Serialize a computational mesh and a per-vertex solution field.
 pub fn write_snapshot(mesh: &TetMesh, field: &VertexField) -> Vec<u8> {
@@ -48,17 +89,36 @@ pub fn write_snapshot(mesh: &TetMesh, field: &VertexField) -> Vec<u8> {
     p.finish()
 }
 
+/// Require `needed` more bytes in the unpacker's buffer.
+fn need(u: &Unpacker, needed: u64) -> Result<(), SnapshotError> {
+    let available = u.remaining() as u64;
+    if needed > available {
+        Err(SnapshotError::Truncated { needed, available })
+    } else {
+        Ok(())
+    }
+}
+
 /// Restore a snapshot written by [`write_snapshot`].
 ///
-/// Returns the mesh (with a fresh, compact id space) and the solution field.
-/// Panics on a malformed buffer (snapshots are trusted local data).
-pub fn read_snapshot(bytes: &[u8]) -> (TetMesh, VertexField) {
+/// Returns the mesh (with a fresh, compact id space) and the solution field,
+/// or a typed [`SnapshotError`] when the buffer is not a well-formed
+/// snapshot (wrong magic, unknown version, truncated, trailing junk).
+pub fn read_snapshot(bytes: &[u8]) -> Result<(TetMesh, VertexField), SnapshotError> {
     let mut u = Unpacker::new(bytes);
-    assert_eq!(u.get_u32(), MAGIC, "not a PLUM snapshot");
-    assert_eq!(u.get_u32(), VERSION, "unsupported snapshot version");
+    need(&u, 16)?;
+    let magic = u.get_u32();
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    let version = u.get_u32();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
 
     let nverts = u.get_u32() as usize;
     let ncomp = u.get_u32() as usize;
+    need(&u, nverts as u64 * (3 + ncomp as u64) * 8)?;
     let mut mesh = TetMesh::with_capacity(nverts, nverts * 7, nverts * 6);
     let mut field = VertexField::new(ncomp, nverts);
     let mut scratch = vec![0.0f64; ncomp];
@@ -71,7 +131,9 @@ pub fn read_snapshot(bytes: &[u8]) -> (TetMesh, VertexField) {
         field.set(v, &scratch);
     }
 
+    need(&u, 4)?;
     let nelems = u.get_u32() as usize;
+    need(&u, nelems as u64 * 16)?;
     for _ in 0..nelems {
         let quad = [
             VertId(u.get_u32()),
@@ -81,8 +143,12 @@ pub fn read_snapshot(bytes: &[u8]) -> (TetMesh, VertexField) {
         ];
         mesh.add_elem(quad);
     }
-    assert!(u.is_exhausted(), "trailing bytes in snapshot");
-    (mesh, field)
+    if !u.is_exhausted() {
+        return Err(SnapshotError::TrailingBytes {
+            extra: u.remaining(),
+        });
+    }
+    Ok((mesh, field))
 }
 
 /// Snapshot size in 8-byte words (what shipping it would cost).
@@ -118,7 +184,7 @@ mod tests {
         let (mesh, field) = adapted_state();
         let bytes = write_snapshot(&mesh, &field);
         assert!(snapshot_words(&bytes) > 0);
-        let (back, field2) = read_snapshot(&bytes);
+        let (back, field2) = read_snapshot(&bytes).unwrap();
         back.validate();
         let a = mesh.counts();
         let b = back.counts();
@@ -139,7 +205,7 @@ mod tests {
         // the §4.1 "adapt first, then take the dual" workflow.
         let (mesh, _) = adapted_state();
         let bytes = write_snapshot(&mesh, &VertexField::new(NCOMP, mesh.vert_slots()));
-        let (restored, _) = read_snapshot(&bytes);
+        let (restored, _) = read_snapshot(&bytes).unwrap();
         let mut plum = crate::Plum::new(restored, WaveField::unit_box(), crate::PlumConfig::new(4));
         let r = plum.adaption_cycle(0.15, 0.2);
         plum.am.validate();
@@ -150,8 +216,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a PLUM snapshot")]
     fn rejects_garbage() {
-        read_snapshot(&[0u8; 16]);
+        assert_eq!(
+            read_snapshot(&[0u8; 16]).unwrap_err(),
+            SnapshotError::BadMagic { found: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_corrupted_header_and_truncation() {
+        let (mesh, field) = adapted_state();
+        let mut bytes = write_snapshot(&mesh, &field);
+
+        // Flip one magic byte: typed BadMagic, not a panic.
+        let orig0 = bytes[0];
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        bytes[0] = orig0;
+
+        // Bump the version field (bytes 4..8).
+        let orig4 = bytes[4];
+        bytes[4] = 0x7f;
+        assert!(matches!(
+            read_snapshot(&bytes),
+            Err(SnapshotError::BadVersion { .. })
+        ));
+        bytes[4] = orig4;
+
+        // Cut the buffer mid-payload: typed Truncated at every cut point.
+        for cut in [8, 15, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    read_snapshot(&bytes[..cut]),
+                    Err(SnapshotError::Truncated { .. })
+                ),
+                "cut at {cut} must report truncation"
+            );
+        }
+
+        // Trailing junk after a complete snapshot is also rejected.
+        bytes.push(0);
+        assert_eq!(
+            read_snapshot(&bytes).unwrap_err(),
+            SnapshotError::TrailingBytes { extra: 1 }
+        );
+        bytes.pop();
+
+        // And the intact buffer still round-trips.
+        assert!(read_snapshot(&bytes).is_ok());
     }
 }

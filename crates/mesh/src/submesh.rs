@@ -6,6 +6,7 @@
 use std::collections::HashMap;
 
 use crate::ids::{EdgeId, ElemId, VertId};
+use crate::shared::SharedEdgeTracker;
 use crate::tetmesh::TetMesh;
 
 /// One processor's piece of a distributed mesh.
@@ -47,17 +48,16 @@ impl SubMesh {
 pub fn extract_submeshes(mesh: &TetMesh, part: &[u32], nparts: usize) -> Vec<SubMesh> {
     assert!(part.len() >= mesh.elem_slots());
 
-    // Which parts touch each global edge / vertex.
-    let mut edge_parts: Vec<Vec<u32>> = vec![Vec::new(); mesh.edge_slots()];
+    // Which parts touch each global edge / vertex. Edges go through the
+    // refcounted tracker (the same structure the engine maintains
+    // incrementally across cycles); vertex SPLs are only needed here.
+    let mut edge_parts = SharedEdgeTracker::new(mesh.edge_slots(), nparts);
     let mut vert_parts: Vec<Vec<u32>> = vec![Vec::new(); mesh.vert_slots()];
     for e in mesh.elems() {
         let p = part[e.idx()];
         assert!((p as usize) < nparts, "element {e} has part {p} ≥ {nparts}");
         for ed in mesh.elem_edges(e) {
-            let list = &mut edge_parts[ed.idx()];
-            if !list.contains(&p) {
-                list.push(p);
-            }
+            edge_parts.add(ed.idx(), p);
         }
         for v in mesh.elem_verts(e) {
             let list = &mut vert_parts[v.idx()];
@@ -113,9 +113,8 @@ pub fn extract_submeshes(mesh: &TetMesh, part: &[u32], nparts: usize) -> Vec<Sub
             let gedge = mesh
                 .edge_between(ga, gb)
                 .expect("local edge must exist globally");
-            sub.edge_spl[le.idx()] = edge_parts[gedge.idx()]
-                .iter()
-                .copied()
+            sub.edge_spl[le.idx()] = edge_parts
+                .ranks_of(gedge.idx())
                 .filter(|&q| q as usize != p)
                 .collect();
         }

@@ -271,6 +271,17 @@ impl Comm {
         out
     }
 
+    /// Host-side step-boundary alignment (see [`crate::Session`]): advance
+    /// this rank's clock to `t`, recording the idle as [`TraceEvent::Sync`].
+    /// A no-op for the slowest rank (no event, no charge).
+    pub(crate) fn sync_to(&mut self, t: f64) {
+        let start = self.clock.now();
+        if t > start {
+            self.clock.advance_to(t);
+            self.events.push(TraceEvent::Sync { start, end: t });
+        }
+    }
+
     /// Move the recorded event stream out (called by the executor once the
     /// rank body returns).
     pub(crate) fn take_events(&mut self) -> Vec<TraceEvent> {

@@ -26,11 +26,175 @@ pub struct RankResult<T> {
     pub events: Vec<TraceEvent>,
 }
 
+/// A persistent SPMD machine: `nranks` communication contexts whose virtual
+/// clocks, channels, and send counters survive across multiple [`Session::run`]
+/// steps.
+///
+/// This is what lets a whole adaption cycle execute as ONE continuous
+/// parallel program: each phase is a step, and virtual time flows forward
+/// from step to step instead of restarting at zero per phase. At the end of
+/// every step the host aligns all rank clocks to the slowest rank (an
+/// implicit barrier between phases), recording the idle on each faster rank
+/// as a [`TraceEvent::Sync`](crate::trace::TraceEvent) so the per-rank trace
+/// still accounts for its full elapsed time exactly.
+///
+/// [`spmd`] and [`spmd_with_args`] are single-step sessions.
+pub struct Session {
+    nranks: usize,
+    model: MachineModel,
+    /// The per-rank contexts, parked host-side between steps.
+    comms: Vec<Comm>,
+}
+
+impl Session {
+    /// Build the rank contexts and the `nranks × nranks` channel matrix
+    /// (`chan[s][d]` carries messages from `s` to `d`). All clocks start at
+    /// zero.
+    pub fn new(nranks: usize, model: MachineModel) -> Self {
+        assert!(nranks >= 1, "need at least one rank");
+        let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Envelope>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        for s in 0..nranks {
+            for d in 0..nranks {
+                let (tx, rx) = channel();
+                senders[s][d] = Some(tx);
+                // receivers indexed by destination, then source.
+                receivers[d][s] = Some(rx);
+            }
+        }
+        let mut comms: Vec<Comm> = Vec::with_capacity(nranks);
+        for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
+            let tx: Vec<_> = tx_row.into_iter().map(|t| t.unwrap()).collect();
+            let rx: Vec<_> = rx_row.into_iter().map(|r| r.unwrap()).collect();
+            comms.push(Comm::new(rank, nranks, model, tx, rx));
+        }
+        Session {
+            nranks,
+            model,
+            comms,
+        }
+    }
+
+    /// Number of ranks in the session.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The machine cost model in effect.
+    #[inline]
+    pub fn model(&self) -> MachineModel {
+        self.model
+    }
+
+    /// Current virtual time of the session. Between steps all rank clocks
+    /// are aligned, so this is both the common time and the makespan so far.
+    pub fn now(&self) -> f64 {
+        self.comms.iter().map(|c| c.now()).fold(0.0, f64::max)
+    }
+
+    /// Advance every rank's clock by `seconds` of modeled (not executed)
+    /// work — e.g. a solver phase whose cost comes from the work model
+    /// rather than from running real code. Recorded as compute on each rank.
+    pub fn advance_all(&mut self, seconds: f64) {
+        for c in &mut self.comms {
+            c.advance(seconds);
+        }
+    }
+
+    /// Run a *modeled* phase without spawning threads: rank `r`'s clock is
+    /// charged `seconds[r]` inside a phase span named `name`, then all
+    /// clocks align to the slowest rank (the sync idle lands inside the
+    /// span, so the span covers the same interval on every rank). Returns
+    /// per-rank results exactly like [`Session::run`] — the phase duration
+    /// is `max(seconds)` and each `elapsed` is the aligned session time.
+    pub fn modeled_phase(&mut self, name: &str, seconds: &[f64]) -> Vec<RankResult<()>> {
+        assert_eq!(seconds.len(), self.nranks, "one cost per rank");
+        for (c, &s) in self.comms.iter_mut().zip(seconds) {
+            c.phase_begin(name);
+            c.advance(s);
+        }
+        let t_max = self.now();
+        let mut results = Vec::with_capacity(self.nranks);
+        for c in &mut self.comms {
+            c.sync_to(t_max);
+            c.phase_end(name);
+            results.push(RankResult {
+                rank: c.rank(),
+                value: (),
+                elapsed: c.now(),
+                sent_messages: c.sent_messages(),
+                sent_words: c.sent_words(),
+                events: c.take_events(),
+            });
+        }
+        results
+    }
+
+    /// Run one step: `body` executes on every rank concurrently (one OS
+    /// thread each), continuing from the clocks/counters left by previous
+    /// steps. Panics in any rank propagate.
+    ///
+    /// On return, all clocks are aligned to the slowest rank, so each
+    /// [`RankResult::elapsed`] equals the session's total virtual time so
+    /// far; per-step durations are differences of `Session::now` across
+    /// steps. `sent_messages` / `sent_words` are cumulative over the
+    /// session; the event stream contains only this step's events.
+    pub fn run<A, T, F>(&mut self, args: Vec<A>, body: F) -> Vec<RankResult<T>>
+    where
+        A: Send,
+        T: Send,
+        F: Fn(&mut Comm, A) -> T + Send + Sync,
+    {
+        assert_eq!(args.len(), self.nranks, "one argument per rank");
+        let comms = std::mem::take(&mut self.comms);
+        let body = &body;
+        let mut returned: Vec<Option<(T, Comm)>> = (0..self.nranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.nranks);
+            for (rank, (mut comm, arg)) in comms.into_iter().zip(args).enumerate() {
+                handles.push((
+                    rank,
+                    scope.spawn(move || {
+                        let value = body(&mut comm, arg);
+                        (value, comm)
+                    }),
+                ));
+            }
+            for (rank, h) in handles {
+                returned[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+        });
+        let pairs: Vec<(T, Comm)> = returned.into_iter().map(|r| r.unwrap()).collect();
+        let t_max = pairs.iter().map(|(_, c)| c.now()).fold(0.0, f64::max);
+        let mut results = Vec::with_capacity(self.nranks);
+        for (value, mut comm) in pairs {
+            comm.sync_to(t_max);
+            results.push(RankResult {
+                rank: comm.rank(),
+                value,
+                elapsed: comm.now(),
+                sent_messages: comm.sent_messages(),
+                sent_words: comm.sent_words(),
+                events: comm.take_events(),
+            });
+            self.comms.push(comm);
+        }
+        results
+    }
+}
+
 /// Run `body` on `nranks` virtual ranks (one OS thread each) under the given
 /// machine model. Returns the per-rank results ordered by rank.
 ///
 /// The body receives a [`Comm`] for messaging, collectives, and virtual-time
-/// charging. Panics in any rank propagate.
+/// charging. Panics in any rank propagate. This is a single-step [`Session`]:
+/// all rank clocks are aligned at the end, so every `elapsed` equals the
+/// program's makespan.
 pub fn spmd<T, F>(nranks: usize, model: MachineModel, body: F) -> Vec<RankResult<T>>
 where
     T: Send,
@@ -57,57 +221,7 @@ where
     T: Send,
     F: Fn(&mut Comm, A) -> T + Send + Sync,
 {
-    assert!(nranks >= 1, "need at least one rank");
-    assert_eq!(args.len(), nranks, "one argument per rank");
-
-    // Channel matrix: chan[s][d] carries messages from s to d.
-    let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Envelope>>>> = (0..nranks)
-        .map(|_| (0..nranks).map(|_| None).collect())
-        .collect();
-    let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> = (0..nranks)
-        .map(|_| (0..nranks).map(|_| None).collect())
-        .collect();
-    for s in 0..nranks {
-        for d in 0..nranks {
-            let (tx, rx) = channel();
-            senders[s][d] = Some(tx);
-            // receivers indexed by destination, then source.
-            receivers[d][s] = Some(rx);
-        }
-    }
-
-    let mut rank_comms: Vec<Comm> = Vec::with_capacity(nranks);
-    for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
-        let tx: Vec<_> = tx_row.into_iter().map(|t| t.unwrap()).collect();
-        let rx: Vec<_> = rx_row.into_iter().map(|r| r.unwrap()).collect();
-        rank_comms.push(Comm::new(rank, nranks, model, tx, rx));
-    }
-
-    let body = &body;
-    let mut results: Vec<Option<RankResult<T>>> = (0..nranks).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(nranks);
-        for (rank, (mut comm, arg)) in rank_comms.into_iter().zip(args).enumerate() {
-            handles.push((
-                rank,
-                scope.spawn(move || {
-                    let value = body(&mut comm, arg);
-                    RankResult {
-                        rank: comm.rank(),
-                        value,
-                        elapsed: comm.now(),
-                        sent_messages: comm.sent_messages(),
-                        sent_words: comm.sent_words(),
-                        events: comm.take_events(),
-                    }
-                }),
-            ));
-        }
-        for (rank, h) in handles {
-            results[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
-        }
-    });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    Session::new(nranks, model).run(args, body)
 }
 
 /// Maximum virtual time over all ranks — the simulated wall-clock time of the
@@ -377,5 +491,89 @@ mod tests {
             comm.advance(comm.rank() as f64);
         });
         assert!((makespan(&r) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_clocks_flow_across_steps() {
+        let mut sess = Session::new(4, MachineModel::sp2());
+        // Step 1: skewed local work; the step boundary aligns everyone.
+        let r1 = sess.run((0..4).map(|_| ()).collect(), |comm, ()| {
+            comm.advance(comm.rank() as f64);
+            comm.now()
+        });
+        assert!((sess.now() - 3.0).abs() < 1e-12);
+        for res in &r1 {
+            assert!((res.elapsed - 3.0).abs() < 1e-12, "aligned at step end");
+        }
+        // Rank 3 was slowest: no sync idle; rank 0 idles 3 s.
+        assert!(r1[3]
+            .events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Sync { .. })));
+        assert!(r1[0]
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sync { start, end }
+                if *start == 0.0 && (*end - 3.0).abs() < 1e-12)));
+        // Step 2 continues from t = 3, not from zero.
+        let r2 = sess.run((0..4).map(|_| ()).collect(), |comm, ()| {
+            let t0 = comm.now();
+            comm.advance(1.0);
+            t0
+        });
+        for res in &r2 {
+            assert!((res.value - 3.0).abs() < 1e-12, "step 2 starts at t=3");
+            assert!((res.elapsed - 4.0).abs() < 1e-12);
+        }
+        assert!((sess.now() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_channels_and_counters_persist_between_steps() {
+        let mut sess = Session::new(2, MachineModel::sp2());
+        // A message sent in step 1 is received in step 2: the channel (and
+        // the virtual arrival stamp) survives the step boundary.
+        sess.run(vec![(), ()], |comm, ()| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, 25, 41u64);
+            }
+        });
+        let r = sess.run(vec![(), ()], |comm, ()| {
+            if comm.rank() == 1 {
+                comm.recv::<u64>(0, 9)
+            } else {
+                0
+            }
+        });
+        assert_eq!(r[1].value, 41);
+        assert_eq!(r[0].sent_words, 25, "counters are cumulative");
+        // Modeled (host-charged) work advances every rank uniformly.
+        let t = sess.now();
+        sess.advance_all(2.0);
+        assert!((sess.now() - (t + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_per_step_summaries_account_for_aligned_elapsed() {
+        use crate::TraceLog;
+        let mut sess = Session::new(3, MachineModel::sp2());
+        let mut accounted = [0.0; 3];
+        for step in 0..3 {
+            let r = sess.run(vec![(), (), ()], move |comm, ()| {
+                comm.advance(((comm.rank() + step) % 3) as f64 * 0.5);
+                comm.barrier();
+            });
+            let summary = TraceLog::from_results(&r).summary();
+            for (s, res) in summary.ranks.iter().zip(&r) {
+                accounted[s.rank] += s.total();
+                assert!(
+                    (accounted[s.rank] - res.elapsed).abs() < 1e-9,
+                    "step {step} rank {}: accounted {} vs clock {}",
+                    s.rank,
+                    accounted[s.rank],
+                    res.elapsed
+                );
+            }
+        }
     }
 }

@@ -38,7 +38,7 @@ pub mod trace;
 
 pub use clock::VirtualClock;
 pub use comm::{Comm, Tag};
-pub use executor::{makespan, spmd, spmd_with_args, RankResult};
+pub use executor::{makespan, spmd, spmd_with_args, RankResult, Session};
 pub use model::MachineModel;
 pub use trace::{
     check_protocol, CollectiveKind, CollectiveStats, MergedTrace, ProtocolViolation, RankSummary,

@@ -119,6 +119,10 @@ pub enum TraceEvent {
     /// A negative-duration clock charge was requested and blocked (the
     /// clock saturated instead of rewinding). Always a protocol violation.
     RewindBlocked { at: f64, dt: f64 },
+    /// Idle time spent at a step boundary of a [`crate::Session`]: the host
+    /// aligned this rank's clock to the slowest rank before the next step.
+    /// Accounted as wait (it is synchronization idle, like a recv wait).
+    Sync { start: f64, end: f64 },
 }
 
 impl TraceEvent {
@@ -133,6 +137,7 @@ impl TraceEvent {
             TraceEvent::PhaseBegin { start, .. } => start,
             TraceEvent::PhaseEnd { end, .. } => end,
             TraceEvent::RewindBlocked { at, .. } => at,
+            TraceEvent::Sync { start, .. } => start,
         }
     }
 
@@ -147,6 +152,7 @@ impl TraceEvent {
             TraceEvent::PhaseBegin { start, .. } => start,
             TraceEvent::PhaseEnd { end, .. } => end,
             TraceEvent::RewindBlocked { at, .. } => at,
+            TraceEvent::Sync { end, .. } => end,
         }
     }
 }
@@ -297,6 +303,7 @@ impl TraceLog {
                     }
                     TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => {}
                     TraceEvent::RewindBlocked { .. } => s.rewinds_blocked += 1,
+                    TraceEvent::Sync { start, end } => s.wait += end - start,
                 }
             }
             ranks.push(s);
@@ -423,6 +430,11 @@ impl TraceLog {
                             us(*dt)
                         ),
                     ),
+                    TraceEvent::Sync { start, end } => push(
+                        &mut out,
+                        &mut first,
+                        chrome_span(rank, "sync", "wait", *start, *end, ""),
+                    ),
                 }
             }
         }
@@ -490,6 +502,11 @@ impl TraceLog {
                         "{:>14}  !! clock rewind blocked (dt={:.3}us)",
                         ts(*at),
                         us_f(*dt)
+                    ),
+                    TraceEvent::Sync { start, end } => format!(
+                        "{:>14}  sync (idle {:.3}us)",
+                        span(*start, *end),
+                        us_f(*end - *start)
                     ),
                 };
                 out.push_str(&line);
@@ -790,6 +807,10 @@ fn shift(ev: &TraceEvent, dt: f64) -> TraceEvent {
         TraceEvent::PhaseBegin { start, .. } => *start += dt,
         TraceEvent::PhaseEnd { end, .. } => *end += dt,
         TraceEvent::RewindBlocked { at, .. } => *at += dt,
+        TraceEvent::Sync { start, end } => {
+            *start += dt;
+            *end += dt;
+        }
     }
     out
 }

@@ -152,7 +152,7 @@ mod tests {
     use super::*;
     use crate::metrics::{edge_cut, part_weights};
 
-    fn grid_graph(w: usize, h: usize) -> Graph {
+    fn grid_graph(w: usize, h: usize) -> Graph<'static> {
         let n = w * h;
         let mut xadj = vec![0u32];
         let mut adjncy = Vec::new();

@@ -38,7 +38,7 @@ pub fn heavy_edge_matching(g: &Graph, rng: &mut Rng) -> Vec<u32> {
 /// Contract a matching: matched pairs merge into one coarse vertex (weights
 /// summed, parallel edges merged with summed weights, self-loops dropped).
 /// Returns the coarse graph and `cmap[fine] = coarse`.
-pub fn contract(g: &Graph, mate: &[u32]) -> (Graph, Vec<u32>) {
+pub fn contract(g: &Graph, mate: &[u32]) -> (Graph<'static>, Vec<u32>) {
     let n = g.n();
     let mut cmap = vec![u32::MAX; n];
     let mut nc = 0u32;
@@ -108,17 +108,17 @@ pub fn contract(g: &Graph, mate: &[u32]) -> (Graph, Vec<u32>) {
     }
 
     let coarse = Graph {
-        xadj,
-        adjncy,
-        adjwgt,
-        vwgt,
+        xadj: xadj.into(),
+        adjncy: adjncy.into(),
+        adjwgt: adjwgt.into(),
+        vwgt: vwgt.into(),
     };
     debug_assert!(coarse.check().is_ok(), "{:?}", coarse.check());
     (coarse, cmap)
 }
 
 /// One HEM + contraction step.
-pub fn coarsen_once(g: &Graph, rng: &mut Rng) -> (Graph, Vec<u32>) {
+pub fn coarsen_once(g: &Graph, rng: &mut Rng) -> (Graph<'static>, Vec<u32>) {
     let mate = heavy_edge_matching(g, rng);
     contract(g, &mate)
 }
@@ -127,7 +127,7 @@ pub fn coarsen_once(g: &Graph, rng: &mut Rng) -> (Graph, Vec<u32>) {
 mod tests {
     use super::*;
 
-    fn grid_graph(w: usize, h: usize) -> Graph {
+    fn grid_graph(w: usize, h: usize) -> Graph<'static> {
         let n = w * h;
         let mut xadj = vec![0u32];
         let mut adjncy = Vec::new();
@@ -198,10 +198,10 @@ mod tests {
     fn heavy_edges_preferred() {
         // Triangle with one heavy edge: 0-1 (w=10), 1-2 (w=1), 0-2 (w=1).
         let g = Graph {
-            xadj: vec![0, 2, 4, 6],
-            adjncy: vec![1, 2, 0, 2, 0, 1],
-            adjwgt: vec![10, 1, 10, 1, 1, 1],
-            vwgt: vec![1, 1, 1],
+            xadj: vec![0, 2, 4, 6].into(),
+            adjncy: vec![1, 2, 0, 2, 0, 1].into(),
+            adjwgt: vec![10, 1, 10, 1, 1, 1].into(),
+            vwgt: vec![1, 1, 1].into(),
         };
         g.check().unwrap();
         for seed in 0..10 {

@@ -145,7 +145,7 @@ mod tests {
     use super::*;
     use crate::kway::{partition_kway, quality, PartitionConfig};
 
-    fn grid(nx: usize, ny: usize) -> Graph {
+    fn grid(nx: usize, ny: usize) -> Graph<'static> {
         let id = |x: usize, y: usize| y * nx + x;
         let mut xadj = vec![0u32];
         let mut adjncy = Vec::new();
@@ -172,7 +172,7 @@ mod tests {
     fn hotspot(g: &mut Graph, part: &[u32], factor: u64) {
         for v in 0..g.n() {
             if part[v] == 0 {
-                g.vwgt[v] = factor;
+                g.vwgt.to_mut()[v] = factor;
             }
         }
     }
@@ -218,7 +218,7 @@ mod tests {
         let part: Vec<u32> = (0..g.n()).map(|v| ((v % 64) / 8) as u32).collect();
         for v in 0..g.n() {
             if part[v] == 0 {
-                g.vwgt[v] = 16;
+                g.vwgt.to_mut()[v] = 16;
             }
         }
         let cfg = DiffusionConfig {

@@ -1,29 +1,61 @@
 //! Weighted undirected graphs in CSR form.
 
+use std::borrow::Cow;
+
 /// An undirected graph in compressed-sparse-row form with vertex and edge
 /// weights — the input to the multilevel partitioner (the dual graph of the
 /// initial mesh, in PLUM's case).
+///
+/// The CSR arrays are [`Cow`]s so a graph can either own its storage
+/// ([`Graph::from_csr`], the coarsening products) or borrow it in place from
+/// an existing structure such as `DualGraph` ([`Graph::view`]). The balance
+/// loop runs every adaption cycle; borrowing the dual CSR instead of cloning
+/// three arrays per cycle is what the [`GraphView`] alias exists for. All
+/// partitioning entry points take `&Graph`, so both forms flow through the
+/// same code; writes (only done by tests and benchmarks that perturb
+/// weights) go through [`Cow::to_mut`].
 #[derive(Debug, Clone)]
-pub struct Graph {
+pub struct Graph<'a> {
     /// Row offsets, `n + 1` entries.
-    pub xadj: Vec<u32>,
+    pub xadj: Cow<'a, [u32]>,
     /// Adjacency lists (each undirected edge appears twice).
-    pub adjncy: Vec<u32>,
+    pub adjncy: Cow<'a, [u32]>,
     /// Edge weights, parallel to `adjncy`.
-    pub adjwgt: Vec<u32>,
+    pub adjwgt: Cow<'a, [u32]>,
     /// Vertex weights.
-    pub vwgt: Vec<u64>,
+    pub vwgt: Cow<'a, [u64]>,
 }
 
-impl Graph {
-    /// Build from CSR arrays with unit edge weights.
-    pub fn from_csr(xadj: Vec<u32>, adjncy: Vec<u32>, vwgt: Vec<u64>) -> Self {
+/// A [`Graph`] that borrows its CSR arrays rather than owning them.
+///
+/// This is the no-copy path for per-cycle repartitioning: build one with
+/// [`Graph::view`] over the dual graph's arrays and pass it anywhere a
+/// `&Graph` is expected.
+pub type GraphView<'a> = Graph<'a>;
+
+impl<'a> Graph<'a> {
+    /// Build an owning graph from CSR arrays with unit edge weights.
+    pub fn from_csr(xadj: Vec<u32>, adjncy: Vec<u32>, vwgt: Vec<u64>) -> Graph<'static> {
         let adjwgt = vec![1; adjncy.len()];
         let g = Graph {
-            xadj,
-            adjncy,
-            adjwgt,
-            vwgt,
+            xadj: Cow::Owned(xadj),
+            adjncy: Cow::Owned(adjncy),
+            adjwgt: Cow::Owned(adjwgt),
+            vwgt: Cow::Owned(vwgt),
+        };
+        debug_assert!(g.check().is_ok(), "{:?}", g.check());
+        g
+    }
+
+    /// Borrow CSR arrays in place (unit edge weights). No copies of the
+    /// topology or vertex weights are made; only the unit `adjwgt` array is
+    /// materialized.
+    pub fn view(xadj: &'a [u32], adjncy: &'a [u32], vwgt: &'a [u64]) -> Graph<'a> {
+        let g = Graph {
+            xadj: Cow::Borrowed(xadj),
+            adjncy: Cow::Borrowed(adjncy),
+            adjwgt: Cow::Owned(vec![1; adjncy.len()]),
+            vwgt: Cow::Borrowed(vwgt),
         };
         debug_assert!(g.check().is_ok(), "{:?}", g.check());
         g
@@ -100,7 +132,7 @@ impl Graph {
     /// Build an induced subgraph on the vertex set `verts` (given in the
     /// order that defines the new ids). Returns the subgraph; edges to
     /// vertices outside the set are dropped.
-    pub fn induced(&self, verts: &[u32]) -> Graph {
+    pub fn induced(&self, verts: &[u32]) -> Graph<'static> {
         let mut new_id = vec![u32::MAX; self.n()];
         for (i, &v) in verts.iter().enumerate() {
             new_id[v as usize] = i as u32;
@@ -122,10 +154,10 @@ impl Graph {
             vwgt.push(self.vwgt[v as usize]);
         }
         Graph {
-            xadj,
-            adjncy,
-            adjwgt,
-            vwgt,
+            xadj: Cow::Owned(xadj),
+            adjncy: Cow::Owned(adjncy),
+            adjwgt: Cow::Owned(adjwgt),
+            vwgt: Cow::Owned(vwgt),
         }
     }
 }
@@ -135,7 +167,7 @@ mod tests {
     use super::*;
 
     /// Path graph 0-1-2-3.
-    pub(crate) fn path4() -> Graph {
+    pub(crate) fn path4() -> Graph<'static> {
         Graph::from_csr(
             vec![0, 1, 3, 5, 6],
             vec![1, 0, 2, 1, 3, 2],
@@ -156,12 +188,33 @@ mod tests {
     #[test]
     fn check_catches_asymmetry() {
         let g = Graph {
-            xadj: vec![0, 1, 1],
-            adjncy: vec![1],
-            adjwgt: vec![1],
-            vwgt: vec![1, 1],
+            xadj: Cow::Owned(vec![0, 1, 1]),
+            adjncy: Cow::Owned(vec![1]),
+            adjwgt: Cow::Owned(vec![1]),
+            vwgt: Cow::Owned(vec![1, 1]),
         };
         assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn view_borrows_without_copying_topology() {
+        let xadj = vec![0u32, 1, 3, 5, 6];
+        let adjncy = vec![1u32, 0, 2, 1, 3, 2];
+        let vwgt = vec![2u64, 3, 4, 5];
+        let v = Graph::view(&xadj, &adjncy, &vwgt);
+        assert!(matches!(v.xadj, Cow::Borrowed(_)));
+        assert!(matches!(v.adjncy, Cow::Borrowed(_)));
+        assert!(matches!(v.vwgt, Cow::Borrowed(_)));
+        assert_eq!(v.n(), 4);
+        assert_eq!(v.m(), 3);
+        assert_eq!(v.total_vwgt(), 14);
+        v.check().unwrap();
+        // The borrowed view sees exactly the same structure as the owned
+        // graph built from clones of the same arrays.
+        let owned = Graph::from_csr(xadj.clone(), adjncy.clone(), vwgt.clone());
+        for vert in 0..v.n() {
+            assert!(v.edges(vert).eq(owned.edges(vert)));
+        }
     }
 
     #[test]

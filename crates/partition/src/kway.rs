@@ -268,7 +268,7 @@ pub fn quality(g: &Graph, part: &[u32], nparts: usize) -> PartitionQuality {
 mod tests {
     use super::*;
 
-    pub(crate) fn grid3d(nx: usize, ny: usize, nz: usize) -> Graph {
+    pub(crate) fn grid3d(nx: usize, ny: usize, nz: usize) -> Graph<'static> {
         let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
         let n = nx * ny * nz;
         let mut xadj = vec![0u32];
@@ -355,7 +355,7 @@ mod tests {
         for v in 0..g.n() {
             let (x, y) = (v % 10, v / 10);
             if x < 5 && y < 5 {
-                g.vwgt[v] = 10;
+                g.vwgt.to_mut()[v] = 10;
             }
         }
         let k = 4;

@@ -31,7 +31,7 @@ mod rng;
 pub use bisect::{bisect, grow_bisection, refine_bisection};
 pub use coarsen::{coarsen_once, contract, heavy_edge_matching};
 pub use diffusion::{diffuse, DiffusionConfig, DiffusionResult};
-pub use graph::Graph;
+pub use graph::{Graph, GraphView};
 pub use kway::{partition_kway, quality, PartitionConfig, PartitionQuality};
 pub use metrics::{edge_cut, imbalance, migration, part_weights, partition_imbalance};
 pub use repart::repartition_kway;

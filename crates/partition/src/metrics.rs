@@ -59,7 +59,7 @@ pub fn migration(g: &Graph, from: &[u32], to: &[u32]) -> (usize, u64) {
 mod tests {
     use super::*;
 
-    fn path4() -> Graph {
+    fn path4() -> Graph<'static> {
         Graph::from_csr(
             vec![0, 1, 3, 5, 6],
             vec![1, 0, 2, 1, 3, 2],

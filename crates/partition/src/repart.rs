@@ -54,7 +54,7 @@ mod tests {
     use crate::kway::quality;
     use crate::metrics::migration;
 
-    fn grid(nx: usize, ny: usize) -> Graph {
+    fn grid(nx: usize, ny: usize) -> Graph<'static> {
         let id = |x: usize, y: usize| y * nx + x;
         let mut xadj = vec![0u32];
         let mut adjncy = Vec::new();
@@ -96,7 +96,7 @@ mod tests {
         // Refinement happened in part 0's region: weights grow 4×.
         for v in 0..g.n() {
             if prev[v] == 0 {
-                g.vwgt[v] = 4;
+                g.vwgt.to_mut()[v] = 4;
             }
         }
         let next = repartition_kway(&g, &cfg, &prev);

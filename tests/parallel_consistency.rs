@@ -105,11 +105,15 @@ fn ownership_shared_edge_counts_are_symmetric_totals() {
     let own = Ownership::build(&am, &part, 4);
     // Every shared edge is counted by each of its owners.
     let per_rank: u64 = (0..4).map(|r| own.shared_edges_of_rank(r)).sum();
-    let shared_multiplicity: u64 = own
-        .edge_ranks
-        .iter()
-        .filter(|l| l.len() > 1)
-        .map(|l| l.len() as u64)
+    let shared_multiplicity: u64 = (0..am.mesh.edge_slots())
+        .map(|slot| {
+            let owners = own.ranks_of(plum_mesh::EdgeId(slot as u32)).count() as u64;
+            if owners > 1 {
+                owners
+            } else {
+                0
+            }
+        })
         .sum();
     assert_eq!(per_rank, shared_multiplicity);
     let cfg = PlumConfig::new(4);
