@@ -11,6 +11,14 @@
 //! `fig6 --trace <path>` additionally writes a Chrome-trace JSON (load it in
 //! Perfetto or `chrome://tracing`) of one adaption cycle, plus a plain-text
 //! timeline next to it at `<path>.txt`.
+//!
+//! `fig6 --chaos <seed>` runs the chaos recovery experiment instead: one
+//! rank is slowed 2× (which rank depends on the seed, as does the link
+//! jitter), and the capacity-weighted balancer must recover ≥ 80% of the
+//! effective-imbalance gap within three adaption cycles. On failure the
+//! last cycle's session trace is written to
+//! `chaos-failure-seed-<seed>.json` and the process exits nonzero — this is
+//! the nightly CI seed matrix.
 
 use plum_bench::*;
 
@@ -18,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut trace_path: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut what: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -29,6 +38,16 @@ fn main() {
                     Some(p) => trace_path = Some(p.clone()),
                     None => {
                         eprintln!("--trace needs a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--chaos" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => chaos_seed = Some(s),
+                    None => {
+                        eprintln!("--chaos needs an integer seed argument");
                         std::process::exit(2);
                     }
                 }
@@ -50,7 +69,8 @@ fn main() {
         scale.procs()
     );
 
-    let needs_sweep = matches!(what.as_str(), "fig4" | "fig5" | "fig6" | "fig8" | "all");
+    let needs_sweep = matches!(what.as_str(), "fig4" | "fig5" | "fig6" | "fig8" | "all")
+        && !(what == "fig6" && chaos_seed.is_some());
     let sw = if needs_sweep {
         eprintln!("# running the adaption-cycle sweep (3 cases × 2 policies × P)…");
         Some(sweep(scale))
@@ -64,6 +84,18 @@ fn main() {
         "fig4" => print_fig4(sw.as_ref().unwrap()),
         "fig5" => print_fig5(sw.as_ref().unwrap()),
         "fig6" => {
+            if let Some(seed) = chaos_seed {
+                eprintln!("# running the chaos recovery experiment (seed {seed})…");
+                let run = chaos::chaos_recovery(scale, seed);
+                chaos::print_chaos(&run);
+                if !run.recovered {
+                    let artifact = format!("chaos-failure-seed-{seed}.json");
+                    std::fs::write(&artifact, &run.trace_json).expect("write failure trace");
+                    eprintln!("# recovery FAILED; wrote session trace to {artifact}");
+                    std::process::exit(1);
+                }
+                return;
+            }
             print_fig6(sw.as_ref().unwrap());
             if let Some(path) = &trace_path {
                 let nproc = scale.procs().last().copied().unwrap().min(8);

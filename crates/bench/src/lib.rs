@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod chaos;
 pub mod multicycle;
 
 use std::time::Instant;

@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use plum_mesh::DualGraph;
 use plum_parsim::TraceLog;
-use plum_partition::{partition_kway, repartition_kway, Graph};
+use plum_partition::{
+    imbalance_weighted, partition_kway, repartition_kway, repartition_kway_weighted, Graph,
+};
 use plum_reassign::{
     greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats, SimilarityMatrix,
 };
@@ -66,6 +68,23 @@ fn imbalance(weights: &[u64]) -> f64 {
     *weights.iter().max().unwrap() as f64 / (total as f64 / weights.len() as f64)
 }
 
+/// True when every capacity equals the first — the homogeneous machine, for
+/// which the balancer must take the historical integer path bit-exactly.
+fn caps_uniform(caps: &[f64]) -> bool {
+    caps.iter().all(|&c| c == caps[0])
+}
+
+/// Capacity-scaled per-processor weights `round(w_r / c_r)`: the weight
+/// each processor *effectively* carries once its speed is factored in.
+/// With capacities normalized to mean 1.0 these stay on the same scale as
+/// the raw weights, so the gain/cost model applies unchanged.
+fn effective_weights(w: &[u64], caps: &[f64]) -> Vec<u64> {
+    w.iter()
+        .zip(caps)
+        .map(|(&w, &c)| (w as f64 / c).round() as u64)
+        .collect()
+}
+
 /// Run the paper's reassignment for the configured mapper, timing it.
 pub fn run_mapper(sm: &SimilarityMatrix, mapper: Mapper) -> (Assignment, f64) {
     let t0 = Instant::now();
@@ -81,16 +100,32 @@ pub fn run_mapper(sm: &SimilarityMatrix, mapper: Mapper) -> (Assignment, f64) {
 /// and, when it exceeds the trigger, repartition the dual graph. Returns
 /// the partially filled decision plus the proposed partition vector (`None`
 /// when the evaluation short-circuited).
+///
+/// `caps` holds one relative processor capacity per rank (observed solver
+/// rates, mean 1.0). On a homogeneous machine (`caps` uniform) the whole
+/// path is bit-identical to the capacity-unaware balancer; otherwise the
+/// imbalance is measured as `max(w_r/c_r)/(Σw/Σc)`, the partitioner targets
+/// per-part loads proportional to capacity, and the decision's `wmax_*` /
+/// `imbalance_*` fields report *effective* (capacity-scaled) weights.
 pub(crate) fn evaluate_and_repartition(
     dual: &DualGraph,
     old_proc: &[u32],
     cfg: &PlumConfig,
     work: &WorkModel,
+    caps: &[f64],
 ) -> (BalanceDecision, Option<Vec<u32>>) {
     let nproc = cfg.nproc;
+    assert_eq!(caps.len(), nproc, "one capacity per processor");
+    let uniform = caps_uniform(caps);
     let w_old = per_proc_wcomp(&dual.wcomp, old_proc, nproc);
-    let imb_old = imbalance(&w_old);
-    let wmax_old = *w_old.iter().max().unwrap();
+    let (imb_old, wmax_old) = if uniform {
+        (imbalance(&w_old), *w_old.iter().max().unwrap())
+    } else {
+        (
+            imbalance_weighted(&w_old, caps),
+            *effective_weights(&w_old, caps).iter().max().unwrap(),
+        )
+    };
 
     let mut decision = BalanceDecision {
         repartitioned: false,
@@ -117,14 +152,18 @@ pub(crate) fn evaluate_and_repartition(
     decision.repartitioned = true;
 
     // Parallel repartitioning on the dual graph with the new W_comp.
+    // Heterogeneous capacities need partition j sized for processor j, which
+    // only holds under F = 1 (partition ids == processor ids before
+    // reassignment); with F > 1 the capacity-aware path degrades to uniform.
     let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
     let mut pcfg = cfg.partition;
     pcfg.nparts = cfg.nparts();
-    let new_part = if cfg.partitions_per_proc == 1 {
+    let weighted = !uniform && cfg.partitions_per_proc == 1;
+    let new_part = match (cfg.partitions_per_proc == 1, weighted) {
         // Seed with the previous assignment (partition ids == processor ids).
-        repartition_kway(&graph, &pcfg, old_proc)
-    } else {
-        partition_kway(&graph, &pcfg)
+        (true, true) => repartition_kway_weighted(&graph, &pcfg, old_proc, caps),
+        (true, false) => repartition_kway(&graph, &pcfg, old_proc),
+        (false, _) => partition_kway(&graph, &pcfg),
     };
     decision.partition_time = work.partition_time(dual.n(), nproc);
     (decision, Some(new_part))
@@ -143,8 +182,10 @@ pub(crate) fn apply_reassignment(
     new_part: &[u32],
     sm: &SimilarityMatrix,
     assignment: &Assignment,
+    caps: &[f64],
 ) {
     let nproc = cfg.nproc;
+    let uniform = caps_uniform(caps);
 
     // Compose: dual vertex → new partition → processor.
     let new_proc: Vec<u32> = new_part
@@ -153,20 +194,28 @@ pub(crate) fn apply_reassignment(
         .collect();
 
     let w_new = per_proc_wcomp(&dual.wcomp, &new_proc, nproc);
-    decision.imbalance_new = imbalance(&w_new);
-    decision.wmax_new = *w_new.iter().max().unwrap();
+    if uniform {
+        decision.imbalance_new = imbalance(&w_new);
+        decision.wmax_new = *w_new.iter().max().unwrap();
+    } else {
+        decision.imbalance_new = imbalance_weighted(&w_new, caps);
+        decision.wmax_new = *effective_weights(&w_new, caps).iter().max().unwrap();
+    }
 
     let stats = remap_stats(sm, assignment);
 
-    // Gain/cost acceptance test.
-    let rmax_old = *per_proc_wcomp(refine_work, old_proc, nproc)
-        .iter()
-        .max()
-        .unwrap();
-    let rmax_new = *per_proc_wcomp(refine_work, &new_proc, nproc)
-        .iter()
-        .max()
-        .unwrap();
+    // Gain/cost acceptance test. On a heterogeneous machine the refinement
+    // term also stretches with processor speed, so it uses effective
+    // weights too.
+    let eff_max = |w: &[u64]| -> u64 {
+        if uniform {
+            *w.iter().max().unwrap()
+        } else {
+            *effective_weights(w, caps).iter().max().unwrap()
+        }
+    };
+    let rmax_old = eff_max(&per_proc_wcomp(refine_work, old_proc, nproc));
+    let rmax_new = eff_max(&per_proc_wcomp(refine_work, &new_proc, nproc));
     decision.gain =
         cfg.cost
             .computational_gain(decision.wmax_old, decision.wmax_new, rmax_old, rmax_new);
@@ -200,7 +249,8 @@ pub fn balance_step(
     cfg: &PlumConfig,
     work: &WorkModel,
 ) -> BalanceDecision {
-    let (mut decision, new_part) = evaluate_and_repartition(dual, old_proc, cfg, work);
+    let caps = vec![1.0; cfg.nproc];
+    let (mut decision, new_part) = evaluate_and_repartition(dual, old_proc, cfg, work, &caps);
     let Some(new_part) = new_part else {
         return decision;
     };
@@ -230,6 +280,7 @@ pub fn balance_step(
         &new_part,
         &par.matrix,
         &par.assignment,
+        &caps,
     );
     decision
 }

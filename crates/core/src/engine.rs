@@ -112,6 +112,47 @@ fn absorb<T>(slog: &mut TraceLog, results: &[RankResult<T>]) {
     }
 }
 
+/// Observed per-rank solver rates and the capacity weights derived from
+/// them. `rate[r] = load_r / (solver compute seconds of r)` — on a slowed
+/// rank the modeled compute seconds stretch by its chaos multiplier, so the
+/// observed rate drops proportionally. Capacities are the rates normalized
+/// to mean 1.0 and quantized to 1e-6, so a homogeneous machine observes
+/// *exactly* `[1.0; P]` and the balancer stays on its bit-exact unweighted
+/// path. Ranks with no load (no work to observe) inherit the mean rate.
+pub(crate) fn observe_capacity(
+    per: &[u64],
+    work: &crate::timing::WorkModel,
+    profile: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let nproc = per.len();
+    let mut rates: Vec<f64> = (0..nproc)
+        .map(|r| {
+            let secs = work.solver_compute_time(per[r]) * profile[r];
+            if secs > 0.0 {
+                per[r] as f64 / secs
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let observed: Vec<f64> = rates.iter().copied().filter(|&x| x > 0.0).collect();
+    if observed.is_empty() {
+        return (rates, vec![1.0; nproc]);
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    for x in rates.iter_mut() {
+        if *x == 0.0 {
+            *x = mean;
+        }
+    }
+    let sum: f64 = rates.iter().sum();
+    let caps = rates
+        .iter()
+        .map(|&x| ((x * nproc as f64 / sum) * 1e6).round() / 1e6)
+        .collect();
+    (rates, caps)
+}
+
 /// The balancer on the running session: host-side evaluation and
 /// repartitioning, then the distributed reassignment protocol as a session
 /// step (instead of the standalone `parallel_reassign` program).
@@ -122,7 +163,8 @@ fn balance_on_session(
     refine_work: &[u64],
 ) -> BalanceDecision {
     let cfg: &PlumConfig = &p.cfg;
-    let (mut decision, new_part) = evaluate_and_repartition(&p.dual, &p.proc_of_root, cfg, &p.work);
+    let (mut decision, new_part) =
+        evaluate_and_repartition(&p.dual, &p.proc_of_root, cfg, &p.work, &p.capacity);
     let Some(new_part) = new_part else {
         return decision;
     };
@@ -164,6 +206,7 @@ fn balance_on_session(
         &new_part,
         &sm,
         &assignment,
+        &p.capacity,
     );
     decision
 }
@@ -209,25 +252,39 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
     solve(&p.am.mesh, &mut p.field, &p.wave, p.time, &p.solver_cfg);
     let (wcomp_now, wremap_now) = p.am.weights();
 
-    let mut session = Session::new(nproc, p.cfg.machine);
+    // The cycle's SPMD session runs on the (possibly) perturbed machine:
+    // per-rank compute multipliers and link jitter from the chaos profile,
+    // plus any transient faults scheduled for this cycle. A `ChaosConfig::
+    // none` profile makes this identical to `Session::new`.
+    let perturb = p.chaos.perturbation();
+    let plan = p.chaos.plan_for_cycle(p.cycles_run);
+    p.cycles_run += 1;
+    let mut session = Session::with_chaos(nproc, p.cfg.machine, &perturb, plan);
     let mut slog = TraceLog {
         events: vec![Vec::new(); nproc],
     };
 
+    // Modeled phases charge host-computed seconds (`advance`), so the chaos
+    // multiplier is applied here, to the compute share only — the halo
+    // exchange is wire time, which slow processors do not stretch.
     let per = p.engine.per_rank_load(&wcomp_now);
     let solver_secs: Vec<f64> = (0..nproc)
         .map(|r| {
-            p.work.solver_iteration_time(
-                per[r],
-                p.engine.own.shared_edges_of_rank(r as u32),
-                &p.cfg.machine,
-            ) * p.cfg.cost.n_adapt as f64
+            let iter = p.work.solver_compute_time(per[r]) * p.chaos.profile[r]
+                + p.work
+                    .solver_halo_time(p.engine.own.shared_edges_of_rank(r as u32), &p.cfg.machine);
+            iter * p.cfg.cost.n_adapt as f64
         })
         .collect();
     let t0 = session.now();
     let results = session.modeled_phase("solver", &solver_secs);
     absorb(&mut slog, &results);
     times.solver = session.now() - t0;
+
+    // Observe this cycle's per-rank rates; the derived capacity weights
+    // feed the balancer below (and the report).
+    let (rate, capacity) = observe_capacity(&per, &p.work, &p.chaos.profile);
+    p.capacity = capacity.clone();
 
     // --- MESH ADAPTOR: edge marking (executed, with propagation) -----------
     let error = edge_error_indicator(&p.am.mesh, &p.field);
@@ -275,7 +332,7 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
             let kids = p.engine.per_rank_load(&children_per_root);
             let sweep = p.engine.per_rank_load(&wcomp_now);
             let secs: Vec<f64> = (0..nproc)
-                .map(|r| p.work.subdivision_time(kids[r], sweep[r]))
+                .map(|r| p.work.subdivision_time(kids[r], sweep[r]) * p.chaos.profile[r])
                 .collect();
             let t0 = session.now();
             let results = session.modeled_phase("subdivide", &secs);
@@ -292,7 +349,7 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
                 p.am.refine_with_delta(&marks, std::slice::from_mut(&mut p.field));
             p.engine.apply_refinement(&delta, &p.proc_of_root);
             let secs: Vec<f64> = (0..nproc)
-                .map(|r| p.work.subdivision_time(kids[r], sweep[r]))
+                .map(|r| p.work.subdivision_time(kids[r], sweep[r]) * p.chaos.profile[r])
                 .collect();
             let t0 = session.now();
             let results = session.modeled_phase("subdivide", &secs);
@@ -346,14 +403,17 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
         migration,
         decision,
         times,
+        rate,
+        capacity,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosConfig;
     use plum_mesh::generate::unit_box_mesh;
-    use plum_parsim::TraceEvent;
+    use plum_parsim::{Fault, FaultAction, TraceEvent};
     use plum_solver::WaveField;
 
     const TOL: f64 = 1e-9;
@@ -412,6 +472,21 @@ mod tests {
         assert_eq!(e.wmax_unbalanced, r.wmax_unbalanced, "{what}: wmax_unbal");
         assert_eq!(e.wmax_balanced, r.wmax_balanced, "{what}: wmax_bal");
         assert_eq!(
+            e.capacity, r.capacity,
+            "{what}: observed capacity weights diverged"
+        );
+        assert!(
+            e.capacity.iter().all(|&c| c == 1.0),
+            "{what}: zero-chaos capacity must be exactly uniform: {:?}",
+            e.capacity
+        );
+        for (a, b) in e.rate.iter().zip(&r.rate) {
+            assert!(
+                (a - b).abs() <= TOL * a.abs().max(1.0),
+                "{what}: observed rate diverged: engine {a} vs reference {b}"
+            );
+        }
+        assert_eq!(
             e.migration.is_some(),
             r.migration.is_some(),
             "{what}: migration presence"
@@ -452,6 +527,113 @@ mod tests {
     #[test]
     fn golden_equivalence_p64() {
         golden(64, 5, RemapPolicy::BeforeRefinement);
+    }
+
+    /// Satellite: an *explicitly* zero-chaos engine — `ChaosConfig::none`
+    /// (uniform rank profile, no jitter, empty fault plan) — reproduces the
+    /// chaos-unaware reference golden. The plain golden tests above cover
+    /// the default-constructed path at P ∈ {1, 8, 64}.
+    #[test]
+    fn explicit_zero_chaos_reproduces_golden() {
+        let mut engine = plum(8, 4, RemapPolicy::BeforeRefinement);
+        engine.chaos = ChaosConfig::none(8);
+        assert!(engine.chaos.is_none());
+        let mut reference = plum(8, 4, RemapPolicy::BeforeRefinement);
+        for cycle in 0..2 {
+            let e = engine.adaption_cycle(0.3, 0.1);
+            let r = reference.adaption_cycle_reference(0.3, 0.1);
+            assert_equivalent(&e, &r, &format!("explicit zero-chaos cycle {cycle}"));
+        }
+    }
+
+    /// Acceptance criterion: at P = 64 with one rank slowed 2×, the
+    /// capacity-weighted balancer recovers at least 80% of the makespan gap
+    /// to the capacity-ideal partition within 3 adaption cycles.
+    #[test]
+    fn p64_recovers_makespan_after_2x_slowdown() {
+        let nproc = 64;
+        let slow = 7;
+        let mut p = plum(nproc, 5, RemapPolicy::BeforeRefinement);
+        p.chaos = ChaosConfig::slowdown(nproc, slow, 2.0);
+
+        let mut gap_before = None;
+        let mut eff_after = f64::INFINITY;
+        let mut rebalanced = false;
+        for cycle in 0..3 {
+            let report = p.adaption_cycle(0.2, 0.1);
+            if cycle == 0 {
+                // The observed capacity must expose the slow rank…
+                assert!(
+                    report.capacity[slow] < 0.6,
+                    "slow rank capacity {} not observed",
+                    report.capacity[slow]
+                );
+                // …and the capacity-weighted evaluation must see a large
+                // effective imbalance on the count-balanced partition.
+                assert!(
+                    report.decision.imbalance_old > 1.5,
+                    "weighted imbalance_old {} too small for a 2× slowdown",
+                    report.decision.imbalance_old
+                );
+                gap_before = Some(report.decision.imbalance_old - 1.0);
+            }
+            rebalanced |= report.decision.accepted;
+            let (wcomp, _) = p.am.weights();
+            let load = p.engine.per_rank_load(&wcomp);
+            eff_after = report.effective_imbalance(&load);
+            if eff_after - 1.0 <= 0.2 * gap_before.unwrap() {
+                break;
+            }
+        }
+        assert!(rebalanced, "the balancer never adopted a new mapping");
+        let gap_before = gap_before.unwrap();
+        assert!(
+            eff_after - 1.0 <= 0.2 * gap_before,
+            "recovered less than 80% of the makespan gap: \
+             effective imbalance {eff_after} vs initial gap {gap_before}"
+        );
+        p.am.validate();
+    }
+
+    /// A transient stall scheduled for a specific cycle lands on that
+    /// cycle's session timeline as a `Fault` event and stretches the cycle.
+    #[test]
+    fn cycle_fault_lands_on_session_timeline() {
+        let mut chaotic = plum(4, 3, RemapPolicy::BeforeRefinement);
+        chaotic.chaos.cycle_faults.push((
+            0,
+            Fault {
+                rank: 2,
+                step: 0,
+                action: FaultAction::Stall { seconds: 0.25 },
+            },
+        ));
+        let mut clean = plum(4, 3, RemapPolicy::BeforeRefinement);
+
+        let rc = chaotic.adaption_cycle(0.3, 0.1);
+        let rr = clean.adaption_cycle(0.3, 0.1);
+        let faults: Vec<_> = rc.traces.session.events[2]
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .collect();
+        assert_eq!(faults.len(), 1, "exactly one injected fault on rank 2");
+        // The stalled rank need not have been the phase's slowest, so part
+        // of the stall hides in the sync spread — but the bulk must show.
+        assert!(
+            rc.times.total() >= rr.times.total() + 0.2,
+            "stall must stretch the cycle: {} vs {}",
+            rc.times.total(),
+            rr.times.total()
+        );
+        // The fault was one-shot: the next cycle runs clean.
+        let rc2 = chaotic.adaption_cycle(0.3, 0.1);
+        assert!(rc2
+            .traces
+            .session
+            .events
+            .iter()
+            .flatten()
+            .all(|e| !matches!(e, TraceEvent::Fault { .. })));
     }
 
     #[test]

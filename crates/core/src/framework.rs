@@ -11,6 +11,7 @@ use plum_solver::{
 use plum_parsim::TraceLog;
 
 use crate::balance::{balance_step, BalanceDecision};
+use crate::chaos::ChaosConfig;
 use crate::config::{PlumConfig, RemapPolicy};
 use crate::engine::CycleEngine;
 use crate::marking::{parallel_mark, Ownership};
@@ -90,6 +91,23 @@ pub struct CycleReport {
     /// Max per-processor leaf load after refinement under the adopted
     /// assignment.
     pub wmax_balanced: u64,
+    /// Observed per-rank solver compute rates (work units per virtual
+    /// second of the solver phase). On a slowed rank the rate drops.
+    pub rate: Vec<f64>,
+    /// Per-rank capacity weights derived from `rate`: normalized to mean
+    /// 1.0 and quantized, so a homogeneous machine observes exactly 1.0
+    /// everywhere. This is what the balancer used this cycle.
+    pub capacity: Vec<f64>,
+}
+
+impl CycleReport {
+    /// Capacity-weighted solver imbalance after this cycle: the adopted
+    /// assignment's `max(w_r/c_r)/(Σw/Σc)` over the post-refinement leaf
+    /// loads. 1.0 means every processor finishes its solver share
+    /// simultaneously *given its observed speed*.
+    pub fn effective_imbalance(&self, per_rank_load: &[u64]) -> f64 {
+        plum_partition::imbalance_weighted(per_rank_load, &self.capacity)
+    }
 }
 
 /// The PLUM framework state.
@@ -111,6 +129,14 @@ pub struct Plum {
     /// Rank-resident state: per-rank root lists and incrementally
     /// maintained ownership, persisting across cycles.
     pub engine: CycleEngine,
+    /// Chaos injected into engine cycles (the reference driver ignores it
+    /// and stays the clean golden baseline).
+    pub chaos: ChaosConfig,
+    /// Capacity weights the balancer uses: observed per-rank solver rates
+    /// of the latest engine cycle, normalized to mean 1.0. Starts uniform.
+    pub capacity: Vec<f64>,
+    /// Engine cycles run so far (indexes [`ChaosConfig::cycle_faults`]).
+    pub cycles_run: u64,
     pub(crate) solver_cfg: SolverConfig,
 }
 
@@ -132,6 +158,9 @@ impl Plum {
         initialize_solution(&am.mesh, &mut field, &wave, 0.0);
         let engine = CycleEngine::new(&am, &proc_of_root, cfg.nproc);
         Plum {
+            chaos: ChaosConfig::none(cfg.nproc),
+            capacity: vec![1.0; cfg.nproc],
+            cycles_run: 0,
             cfg,
             work: WorkModel::default(),
             am,
@@ -217,6 +246,12 @@ impl Plum {
         let (wcomp_now, wremap_now) = self.am.weights();
         let own = Ownership::build(&self.am, &self.proc_of_root, self.cfg.nproc);
         times.solver = self.solver_time(&wcomp_now, &self.proc_of_root, &own);
+        let nominal = vec![1.0; self.cfg.nproc];
+        let (rate, capacity) = crate::engine::observe_capacity(
+            &self.per_proc(&wcomp_now, &self.proc_of_root),
+            &self.work,
+            &nominal,
+        );
 
         // --- MESH ADAPTOR: edge marking (parallel, with propagation) -------
         let error = edge_error_indicator(&self.am.mesh, &self.field);
@@ -354,6 +389,8 @@ impl Plum {
             migration,
             decision,
             times,
+            rate,
+            capacity,
         }
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 mod balance;
+mod chaos;
 mod config;
 mod dmesh;
 mod engine;
@@ -44,6 +45,7 @@ mod snapshot;
 mod timing;
 
 pub use balance::{balance_step, run_mapper, BalanceDecision};
+pub use chaos::ChaosConfig;
 pub use config::{Mapper, PlumConfig, RemapPolicy};
 pub use dmesh::{distribute, finalize, DistributedMesh, FinalizedMesh};
 pub use engine::{run_cycle, CycleEngine, RankState};

@@ -10,8 +10,11 @@ use proptest::prelude::*;
 use plum_adapt::{AdaptiveMesh, EdgeMarks};
 use plum_mesh::generate::unit_box_mesh;
 use plum_mesh::EdgeId;
+use plum_solver::WaveField;
 
+use crate::framework::Plum;
 use crate::marking::Ownership;
+use crate::PlumConfig;
 
 /// Assert `own` (incrementally maintained) equals a fresh build.
 fn assert_equivalent(own: &Ownership, am: &AdaptiveMesh, proc: &[u32], nproc: usize) {
@@ -84,5 +87,50 @@ proptest! {
             }
             assert_equivalent(&own, &am, &proc, nproc);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Schedule perturbation changes only virtual times, never outcomes:
+    /// under any link-jitter seed, two engine cycles produce bit-identical
+    /// discrete results (mesh counts, marking sweeps, balance decisions,
+    /// adopted assignments, migration volumes) to the unperturbed engine.
+    #[test]
+    fn engine_results_invariant_under_jitter_seeds(
+        seed in proptest::prelude::any::<u64>(),
+        jitter in 0.01f64..0.4,
+    ) {
+        let run = |chaos: Option<(u64, f64)>| {
+            let mut p = Plum::new(
+                unit_box_mesh(3),
+                WaveField::unit_box(),
+                PlumConfig::new(4),
+            );
+            if let Some((seed, jitter)) = chaos {
+                p.chaos.seed = seed;
+                p.chaos.link_jitter = jitter;
+            }
+            let mut out = Vec::new();
+            for _ in 0..2 {
+                let r = p.adaption_cycle(0.25, 0.3);
+                out.push((
+                    r.counts,
+                    r.marking_sweeps,
+                    r.decision.repartitioned,
+                    r.decision.accepted,
+                    r.decision.new_proc.clone(),
+                    r.decision.wmax_old,
+                    r.decision.wmax_new,
+                    r.capacity.clone(),
+                    r.migration.map(|m| (m.elems_moved, m.words_moved, m.msgs)),
+                ));
+            }
+            (out, p.proc_of_root.clone())
+        };
+        let clean = run(None);
+        let jittered = run(Some((seed, jitter)));
+        prop_assert_eq!(clean, jittered);
     }
 }

@@ -68,17 +68,30 @@ impl WorkModel {
         local + sync + self.t_part_base
     }
 
+    /// Compute-only share of one solver iteration on a rank owning `wcomp`
+    /// leaf elements (≈ 6/5·wcomp edge visits per iteration on a tet mesh).
+    /// This is the part a slow processor stretches — chaos profiles multiply
+    /// it, and observed per-rank rates (capacity weights) divide by it.
+    pub fn solver_compute_time(&self, wcomp: u64) -> f64 {
+        let edges = wcomp as f64 * 1.2;
+        edges * self.t_edge_visit
+    }
+
+    /// Communication share of one solver iteration: the halo exchange over
+    /// `shared_edges` partition-boundary edges.
+    pub fn solver_halo_time(&self, shared_edges: u64, machine: &MachineModel) -> f64 {
+        machine.transfer_time(shared_edges * 5)
+    }
+
     /// Modeled per-iteration solver time on a rank owning `wcomp` leaf
-    /// elements (≈ 6/5·wcomp·edge visits per iteration on a tet mesh, plus a
-    /// halo exchange).
+    /// elements, plus a halo exchange.
     pub fn solver_iteration_time(
         &self,
         wcomp: u64,
         shared_edges: u64,
         machine: &MachineModel,
     ) -> f64 {
-        let edges = wcomp as f64 * 1.2;
-        edges * self.t_edge_visit + machine.transfer_time(shared_edges * 5)
+        self.solver_compute_time(wcomp) + self.solver_halo_time(shared_edges, machine)
     }
 }
 

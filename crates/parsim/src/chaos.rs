@@ -1,0 +1,394 @@
+//! Deterministic fault injection and machine heterogeneity.
+//!
+//! The paper's machine model is perfectly homogeneous, so the balancer is
+//! only ever exercised by *mesh*-induced imbalance. This module adds the
+//! harder regime — *machine*-induced inhomogeneity — as a seeded, fully
+//! reproducible perturbation layer:
+//!
+//! * [`RankProfile`]: per-rank compute-rate multipliers (a rank with
+//!   multiplier 2.0 pays twice the `t_flop` cost for the same work);
+//! * [`Perturbation`]: a profile plus per-link latency jitter, all drawn
+//!   from a seeded splittable RNG ([`ChaosRng`]) so two runs with the same
+//!   seed produce bit-identical virtual times regardless of OS thread
+//!   interleaving;
+//! * [`FaultPlan`]: discrete faults ([`FaultAction`]) that a
+//!   [`Session`](crate::Session) applies at step boundaries — transient
+//!   rank stalls, message-delay spikes, and permanent compute slowdowns.
+//!
+//! Jitter and faults perturb only *virtual time* (arrival stamps, clock
+//! charges); they never reorder or alter message payloads, so algorithmic
+//! results are invariant under any perturbation seed (tested in
+//! `proptests.rs`).
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A splittable splitmix64 RNG.
+///
+/// [`ChaosRng::split`] derives an independent stream keyed by an arbitrary
+/// 64-bit label; splitting is a pure function of (state, label), so draws
+/// are reproducible no matter which thread makes them or in what order
+/// streams are split off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: mix(seed) }
+    }
+
+    /// Derive an independent stream keyed by `label`. Does not advance
+    /// `self`.
+    pub fn split(&self, label: u64) -> Self {
+        ChaosRng {
+            state: mix(self.state ^ mix(label ^ 0xa076_1d64_78bd_642f)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-rank compute-rate multipliers: rank `r` pays `mult(r)` times the
+/// nominal `t_flop` cost for the same work. 1.0 everywhere is the
+/// homogeneous machine of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankProfile {
+    mults: Vec<f64>,
+}
+
+impl RankProfile {
+    /// The homogeneous profile: every rank at nominal speed.
+    pub fn uniform(nranks: usize) -> Self {
+        RankProfile {
+            mults: vec![1.0; nranks],
+        }
+    }
+
+    /// Uniform except `rank`, which is `factor` times slower.
+    pub fn slowdown(nranks: usize, rank: usize, factor: f64) -> Self {
+        assert!(rank < nranks, "slowdown of rank {rank} of {nranks}");
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        let mut p = Self::uniform(nranks);
+        p.mults[rank] = factor;
+        p
+    }
+
+    /// Random multipliers in `[1, max_factor]`, one independent draw per
+    /// rank from the seeded splittable RNG.
+    pub fn seeded(nranks: usize, seed: u64, max_factor: f64) -> Self {
+        assert!(max_factor >= 1.0, "max_factor must be >= 1");
+        let root = ChaosRng::new(seed);
+        RankProfile {
+            mults: (0..nranks)
+                .map(|r| 1.0 + root.split(r as u64).next_f64() * (max_factor - 1.0))
+                .collect(),
+        }
+    }
+
+    /// The multiplier of `rank`.
+    #[inline]
+    pub fn mult(&self, rank: usize) -> f64 {
+        self.mults[rank]
+    }
+
+    /// Overwrite the multiplier of `rank`.
+    pub fn set_mult(&mut self, rank: usize, mult: f64) {
+        assert!(mult > 0.0, "multiplier must be positive");
+        self.mults[rank] = mult;
+    }
+
+    /// Number of ranks covered.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.mults.len()
+    }
+
+    /// True when every rank runs at the same speed (the zero-chaos case,
+    /// which must reproduce the unperturbed machine bit-exactly).
+    pub fn is_uniform(&self) -> bool {
+        self.mults.iter().all(|&m| m == self.mults[0])
+    }
+
+    /// All multipliers, by rank.
+    pub fn mults(&self) -> &[f64] {
+        &self.mults
+    }
+}
+
+/// A perturbed machine: a [`RankProfile`] plus per-link latency jitter.
+///
+/// `link_jitter` is a relative amplitude `a`: each message's startup and
+/// wire time is scaled by an independent factor in `[1-a, 1+a]`, drawn from
+/// `seed` split by (sender, receiver, per-link message index) — so the draw
+/// depends only on the communication pattern, never on thread timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    /// Per-rank compute multipliers.
+    pub profile: RankProfile,
+    /// Relative link-latency jitter amplitude in `[0, 1)`. Zero disables.
+    pub link_jitter: f64,
+    /// Seed for all jitter draws.
+    pub seed: u64,
+}
+
+impl Perturbation {
+    /// No perturbation: homogeneous ranks, no jitter. A session built with
+    /// this reproduces the unperturbed machine bit-exactly.
+    pub fn none(nranks: usize) -> Self {
+        Perturbation {
+            profile: RankProfile::uniform(nranks),
+            link_jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// True when this perturbation cannot change any virtual time.
+    pub fn is_none(&self) -> bool {
+        self.link_jitter == 0.0 && self.profile.mults.iter().all(|&m| m == 1.0)
+    }
+}
+
+/// The per-message jitter factor for link `src → dst`, message index `k`.
+pub(crate) fn jitter_factor(seed: u64, src: usize, dst: usize, k: u64, amplitude: f64) -> f64 {
+    let u = ChaosRng::new(seed)
+        .split(src as u64)
+        .split(dst as u64)
+        .split(k)
+        .next_f64();
+    1.0 + amplitude * (2.0 * u - 1.0)
+}
+
+/// The kind of an injected fault (used in [`TraceEvent::Fault`]
+/// (crate::TraceEvent) records and exports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    Stall,
+    Slowdown,
+    DelaySpike,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Stall => "stall",
+            FaultKind::Slowdown => "slowdown",
+            FaultKind::DelaySpike => "delay-spike",
+        }
+    }
+}
+
+/// What an injected fault does to its rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Transient stall: the rank is frozen for `seconds` of virtual time at
+    /// the step boundary (e.g. an OS hiccup or a checkpoint write).
+    Stall { seconds: f64 },
+    /// Permanent compute slowdown: from this step on, the rank's compute
+    /// multiplier is scaled by `factor` (compounding with the profile).
+    Slowdown { factor: f64 },
+    /// Message-delay spike: for the next `steps` steps, every message this
+    /// rank sends takes `extra` additional seconds to arrive.
+    DelaySpike { steps: u64, extra: f64 },
+}
+
+impl FaultAction {
+    /// The trace-event kind of this action.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultAction::Stall { .. } => FaultKind::Stall,
+            FaultAction::Slowdown { .. } => FaultKind::Slowdown,
+            FaultAction::DelaySpike { .. } => FaultKind::DelaySpike,
+        }
+    }
+}
+
+/// One scheduled fault: `action` hits `rank` at the boundary of step
+/// `step` (steps are counted per [`Session`](crate::Session), starting at
+/// zero; both `run` and `modeled_phase` advance the counter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    pub rank: usize,
+    pub step: u64,
+    pub action: FaultAction,
+}
+
+/// A deterministic schedule of faults, applied by the session at step
+/// boundaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults ever).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// All scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Add a fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Builder: stall `rank` for `seconds` at step `step`.
+    pub fn stall(mut self, rank: usize, step: u64, seconds: f64) -> Self {
+        assert!(seconds >= 0.0 && seconds.is_finite());
+        self.push(Fault {
+            rank,
+            step,
+            action: FaultAction::Stall { seconds },
+        });
+        self
+    }
+
+    /// Builder: permanently slow `rank` by `factor` from step `step` on.
+    pub fn slowdown(mut self, rank: usize, step: u64, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.push(Fault {
+            rank,
+            step,
+            action: FaultAction::Slowdown { factor },
+        });
+        self
+    }
+
+    /// Builder: delay every message `rank` sends during steps
+    /// `step..step+steps` by `extra` seconds.
+    pub fn delay_spike(mut self, rank: usize, step: u64, steps: u64, extra: f64) -> Self {
+        assert!(extra >= 0.0 && extra.is_finite());
+        self.push(Fault {
+            rank,
+            step,
+            action: FaultAction::DelaySpike { steps, extra },
+        });
+        self
+    }
+
+    /// A small random plan: 1–3 faults over `nsteps` steps of an
+    /// `nranks`-rank session, drawn from the seeded splittable RNG.
+    pub fn seeded(seed: u64, nranks: usize, nsteps: u64) -> Self {
+        let mut rng = ChaosRng::new(seed).split(0x70_6c_61_6e); // "plan"
+        let n = 1 + (rng.next_u64() % 3) as usize;
+        let mut plan = FaultPlan::none();
+        for i in 0..n {
+            let mut r = rng.split(i as u64);
+            let rank = (r.next_u64() % nranks as u64) as usize;
+            let step = r.next_u64() % nsteps.max(1);
+            let action = match r.next_u64() % 3 {
+                0 => FaultAction::Stall {
+                    seconds: 0.5 + r.next_f64(),
+                },
+                1 => FaultAction::Slowdown {
+                    factor: 1.25 + r.next_f64(),
+                },
+                _ => FaultAction::DelaySpike {
+                    steps: 1 + r.next_u64() % 3,
+                    extra: 1e-3 * (1.0 + r.next_f64()),
+                },
+            };
+            plan.push(Fault { rank, step, action });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_streams_are_deterministic_and_independent() {
+        let root = ChaosRng::new(42);
+        let mut a1 = root.split(1);
+        let mut a2 = root.split(1);
+        let mut b = root.split(2);
+        let xs: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "same label replays the same stream");
+        assert_ne!(xs, zs, "different labels diverge");
+    }
+
+    #[test]
+    fn f64_draws_are_in_unit_interval() {
+        let mut rng = ChaosRng::new(7);
+        for _ in 0..1000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn jitter_factor_is_bounded_and_reproducible() {
+        for k in 0..100 {
+            let f = jitter_factor(9, 3, 5, k, 0.25);
+            assert!((0.75..=1.25).contains(&f));
+            assert_eq!(f, jitter_factor(9, 3, 5, k, 0.25));
+        }
+        assert_ne!(
+            jitter_factor(9, 3, 5, 0, 0.25),
+            jitter_factor(9, 5, 3, 0, 0.25),
+            "links are independent streams"
+        );
+    }
+
+    #[test]
+    fn profiles_report_uniformity() {
+        assert!(RankProfile::uniform(8).is_uniform());
+        assert!(!RankProfile::slowdown(8, 3, 2.0).is_uniform());
+        let p = RankProfile::seeded(8, 11, 3.0);
+        assert_eq!(p, RankProfile::seeded(8, 11, 3.0));
+        for r in 0..8 {
+            assert!((1.0..=3.0).contains(&p.mult(r)));
+        }
+    }
+
+    #[test]
+    fn perturbation_none_is_none() {
+        assert!(Perturbation::none(4).is_none());
+        let mut p = Perturbation::none(4);
+        p.link_jitter = 0.1;
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn seeded_plans_replay() {
+        let a = FaultPlan::seeded(5, 8, 6);
+        let b = FaultPlan::seeded(5, 8, 6);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for f in a.faults() {
+            assert!(f.rank < 8);
+            assert!(f.step < 6);
+        }
+    }
+}

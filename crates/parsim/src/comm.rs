@@ -1,9 +1,12 @@
 //! Point-to-point communication context handed to each SPMD rank.
 
 use std::any::Any;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 
+use crate::chaos::{jitter_factor, FaultKind};
 use crate::trace::{CollectiveKind, TraceEvent};
+use crate::watchdog::{Watchdog, WatchdogAbort, WATCHDOG_TICK};
 use crate::{MachineModel, VirtualClock};
 
 /// Message tag. Matching is FIFO per (source, destination) pair: a receive
@@ -40,6 +43,19 @@ pub struct Comm {
     events: Vec<TraceEvent>,
     /// Current collective nesting depth (allgather calls gather + bcast).
     coll_depth: u32,
+    /// Shared deadlock detector (see [`crate::watchdog`]).
+    watchdog: Arc<Watchdog>,
+    /// Compute-rate multiplier from the chaos profile (1.0 = nominal);
+    /// scales every [`Comm::compute`] charge. Permanent slowdown faults
+    /// compound onto it.
+    flop_mult: f64,
+    /// Extra arrival delay on every message this rank sends (active
+    /// delay-spike faults; 0.0 = none).
+    send_delay: f64,
+    /// Per-link latency jitter, if enabled: `(amplitude, seed, sent[dst])`.
+    /// The per-destination counters make each draw a pure function of the
+    /// communication pattern, independent of thread interleaving.
+    jitter: Option<(f64, u64, Vec<u64>)>,
 }
 
 impl Comm {
@@ -49,6 +65,7 @@ impl Comm {
         model: MachineModel,
         tx: Vec<Sender<Envelope>>,
         rx: Vec<Receiver<Envelope>>,
+        watchdog: Arc<Watchdog>,
     ) -> Self {
         Comm {
             rank,
@@ -61,6 +78,10 @@ impl Comm {
             sent_words: 0,
             events: Vec::new(),
             coll_depth: 0,
+            watchdog,
+            flop_mult: 1.0,
+            send_delay: 0.0,
+            jitter: None,
         }
     }
 
@@ -101,9 +122,11 @@ impl Comm {
     }
 
     /// Charge `units` units of local computation to the virtual clock.
+    /// Scaled by the rank's chaos compute multiplier (1.0 on the
+    /// unperturbed machine).
     #[inline]
     pub fn compute(&mut self, units: f64) {
-        self.charge(self.model.compute_time(units));
+        self.charge(self.model.compute_time(units) * self.flop_mult);
     }
 
     /// Charge raw virtual seconds (for costs computed outside the model).
@@ -137,10 +160,22 @@ impl Comm {
     /// the receiver at `send_completion + words * t_word`.
     pub fn send<T: Send + 'static>(&mut self, to: usize, tag: Tag, words: u64, value: T) {
         assert!(to < self.nranks, "send to rank {to} of {}", self.nranks);
+        // With jitter enabled, this message's startup and wire time are both
+        // scaled by a factor drawn from (seed, src, dst, link message index)
+        // — deterministic under any thread interleaving. The unperturbed
+        // path stays bit-exact (no multiplication at all).
+        let (setup, flight) = match &mut self.jitter {
+            Some((amplitude, seed, sent)) => {
+                let f = jitter_factor(*seed, self.rank, to, sent[to], *amplitude);
+                sent[to] += 1;
+                (self.model.t_setup * f, words as f64 * self.model.t_word * f)
+            }
+            None => (self.model.t_setup, words as f64 * self.model.t_word),
+        };
         let start = self.clock.now();
-        self.clock.advance(self.model.t_setup);
+        self.clock.advance(setup);
         let end = self.clock.now();
-        let arrival = end + words as f64 * self.model.t_word;
+        let arrival = end + flight + self.send_delay;
         self.sent_messages += 1;
         self.sent_words += words;
         self.events.push(TraceEvent::Send {
@@ -151,19 +186,22 @@ impl Comm {
             words,
             arrival,
         });
-        self.tx[to]
-            .send(Envelope {
-                tag,
-                words,
-                arrival,
-                payload: Box::new(value),
-            })
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: peer {to} hung up before a tag {tag} send",
-                    self.rank
-                )
-            });
+        let sent = self.tx[to].send(Envelope {
+            tag,
+            words,
+            arrival,
+            payload: Box::new(value),
+        });
+        self.watchdog.bump_progress();
+        if sent.is_err() {
+            if self.watchdog.declared() {
+                std::panic::resume_unwind(Box::new(WatchdogAbort));
+            }
+            panic!(
+                "rank {}: peer {to} hung up before a tag {tag} send",
+                self.rank
+            );
+        }
     }
 
     /// Receive the next message from rank `from`; it must carry `tag` and
@@ -200,12 +238,8 @@ impl Comm {
             self.nranks
         );
         let posted = self.clock.now();
-        let env = self.rx[from].recv().unwrap_or_else(|_| {
-            panic!(
-                "rank {}: peer {from} disconnected while waiting for tag {tag}",
-                self.rank
-            )
-        });
+        let env = self.blocking_recv(from, tag);
+        self.watchdog.bump_progress();
         assert_eq!(
             env.tag, tag,
             "rank {}: tag mismatch receiving from {from}: expected {tag}, got {}",
@@ -222,6 +256,109 @@ impl Comm {
             wait: completed - posted,
         });
         env
+    }
+
+    /// The one real-time blocking path in the simulator, watchdog-covered:
+    /// wait for the next envelope from `from` in `WATCHDOG_TICK` slices,
+    /// publishing this rank's blocked state and checking for deadlock on
+    /// every timeout (see [`crate::watchdog`] for the declaration rule).
+    fn blocking_recv(&mut self, from: usize, tag: Tag) -> Envelope {
+        // Fast path: the message may already be queued.
+        match self.rx[from].try_recv() {
+            Ok(env) => return env,
+            Err(TryRecvError::Disconnected) => self.peer_hangup(from, tag),
+            Err(TryRecvError::Empty) => {}
+        }
+        self.watchdog.set_blocked(self.rank, from, tag);
+        // Global progress count seen at the last quiet tick with a stuck
+        // diagnosis; declaring requires the same count on two consecutive
+        // ticks, so a send anywhere in between resets the fuse.
+        let mut quiet_at: Option<u64> = None;
+        loop {
+            match self.rx[from].recv_timeout(WATCHDOG_TICK) {
+                Ok(env) => {
+                    self.watchdog.set_running(self.rank);
+                    return env;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.watchdog.set_running(self.rank);
+                    self.peer_hangup(from, tag)
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.watchdog.declared() {
+                        std::panic::resume_unwind(Box::new(WatchdogAbort));
+                    }
+                    let progress = self.watchdog.progress();
+                    match self.watchdog.diagnose(self.rank) {
+                        Some(err) if quiet_at == Some(progress) => {
+                            if self.watchdog.declare(err.clone()) {
+                                std::panic::resume_unwind(Box::new(err));
+                            }
+                            std::panic::resume_unwind(Box::new(WatchdogAbort));
+                        }
+                        Some(_) => quiet_at = Some(progress),
+                        None => quiet_at = None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The peer's `Comm` was dropped (its thread panicked or the session is
+    /// tearing down). Quiet abort if a deadlock verdict already exists;
+    /// otherwise this is the ordinary cascade panic.
+    fn peer_hangup(&self, from: usize, tag: Tag) -> ! {
+        if self.watchdog.declared() {
+            std::panic::resume_unwind(Box::new(WatchdogAbort));
+        }
+        panic!(
+            "rank {}: peer {from} disconnected while waiting for tag {tag}",
+            self.rank
+        )
+    }
+
+    // --- chaos hooks (driven by the session at step boundaries) ------------
+
+    /// Scale this rank's compute multiplier (permanent slowdown faults
+    /// compound onto the profile).
+    pub(crate) fn scale_flop_mult(&mut self, factor: f64) {
+        self.flop_mult *= factor;
+    }
+
+    /// This rank's current compute multiplier.
+    #[inline]
+    pub fn flop_mult(&self) -> f64 {
+        self.flop_mult
+    }
+
+    /// Set the extra arrival delay added to every message this rank sends
+    /// (the sum of its active delay-spike faults).
+    pub(crate) fn set_send_delay(&mut self, extra: f64) {
+        self.send_delay = extra;
+    }
+
+    /// Enable per-link latency jitter with the given amplitude and seed.
+    pub(crate) fn set_jitter(&mut self, amplitude: f64, seed: u64) {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "jitter amplitude must be in [0, 1)"
+        );
+        if amplitude > 0.0 {
+            self.jitter = Some((amplitude, seed, vec![0; self.nranks]));
+        }
+    }
+
+    /// Charge an injected-fault span to the clock and record it as a
+    /// [`TraceEvent::Fault`] (zero-length spans mark instantaneous faults
+    /// like a slowdown taking effect).
+    pub(crate) fn inject_fault(&mut self, kind: FaultKind, seconds: f64) {
+        let start = self.clock.now();
+        self.clock.advance(seconds);
+        self.events.push(TraceEvent::Fault {
+            kind,
+            start,
+            end: self.clock.now(),
+        });
     }
 
     // --- tracing hooks -----------------------------------------------------

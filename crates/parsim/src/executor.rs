@@ -1,9 +1,12 @@
 //! The SPMD executor: spawns one thread per virtual rank.
 
 use std::sync::mpsc::channel;
+use std::sync::Arc;
 
+use crate::chaos::{Fault, FaultAction, FaultPlan, Perturbation};
 use crate::comm::{Comm, Envelope};
 use crate::trace::TraceEvent;
+use crate::watchdog::{DeadlockError, Watchdog};
 use crate::MachineModel;
 
 /// Result of one rank's execution: its return value plus communication and
@@ -39,19 +42,66 @@ pub struct RankResult<T> {
 /// still accounts for its full elapsed time exactly.
 ///
 /// [`spmd`] and [`spmd_with_args`] are single-step sessions.
+///
+/// ## Chaos
+///
+/// [`Session::with_chaos`] builds a perturbed machine: per-rank compute
+/// multipliers and per-link latency jitter from a [`Perturbation`], plus a
+/// [`FaultPlan`] applied at step boundaries (both [`Session::run`] and
+/// [`Session::modeled_phase`] count as one step). All perturbations touch
+/// only virtual time — message contents and ordering are untouched, so
+/// algorithmic results are invariant under any seed.
+///
+/// ## Deadlock detection
+///
+/// Every blocking receive is covered by a watchdog (see
+/// [`crate::watchdog`]); a stuck step returns a structured
+/// [`DeadlockError`] from [`Session::try_run`] within a bounded real-time
+/// delay instead of hanging the process. [`Session::run`] panics with the
+/// same diagnosis. After a deadlock the session is poisoned (rank state
+/// was lost with the panicked threads) and cannot run further steps.
 pub struct Session {
     nranks: usize,
     model: MachineModel,
     /// The per-rank contexts, parked host-side between steps.
     comms: Vec<Comm>,
+    /// Shared deadlock detector (also held by every `Comm`).
+    watchdog: Arc<Watchdog>,
+    /// Completed step count == the step index the next `run` /
+    /// `modeled_phase` executes at (faults with this step fire first).
+    step: u64,
+    plan: FaultPlan,
+    /// Active delay spikes: `(expires_at_step, rank, extra_seconds)`.
+    active_delays: Vec<(u64, usize, f64)>,
+    /// Set after a deadlock: the panicked rank threads took their `Comm`s
+    /// with them, so no further steps can run.
+    poisoned: bool,
 }
 
 impl Session {
     /// Build the rank contexts and the `nranks × nranks` channel matrix
     /// (`chan[s][d]` carries messages from `s` to `d`). All clocks start at
-    /// zero.
+    /// zero. The machine is unperturbed.
     pub fn new(nranks: usize, model: MachineModel) -> Self {
+        Self::with_chaos(
+            nranks,
+            model,
+            &Perturbation::none(nranks),
+            FaultPlan::none(),
+        )
+    }
+
+    /// Like [`Session::new`], but on a perturbed machine under a fault
+    /// plan. `Perturbation::none(nranks)` + `FaultPlan::none()` reproduces
+    /// the unperturbed session bit-exactly.
+    pub fn with_chaos(
+        nranks: usize,
+        model: MachineModel,
+        perturb: &Perturbation,
+        plan: FaultPlan,
+    ) -> Self {
         assert!(nranks >= 1, "need at least one rank");
+        assert_eq!(perturb.profile.nranks(), nranks, "one multiplier per rank");
         let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Envelope>>>> = (0..nranks)
             .map(|_| (0..nranks).map(|_| None).collect())
             .collect();
@@ -66,16 +116,78 @@ impl Session {
                 receivers[d][s] = Some(rx);
             }
         }
+        let watchdog = Arc::new(Watchdog::new(nranks));
         let mut comms: Vec<Comm> = Vec::with_capacity(nranks);
         for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
             let tx: Vec<_> = tx_row.into_iter().map(|t| t.unwrap()).collect();
             let rx: Vec<_> = rx_row.into_iter().map(|r| r.unwrap()).collect();
-            comms.push(Comm::new(rank, nranks, model, tx, rx));
+            let mut comm = Comm::new(rank, nranks, model, tx, rx, watchdog.clone());
+            let mult = perturb.profile.mult(rank);
+            if mult != 1.0 {
+                comm.scale_flop_mult(mult);
+            }
+            if perturb.link_jitter > 0.0 {
+                comm.set_jitter(perturb.link_jitter, perturb.seed);
+            }
+            comms.push(comm);
         }
         Session {
             nranks,
             model,
             comms,
+            watchdog,
+            step: 0,
+            plan,
+            active_delays: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Apply every fault due at the current step boundary, refresh active
+    /// delay spikes, and advance the step counter.
+    fn apply_step_faults(&mut self) {
+        assert!(!self.poisoned, "session was poisoned by a deadlock");
+        let step = self.step;
+        self.step += 1;
+        if self.plan.is_empty() && self.active_delays.is_empty() {
+            return;
+        }
+        let due: Vec<Fault> = self
+            .plan
+            .faults()
+            .iter()
+            .filter(|f| f.step == step)
+            .copied()
+            .collect();
+        for f in due {
+            assert!(
+                f.rank < self.nranks,
+                "fault on rank {} of {}",
+                f.rank,
+                self.nranks
+            );
+            match f.action {
+                FaultAction::Stall { seconds } => {
+                    self.comms[f.rank].inject_fault(f.action.kind(), seconds);
+                }
+                FaultAction::Slowdown { factor } => {
+                    self.comms[f.rank].scale_flop_mult(factor);
+                    self.comms[f.rank].inject_fault(f.action.kind(), 0.0);
+                }
+                FaultAction::DelaySpike { steps, extra } => {
+                    self.active_delays
+                        .push((step.saturating_add(steps), f.rank, extra));
+                    self.comms[f.rank].inject_fault(f.action.kind(), 0.0);
+                }
+            }
+        }
+        self.active_delays.retain(|&(until, _, _)| until > step);
+        let mut delay = vec![0.0; self.nranks];
+        for &(_, rank, extra) in &self.active_delays {
+            delay[rank] += extra;
+        }
+        for (comm, d) in self.comms.iter_mut().zip(delay) {
+            comm.set_send_delay(d);
         }
     }
 
@@ -114,6 +226,7 @@ impl Session {
     /// is `max(seconds)` and each `elapsed` is the aligned session time.
     pub fn modeled_phase(&mut self, name: &str, seconds: &[f64]) -> Vec<RankResult<()>> {
         assert_eq!(seconds.len(), self.nranks, "one cost per rank");
+        self.apply_step_faults();
         for (c, &s) in self.comms.iter_mut().zip(seconds) {
             c.phase_begin(name);
             c.advance(s);
@@ -150,26 +263,67 @@ impl Session {
         T: Send,
         F: Fn(&mut Comm, A) -> T + Send + Sync,
     {
+        self.try_run(args, body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Session::run`], but a deadlocked step returns
+    /// `Err(DeadlockError)` (within a bounded real-time delay) instead of
+    /// panicking. Non-deadlock panics in rank bodies still propagate. After
+    /// an `Err` the session is poisoned: the panicked rank threads took
+    /// their state with them, so further steps panic.
+    pub fn try_run<A, T, F>(
+        &mut self,
+        args: Vec<A>,
+        body: F,
+    ) -> Result<Vec<RankResult<T>>, DeadlockError>
+    where
+        A: Send,
+        T: Send,
+        F: Fn(&mut Comm, A) -> T + Send + Sync,
+    {
         assert_eq!(args.len(), self.nranks, "one argument per rank");
+        self.apply_step_faults();
+        self.watchdog.reset();
         let comms = std::mem::take(&mut self.comms);
         let body = &body;
-        let mut returned: Vec<Option<(T, Comm)>> = (0..self.nranks).map(|_| None).collect();
+        let mut returned: Vec<Option<std::thread::Result<(T, Comm)>>> =
+            (0..self.nranks).map(|_| None).collect();
         std::thread::scope(|scope| {
+            let watchdog = &self.watchdog;
             let mut handles = Vec::with_capacity(self.nranks);
             for (rank, (mut comm, arg)) in comms.into_iter().zip(args).enumerate() {
                 handles.push((
                     rank,
                     scope.spawn(move || {
                         let value = body(&mut comm, arg);
+                        // The body returned: this rank can no longer send
+                        // this step, which the deadlock diagnosis relies on.
+                        watchdog.set_done(rank);
                         (value, comm)
                     }),
                 ));
             }
             for (rank, h) in handles {
-                returned[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+                returned[rank] = Some(h.join());
             }
         });
-        let pairs: Vec<(T, Comm)> = returned.into_iter().map(|r| r.unwrap()).collect();
+        if let Some(err) = self.watchdog.take_verdict() {
+            // The declaring rank panicked with the verdict and the channel
+            // disconnects cascade-terminated the rest; their `Comm`s are
+            // gone, so the session cannot continue.
+            self.poisoned = true;
+            self.comms = Vec::new();
+            return Err(err);
+        }
+        let mut pairs: Vec<(T, Comm)> = Vec::with_capacity(self.nranks);
+        for r in returned {
+            match r.unwrap() {
+                Ok(pair) => pairs.push(pair),
+                // No deadlock verdict: propagate the first real panic (in
+                // rank order), exactly as before.
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
         let t_max = pairs.iter().map(|(_, c)| c.now()).fold(0.0, f64::max);
         let mut results = Vec::with_capacity(self.nranks);
         for (value, mut comm) in pairs {
@@ -184,7 +338,7 @@ impl Session {
             });
             self.comms.push(comm);
         }
-        results
+        Ok(results)
     }
 }
 
@@ -224,6 +378,22 @@ where
     Session::new(nranks, model).run(args, body)
 }
 
+/// Like [`spmd`], but a deadlocked program returns `Err(DeadlockError)`
+/// (with per-rank blocked-on diagnosis) within a bounded real-time delay
+/// instead of hanging. This is how tests assert that a communication
+/// pattern deadlocks.
+pub fn try_spmd<T, F>(
+    nranks: usize,
+    model: MachineModel,
+    body: F,
+) -> Result<Vec<RankResult<T>>, DeadlockError>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    Session::new(nranks, model).try_run((0..nranks).map(|_| ()).collect(), |comm, ()| body(comm))
+}
+
 /// Maximum virtual time over all ranks — the simulated wall-clock time of the
 /// SPMD program.
 pub fn makespan<T>(results: &[RankResult<T>]) -> f64 {
@@ -233,6 +403,9 @@ pub fn makespan<T>(results: &[RankResult<T>]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{FaultPlan, Perturbation, RankProfile};
+    use crate::watchdog::RankActivity;
+    use crate::TraceLog;
 
     #[test]
     fn single_rank_runs() {
@@ -551,6 +724,205 @@ mod tests {
         let t = sess.now();
         sess.advance_all(2.0);
         assert!((sess.now() - (t + 2.0)).abs() < 1e-12);
+    }
+
+    // --- chaos ------------------------------------------------------------
+
+    #[test]
+    fn zero_chaos_session_is_bit_identical_to_plain() {
+        let program = |sess: &mut Session| -> Vec<f64> {
+            let r = sess.run(vec![(); 4], |comm, ()| {
+                comm.compute(100.0 + comm.rank() as f64);
+                comm.allreduce_sum_u64(comm.rank() as u64);
+            });
+            sess.modeled_phase("solver", &[0.5, 0.25, 0.125, 0.0625]);
+            r.iter().map(|x| x.elapsed).chain([sess.now()]).collect()
+        };
+        let plain = program(&mut Session::new(4, MachineModel::sp2()));
+        let chaos = program(&mut Session::with_chaos(
+            4,
+            MachineModel::sp2(),
+            &Perturbation::none(4),
+            FaultPlan::none(),
+        ));
+        assert_eq!(plain, chaos, "empty perturbation must be bit-exact");
+    }
+
+    #[test]
+    fn stall_fault_charges_injected_time() {
+        let plan = FaultPlan::none().stall(1, 0, 2.5);
+        let mut sess = Session::with_chaos(2, MachineModel::sp2(), &Perturbation::none(2), plan);
+        let r = sess.run(vec![(), ()], |comm, ()| comm.barrier());
+        let summary = TraceLog::from_results(&r).summary();
+        assert!((summary.ranks[1].injected - 2.5).abs() < 1e-12);
+        assert_eq!(summary.ranks[0].injected, 0.0);
+        assert!(makespan(&r) >= 2.5, "the stall delays the whole step");
+        // The extended invariant: compute + wire + wait + injected == elapsed.
+        for (res, s) in r.iter().zip(&summary.ranks) {
+            assert!((s.total() - res.elapsed).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slowdown_fault_scales_compute_from_its_step() {
+        let plan = FaultPlan::none().slowdown(0, 1, 2.0);
+        let mut sess = Session::with_chaos(1, MachineModel::sp2(), &Perturbation::none(1), plan);
+        let r0 = sess.run(vec![()], |comm, ()| {
+            comm.compute(1000.0);
+            comm.now()
+        });
+        let r1 = sess.run(vec![()], |comm, ()| {
+            let start = comm.now();
+            comm.compute(1000.0);
+            comm.now() - start
+        });
+        assert!(
+            (r1[0].value - 2.0 * r0[0].value).abs() < 1e-12,
+            "after the fault the same work costs twice as much: {} vs {}",
+            r1[0].value,
+            r0[0].value
+        );
+    }
+
+    #[test]
+    fn rank_profile_scales_compute_per_rank() {
+        let perturb = Perturbation {
+            profile: RankProfile::slowdown(2, 1, 3.0),
+            link_jitter: 0.0,
+            seed: 0,
+        };
+        let mut sess = Session::with_chaos(2, MachineModel::sp2(), &perturb, FaultPlan::none());
+        let r = sess.run(vec![(), ()], |comm, ()| {
+            let start = comm.now();
+            comm.compute(500.0);
+            comm.now() - start
+        });
+        assert!((r[1].value - 3.0 * r[0].value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_spike_delays_arrivals_then_expires() {
+        let plan = FaultPlan::none().delay_spike(0, 0, 1, 3.0);
+        let mut sess = Session::with_chaos(2, MachineModel::zero(), &Perturbation::none(2), plan);
+        let r = sess.run(vec![(), ()], |comm, ()| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 1, 9u8);
+            } else {
+                comm.recv::<u8>(0, 1);
+            }
+            comm.now()
+        });
+        assert!(
+            (r[1].value - 3.0).abs() < 1e-12,
+            "spiked message arrives 3s late on the zero model, got {}",
+            r[1].value
+        );
+        // One step later the spike has expired: no extra delay on top of
+        // the aligned t=3 clocks.
+        let r2 = sess.run(vec![(), ()], |comm, ()| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, 1, 9u8);
+            } else {
+                comm.recv::<u8>(0, 2);
+            }
+        });
+        assert!((makespan(&r2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_jitter_is_seeded_and_result_invariant() {
+        let run = |seed: u64| {
+            let perturb = Perturbation {
+                profile: RankProfile::uniform(4),
+                link_jitter: 0.3,
+                seed,
+            };
+            let mut sess = Session::with_chaos(4, MachineModel::sp2(), &perturb, FaultPlan::none());
+            let r = sess.run(vec![(); 4], |comm, ()| {
+                comm.allreduce_sum_u64(comm.rank() as u64)
+            });
+            (r.iter().map(|x| x.value).collect::<Vec<_>>(), makespan(&r))
+        };
+        let (v1, t1) = run(1);
+        let (v1b, t1b) = run(1);
+        let (v2, t2) = run(2);
+        assert_eq!(v1, v1b, "same seed replays the same run");
+        assert_eq!(t1, t1b, "virtual times are bit-identical per seed");
+        assert_eq!(v1, v2, "results are invariant under the jitter seed");
+        assert_ne!(t1, t2, "different seeds perturb the virtual times");
+    }
+
+    // --- deadlock detection -------------------------------------------------
+
+    #[test]
+    fn mismatched_collective_sequence_fails_with_deadlock_error_at_p8() {
+        // Rank 3 skips the barrier the other seven ranks enter: the
+        // dissemination rounds starve and the step can never finish. The
+        // watchdog must convert the hang into a structured error naming the
+        // blocked ranks, bounded by its tick (not by any CI timeout).
+        let err = try_spmd(8, MachineModel::sp2(), |comm| {
+            if comm.rank() != 3 {
+                comm.barrier();
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.ranks.len(), 8);
+        assert_eq!(
+            err.ranks[3],
+            RankActivity::Done,
+            "the rank that skipped the collective finished its body"
+        );
+        let blocked = err.blocked_ranks();
+        assert!(
+            !blocked.is_empty(),
+            "someone must be reported blocked: {err}"
+        );
+        assert!(err.chain.len() >= 2, "chain shows who waits on whom");
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock detected"), "{msg}");
+        assert!(msg.contains("blocked on rank"), "{msg}");
+        assert!(msg.contains("rank 3: done"), "{msg}");
+    }
+
+    #[test]
+    fn cyclic_recv_wait_is_detected() {
+        let err = try_spmd(2, MachineModel::zero(), |comm| {
+            // Both ranks wait for a message nobody sends.
+            comm.recv::<u8>(1 - comm.rank(), 7)
+        })
+        .unwrap_err();
+        assert_eq!(err.blocked_ranks(), vec![0, 1]);
+        assert_eq!(
+            err.chain.first(),
+            err.chain.last(),
+            "the chain closes a cycle: {:?}",
+            err.chain
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn deadlocked_session_is_poisoned() {
+        let mut sess = Session::new(2, MachineModel::zero());
+        let res = sess.try_run(vec![(), ()], |comm, ()| {
+            if comm.rank() == 0 {
+                comm.recv::<u8>(1, 1);
+            }
+        });
+        assert!(res.is_err());
+        // The rank threads died with their state; further steps must refuse
+        // to run rather than hang on closed channels.
+        sess.run(vec![(), ()], |_, ()| {});
+    }
+
+    #[test]
+    fn healthy_programs_pass_through_try_run() {
+        let r = try_spmd(8, MachineModel::sp2(), |comm| {
+            comm.barrier();
+            comm.allreduce_sum_u64(1)
+        })
+        .expect("no deadlock");
+        assert!(r.iter().all(|x| x.value == 8));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! assert!(results.iter().all(|r| r.value == 6.0));
 //! ```
 
+pub mod chaos;
 mod clock;
 mod collectives;
 mod comm;
@@ -35,15 +36,18 @@ mod model;
 #[cfg(test)]
 mod proptests;
 pub mod trace;
+mod watchdog;
 
+pub use chaos::{ChaosRng, Fault, FaultAction, FaultKind, FaultPlan, Perturbation, RankProfile};
 pub use clock::VirtualClock;
 pub use comm::{Comm, Tag};
-pub use executor::{makespan, spmd, spmd_with_args, RankResult, Session};
+pub use executor::{makespan, spmd, spmd_with_args, try_spmd, RankResult, Session};
 pub use model::MachineModel;
 pub use trace::{
     check_protocol, CollectiveKind, CollectiveStats, MergedTrace, ProtocolViolation, RankSummary,
     TraceEvent, TraceLog, TraceSummary, COLLECTIVE_KINDS,
 };
+pub use watchdog::{DeadlockError, RankActivity};
 
 /// Convenience: number of 8-byte words needed to hold `bytes` bytes.
 #[inline]

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use crate::{spmd, MachineModel};
+use crate::{spmd, FaultPlan, MachineModel, Perturbation, RankProfile, Session, TraceLog};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -121,6 +121,109 @@ proptest! {
             r.iter().map(|x| x.elapsed).collect()
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// The trace invariant extends to injected-fault spans: under an
+    /// arbitrary seeded fault plan, rank profile, and link jitter, the
+    /// per-rank accounted time (`compute + wire + wait + injected`) still
+    /// reconstructs each rank's clock exactly, step after step.
+    #[test]
+    fn trace_invariant_covers_injected_faults(
+        nranks in 2usize..6,
+        seed in any::<u64>(),
+        jitter in 0.0f64..0.5,
+    ) {
+        let perturb = Perturbation {
+            profile: RankProfile::seeded(nranks, seed, 3.0),
+            link_jitter: jitter,
+            seed,
+        };
+        let plan = FaultPlan::seeded(seed, nranks, 3);
+        let mut sess = Session::with_chaos(nranks, MachineModel::sp2(), &perturb, plan);
+        let mut accounted = vec![0.0; nranks];
+        for step in 0..3u64 {
+            let r = sess.run(vec![(); nranks], |comm, ()| {
+                comm.allgather(1, comm.rank() as u64);
+                comm.compute(50.0);
+                comm.barrier();
+            });
+            let summary = TraceLog::from_results(&r).summary();
+            for (s, res) in summary.ranks.iter().zip(&r) {
+                accounted[s.rank] += s.total();
+                prop_assert!(
+                    (accounted[s.rank] - res.elapsed).abs() < 1e-9,
+                    "step {} rank {}: accounted {} vs clock {}",
+                    step, s.rank, accounted[s.rank], res.elapsed
+                );
+            }
+        }
+    }
+
+    /// Chaotic runs export deterministically: the same seed produces
+    /// byte-identical Chrome-trace JSON and text timelines, with the
+    /// injected `Fault` events round-tripped into both.
+    #[test]
+    fn chaos_exports_roundtrip_fault_events_deterministically(seed in any::<u64>()) {
+        let run = || {
+            let nranks = 4;
+            let perturb = Perturbation {
+                profile: RankProfile::seeded(nranks, seed, 2.0),
+                link_jitter: 0.2,
+                seed,
+            };
+            // One fault of each kind, so every variant hits the exporters.
+            let plan = FaultPlan::none()
+                .stall(2, 0, 1.0)
+                .slowdown(1, 1, 1.5)
+                .delay_spike(0, 1, 2, 1e-3);
+            let mut sess = Session::with_chaos(nranks, MachineModel::sp2(), &perturb, plan);
+            let mut log = TraceLog { events: vec![Vec::new(); nranks] };
+            for _ in 0..2 {
+                let r = sess.run(vec![(); nranks], |comm, ()| {
+                    comm.allgather(1, comm.rank() as u64);
+                });
+                for (stream, res) in log.events.iter_mut().zip(&r) {
+                    stream.extend(res.events.iter().cloned());
+                }
+            }
+            (log.chrome_json(), log.text_timeline())
+        };
+        let (json_a, text_a) = run();
+        let (json_b, text_b) = run();
+        prop_assert_eq!(&json_a, &json_b, "chrome export must be deterministic");
+        prop_assert_eq!(&text_a, &text_b, "text export must be deterministic");
+        for kind in ["fault:stall", "fault:slowdown", "fault:delay-spike"] {
+            prop_assert!(json_a.contains(kind), "missing {} in chrome export", kind);
+        }
+        prop_assert!(text_a.contains("!! fault stall"));
+    }
+
+    /// Perturbation changes only virtual times, never results: any jitter
+    /// seed and rank profile leave collective outputs and message payloads
+    /// bit-identical to the unperturbed run.
+    #[test]
+    fn perturbed_results_match_unperturbed(
+        nranks in 2usize..8,
+        seed in any::<u64>(),
+        jitter in 0.01f64..0.5,
+    ) {
+        let run = |perturb: &Perturbation| {
+            let mut sess =
+                Session::with_chaos(nranks, MachineModel::sp2(), perturb, FaultPlan::none());
+            let r = sess.run(vec![(); nranks], |comm, ()| {
+                let sum = comm.allreduce_sum_u64(comm.rank() as u64 + 1);
+                let all = comm.allgather(1, sum * comm.rank() as u64);
+                (sum, all)
+            });
+            r.into_iter().map(|x| x.value).collect::<Vec<_>>()
+        };
+        let clean = run(&Perturbation::none(nranks));
+        let chaotic = run(&Perturbation {
+            profile: RankProfile::seeded(nranks, seed, 4.0),
+            link_jitter: jitter,
+            seed,
+        });
+        prop_assert_eq!(clean, chaotic);
     }
 
     /// Virtual clocks never decrease and barriers dominate the slowest rank.

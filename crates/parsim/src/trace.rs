@@ -8,8 +8,9 @@
 //! streams are gathered into a [`TraceLog`], which supports:
 //!
 //! * **aggregation** ([`TraceLog::summary`]): per-rank wait / compute /
-//!   wire split (which reconstructs each rank's elapsed virtual time
-//!   exactly) and message/word counters per collective kind;
+//!   wire / injected split (which reconstructs each rank's elapsed virtual
+//!   time exactly: `compute + wire + wait + injected == elapsed`) and
+//!   message/word counters per collective kind;
 //! * **export**: Chrome-trace JSON ([`TraceLog::chrome_json`], loadable in
 //!   `chrome://tracing` or Perfetto) and a plain-text timeline
 //!   ([`TraceLog::text_timeline`]);
@@ -23,6 +24,7 @@
 
 use std::fmt;
 
+use crate::chaos::FaultKind;
 use crate::comm::Tag;
 use crate::executor::RankResult;
 
@@ -123,6 +125,15 @@ pub enum TraceEvent {
     /// aligned this rank's clock to the slowest rank before the next step.
     /// Accounted as wait (it is synchronization idle, like a recv wait).
     Sync { start: f64, end: f64 },
+    /// An injected fault span (see [`crate::FaultPlan`]): a transient stall
+    /// charges `end - start` seconds; instantaneous faults (a slowdown or
+    /// delay spike taking effect) are zero-length markers. Accounted in
+    /// [`RankSummary::injected`].
+    Fault {
+        kind: FaultKind,
+        start: f64,
+        end: f64,
+    },
 }
 
 impl TraceEvent {
@@ -138,6 +149,7 @@ impl TraceEvent {
             TraceEvent::PhaseEnd { end, .. } => end,
             TraceEvent::RewindBlocked { at, .. } => at,
             TraceEvent::Sync { start, .. } => start,
+            TraceEvent::Fault { start, .. } => start,
         }
     }
 
@@ -153,6 +165,7 @@ impl TraceEvent {
             TraceEvent::PhaseEnd { end, .. } => end,
             TraceEvent::RewindBlocked { at, .. } => at,
             TraceEvent::Sync { end, .. } => end,
+            TraceEvent::Fault { end, .. } => end,
         }
     }
 }
@@ -187,6 +200,8 @@ pub struct RankSummary {
     pub wire: f64,
     /// Seconds idled in receives waiting for in-flight data.
     pub wait: f64,
+    /// Seconds charged by injected faults (chaos stalls).
+    pub injected: f64,
     /// Messages / words this rank sent.
     pub msgs_sent: u64,
     pub words_sent: u64,
@@ -203,9 +218,10 @@ impl RankSummary {
     }
 
     /// The rank's total accounted virtual time. Equal (to rounding) to the
-    /// rank's final clock: every clock charge generates exactly one event.
+    /// rank's final clock: every clock charge generates exactly one event,
+    /// so `compute + wire + wait + injected == elapsed`.
     pub fn total(&self) -> f64 {
-        self.compute + self.wire + self.wait
+        self.compute + self.wire + self.wait + self.injected
     }
 }
 
@@ -304,6 +320,7 @@ impl TraceLog {
                     TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => {}
                     TraceEvent::RewindBlocked { .. } => s.rewinds_blocked += 1,
                     TraceEvent::Sync { start, end } => s.wait += end - start,
+                    TraceEvent::Fault { start, end, .. } => s.injected += end - start,
                 }
             }
             ranks.push(s);
@@ -435,6 +452,18 @@ impl TraceLog {
                         &mut first,
                         chrome_span(rank, "sync", "wait", *start, *end, ""),
                     ),
+                    TraceEvent::Fault { kind, start, end } => push(
+                        &mut out,
+                        &mut first,
+                        chrome_span(
+                            rank,
+                            &format!("fault:{}", kind.name()),
+                            "fault",
+                            *start,
+                            *end,
+                            "",
+                        ),
+                    ),
                 }
             }
         }
@@ -506,6 +535,12 @@ impl TraceLog {
                     TraceEvent::Sync { start, end } => format!(
                         "{:>14}  sync (idle {:.3}us)",
                         span(*start, *end),
+                        us_f(*end - *start)
+                    ),
+                    TraceEvent::Fault { kind, start, end } => format!(
+                        "{:>14}  !! fault {} (injected {:.3}us)",
+                        span(*start, *end),
+                        kind.name(),
                         us_f(*end - *start)
                     ),
                 };
@@ -807,7 +842,7 @@ fn shift(ev: &TraceEvent, dt: f64) -> TraceEvent {
         TraceEvent::PhaseBegin { start, .. } => *start += dt,
         TraceEvent::PhaseEnd { end, .. } => *end += dt,
         TraceEvent::RewindBlocked { at, .. } => *at += dt,
-        TraceEvent::Sync { start, end } => {
+        TraceEvent::Sync { start, end } | TraceEvent::Fault { start, end, .. } => {
             *start += dt;
             *end += dt;
         }

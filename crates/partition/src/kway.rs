@@ -8,6 +8,48 @@ use crate::graph::Graph;
 use crate::metrics::{part_weights, partition_imbalance};
 use crate::rng::Rng;
 
+/// Relative-load comparison under per-part ceilings in exact integer
+/// arithmetic: `a/ca < b/cb  ⟺  a·cb < b·ca`. With uniform ceilings this is
+/// exactly `a < b`, so the unweighted paths keep their historical behavior
+/// bit-for-bit.
+#[inline]
+fn rel_lt(a: u64, ca: u64, b: u64, cb: u64) -> bool {
+    (a as u128) * (cb as u128) < (b as u128) * (ca as u128)
+}
+
+/// Per-part weight ceilings. Uniform (`frac == None`) reproduces the
+/// historical scalar `ceil(total/nparts · tol)`; capacity-weighted parts get
+/// `ceil(total · frac_p · tol)`, never below 1 so a tiny-capacity part can
+/// still hold a vertex.
+pub(crate) fn part_ceilings(total: u64, cfg: &PartitionConfig, frac: Option<&[f64]>) -> Vec<u64> {
+    match frac {
+        None => {
+            let m = (total as f64 / cfg.nparts as f64 * cfg.imbalance_tol).ceil() as u64;
+            vec![m; cfg.nparts]
+        }
+        Some(f) => f
+            .iter()
+            .map(|&fr| ((total as f64 * fr * cfg.imbalance_tol).ceil() as u64).max(1))
+            .collect(),
+    }
+}
+
+/// Normalized capacity fractions, or `None` when the capacities are uniform —
+/// in which case callers must take the unweighted integer path, which the
+/// zero-chaos golden tests require to stay bit-exact.
+pub(crate) fn capacity_fractions(caps: &[f64], nparts: usize) -> Option<Vec<f64>> {
+    assert_eq!(caps.len(), nparts, "need one capacity per part");
+    assert!(
+        caps.iter().all(|c| c.is_finite() && *c > 0.0),
+        "capacities must be finite and positive: {caps:?}"
+    );
+    if caps.iter().all(|&c| c == caps[0]) {
+        return None;
+    }
+    let sum: f64 = caps.iter().sum();
+    Some(caps.iter().map(|c| c / sum).collect())
+}
+
 /// Configuration for [`partition_kway`] and
 /// [`crate::repart::repartition_kway`].
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +89,17 @@ impl PartitionConfig {
 }
 
 /// Recursive bisection of `g` into `k` parts labelled `offset..offset+k`.
-fn recursive_bisect(g: &Graph, k: usize, offset: u32, tol: f64, rng: &mut Rng, out: &mut [u32]) {
+/// `frac`, when present, holds one capacity fraction per part; the split
+/// target follows the capacity prefix sum instead of the vertex count.
+fn recursive_bisect(
+    g: &Graph,
+    k: usize,
+    offset: u32,
+    tol: f64,
+    rng: &mut Rng,
+    out: &mut [u32],
+    frac: Option<&[f64]>,
+) {
     debug_assert_eq!(out.len(), g.n());
     if k == 1 {
         out.fill(offset);
@@ -55,7 +107,16 @@ fn recursive_bisect(g: &Graph, k: usize, offset: u32, tol: f64, rng: &mut Rng, o
     }
     let k0 = k / 2;
     let k1 = k - k0;
-    let target0 = g.total_vwgt() * k0 as u64 / k as u64;
+    let target0 = match frac {
+        // The exact integer expression the unweighted partitioner has always
+        // used — kept verbatim so uniform capacities stay bit-identical.
+        None => g.total_vwgt() * k0 as u64 / k as u64,
+        Some(f) => {
+            let s0: f64 = f[..k0].iter().sum();
+            let s: f64 = f.iter().sum();
+            (g.total_vwgt() as f64 * (s0 / s)).round() as u64
+        }
+    };
     let side = bisect(g, target0, tol, 3, rng);
     let verts0: Vec<u32> = (0..g.n() as u32)
         .filter(|&v| side[v as usize] == 0)
@@ -67,8 +128,16 @@ fn recursive_bisect(g: &Graph, k: usize, offset: u32, tol: f64, rng: &mut Rng, o
     let g1 = g.induced(&verts1);
     let mut out0 = vec![0u32; g0.n()];
     let mut out1 = vec![0u32; g1.n()];
-    recursive_bisect(&g0, k0, offset, tol, rng, &mut out0);
-    recursive_bisect(&g1, k1, offset + k0 as u32, tol, rng, &mut out1);
+    recursive_bisect(&g0, k0, offset, tol, rng, &mut out0, frac.map(|f| &f[..k0]));
+    recursive_bisect(
+        &g1,
+        k1,
+        offset + k0 as u32,
+        tol,
+        rng,
+        &mut out1,
+        frac.map(|f| &f[k0..]),
+    );
     for (i, &v) in verts0.iter().enumerate() {
         out[v as usize] = out0[i];
     }
@@ -84,7 +153,7 @@ pub(crate) fn kway_refine_pass(
     g: &Graph,
     part: &mut [u32],
     weights: &mut [u64],
-    max_w: u64,
+    max_w: &[u64],
     rng: &mut Rng,
 ) -> usize {
     let nparts = weights.len();
@@ -110,7 +179,7 @@ pub(crate) fn kway_refine_pass(
         }
         if is_boundary {
             let cur_conn = conn[cur];
-            let overweight_here = weights[cur] > max_w;
+            let overweight_here = weights[cur] > max_w[cur];
             let mut best: Option<(i64, usize)> = None;
             for &p in &touched {
                 let p = p as usize;
@@ -118,9 +187,11 @@ pub(crate) fn kway_refine_pass(
                     continue;
                 }
                 let gain = conn[p] - cur_conn;
-                let fits = weights[p] + g.vwgt[v] <= max_w;
+                let fits = weights[p] + g.vwgt[v] <= max_w[p];
                 let acceptable = (gain > 0 && fits)
-                    || (gain >= 0 && overweight_here && weights[p] + g.vwgt[v] < weights[cur]);
+                    || (gain >= 0
+                        && overweight_here
+                        && rel_lt(weights[p] + g.vwgt[v], max_w[p], weights[cur], max_w[cur]));
                 if acceptable && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, p));
                 }
@@ -144,25 +215,30 @@ pub(crate) fn kway_refine_pass(
 /// (falling back to the globally lightest part so interior vertices cannot
 /// deadlock the drain). Each sweep is `O(n + m)`; overweight regions drain
 /// layer by layer, and the subsequent refinement passes repair the cut.
-pub(crate) fn kway_balance(g: &Graph, part: &mut [u32], weights: &mut [u64], max_w: u64) -> usize {
+pub(crate) fn kway_balance(
+    g: &Graph,
+    part: &mut [u32],
+    weights: &mut [u64],
+    max_w: &[u64],
+) -> usize {
     let nparts = weights.len();
     let mut moves = 0;
     for _sweep in 0..64 {
-        if weights.iter().all(|&w| w <= max_w) {
+        if (0..nparts).all(|p| weights[p] <= max_w[p]) {
             break;
         }
         let mut moved_this_sweep = 0;
         for v in 0..g.n() {
             let s = part[v] as usize;
-            if weights[s] <= max_w {
+            if weights[s] <= max_w[s] {
                 continue;
             }
             let vw = g.vwgt[v];
-            // Best adjacent strictly-lighter part by connectivity.
+            // Best adjacent relatively-lighter part by connectivity.
             let mut best: Option<(i64, usize)> = None;
             for (u, w) in g.edges(v) {
                 let p = part[u as usize] as usize;
-                if p != s && weights[p] + vw < weights[s] {
+                if p != s && rel_lt(weights[p] + vw, max_w[p], weights[s], max_w[s]) {
                     let gain = w as i64;
                     if best.is_none_or(|(bg, _)| gain > bg) {
                         best = Some((gain, p));
@@ -173,9 +249,19 @@ pub(crate) fn kway_balance(g: &Graph, part: &mut [u32], weights: &mut [u64], max
                 Some((_, p)) => p,
                 None => {
                     // Interior vertex of an overweight region: fall back to
-                    // the globally lightest part if that still helps.
-                    let lightest = (0..nparts).min_by_key(|&p| weights[p]).unwrap();
-                    if weights[lightest] + vw >= weights[s] {
+                    // the relatively lightest part if that still helps.
+                    let mut lightest = 0;
+                    for p in 1..nparts {
+                        if rel_lt(weights[p], max_w[p], weights[lightest], max_w[lightest]) {
+                            lightest = p;
+                        }
+                    }
+                    if !rel_lt(
+                        weights[lightest] + vw,
+                        max_w[lightest],
+                        weights[s],
+                        max_w[s],
+                    ) {
                         continue;
                     }
                     lightest
@@ -197,6 +283,25 @@ pub(crate) fn kway_balance(g: &Graph, part: &mut [u32], weights: &mut [u64], max
 /// Multilevel k-way partition of `g`. Returns the part assignment
 /// (`0..nparts` per vertex).
 pub fn partition_kway(g: &Graph, cfg: &PartitionConfig) -> Vec<u32> {
+    partition_kway_impl(g, cfg, None)
+}
+
+/// Capacity-weighted multilevel k-way partition: part `p` is assigned vertex
+/// weight proportional to `caps[p]` (relative processor capacities, any
+/// common scale). Uniform capacities delegate to [`partition_kway`] exactly,
+/// so a chaos-free run is bit-identical to the unweighted partitioner.
+pub fn partition_kway_weighted(g: &Graph, cfg: &PartitionConfig, caps: &[f64]) -> Vec<u32> {
+    match capacity_fractions(caps, cfg.nparts) {
+        None => partition_kway(g, cfg),
+        Some(frac) => partition_kway_impl(g, cfg, Some(&frac)),
+    }
+}
+
+pub(crate) fn partition_kway_impl(
+    g: &Graph,
+    cfg: &PartitionConfig,
+    frac: Option<&[f64]>,
+) -> Vec<u32> {
     assert!(cfg.nparts >= 1);
     if cfg.nparts == 1 {
         return vec![0; g.n()];
@@ -218,17 +323,24 @@ pub fn partition_kway(g: &Graph, cfg: &PartitionConfig) -> Vec<u32> {
 
     // Initial partitioning of the coarsest graph.
     let mut part = vec![0u32; cur.n()];
-    recursive_bisect(&cur, cfg.nparts, 0, cfg.imbalance_tol, &mut rng, &mut part);
+    recursive_bisect(
+        &cur,
+        cfg.nparts,
+        0,
+        cfg.imbalance_tol,
+        &mut rng,
+        &mut part,
+        frac,
+    );
 
     // Uncoarsening with refinement.
-    let total = g.total_vwgt();
-    let max_w = (total as f64 / cfg.nparts as f64 * cfg.imbalance_tol).ceil() as u64;
+    let max_w = part_ceilings(g.total_vwgt(), cfg, frac);
     let mut graph = cur;
     loop {
         let mut weights = part_weights(&graph, &part, cfg.nparts);
-        kway_balance(&graph, &mut part, &mut weights, max_w);
+        kway_balance(&graph, &mut part, &mut weights, &max_w);
         for _ in 0..cfg.refine_passes {
-            if kway_refine_pass(&graph, &mut part, &mut weights, max_w, &mut rng) == 0 {
+            if kway_refine_pass(&graph, &mut part, &mut weights, &max_w, &mut rng) == 0 {
                 break;
             }
         }
@@ -366,6 +478,46 @@ mod tests {
             "imbalance {} with heavy corner",
             q.imbalance
         );
+    }
+
+    #[test]
+    fn weighted_partition_tracks_capacities() {
+        use crate::metrics::imbalance_weighted;
+        let g = grid3d(12, 12, 12);
+        let caps = [2.0, 1.0, 1.0, 1.0];
+        let cfg = PartitionConfig::new(caps.len());
+        let part = partition_kway_weighted(&g, &cfg, &caps);
+        let w = part_weights(&g, &part, caps.len());
+        let eff = imbalance_weighted(&w, &caps);
+        assert!(
+            eff <= cfg.imbalance_tol + 0.05,
+            "capacity-weighted imbalance {eff} (weights {w:?})"
+        );
+        // The double-capacity part must actually carry close to 2× the load
+        // of the others, i.e. ~2/5 of the total.
+        let share = w[0] as f64 / g.total_vwgt() as f64;
+        assert!(
+            (share - 0.4).abs() < 0.05,
+            "part 0 carries {share:.3} of the load, expected ≈0.4"
+        );
+    }
+
+    #[test]
+    fn uniform_capacities_are_bit_identical_to_unweighted() {
+        let g = grid3d(8, 8, 8);
+        let cfg = PartitionConfig::new(4);
+        let plain = partition_kway(&g, &cfg);
+        for c in [1.0, 2.5] {
+            let caps = vec![c; 4];
+            assert_eq!(partition_kway_weighted(&g, &cfg, &caps), plain);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn weighted_partition_rejects_nonpositive_capacity() {
+        let g = grid3d(4, 4, 1);
+        partition_kway_weighted(&g, &PartitionConfig::new(2), &[1.0, 0.0]);
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub use bisect::{bisect, grow_bisection, refine_bisection};
 pub use coarsen::{coarsen_once, contract, heavy_edge_matching};
 pub use diffusion::{diffuse, DiffusionConfig, DiffusionResult};
 pub use graph::{Graph, GraphView};
-pub use kway::{partition_kway, quality, PartitionConfig, PartitionQuality};
-pub use metrics::{edge_cut, imbalance, migration, part_weights, partition_imbalance};
-pub use repart::repartition_kway;
+pub use kway::{
+    partition_kway, partition_kway_weighted, quality, PartitionConfig, PartitionQuality,
+};
+pub use metrics::{
+    edge_cut, imbalance, imbalance_weighted, migration, part_weights, partition_imbalance,
+};
+pub use repart::{repartition_kway, repartition_kway_weighted};
 pub use rng::Rng;

@@ -41,6 +41,27 @@ pub fn partition_imbalance(g: &Graph, part: &[u32], nparts: usize) -> f64 {
     imbalance(&part_weights(g, part, nparts))
 }
 
+/// Capacity-weighted load imbalance: `max_p(w_p / c_p) / (Σw / Σc)`.
+///
+/// `caps[p]` is part `p`'s relative capacity (work units per second, any
+/// common scale); the ideal assignment gives each part weight proportional
+/// to its capacity, for which this ratio is 1.0. With uniform capacities it
+/// reduces to [`imbalance`].
+pub fn imbalance_weighted(weights: &[u64], caps: &[f64]) -> f64 {
+    assert_eq!(weights.len(), caps.len(), "one capacity per part");
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let cap_sum: f64 = caps.iter().sum();
+    let ideal_rate = total as f64 / cap_sum;
+    weights
+        .iter()
+        .zip(caps)
+        .map(|(&w, &c)| w as f64 / c / ideal_rate)
+        .fold(0.0, f64::max)
+}
+
 /// Number of vertices whose assignment differs between two partitions, and
 /// the vertex weight that would have to move.
 pub fn migration(g: &Graph, from: &[u32], to: &[u32]) -> (usize, u64) {

@@ -9,41 +9,70 @@
 //! remapping volume small.
 
 use crate::graph::Graph;
-use crate::kway::{kway_balance, kway_refine_pass, partition_kway, PartitionConfig};
-use crate::metrics::{part_weights, partition_imbalance};
+use crate::kway::{
+    capacity_fractions, kway_balance, kway_refine_pass, part_ceilings, partition_kway_impl,
+    PartitionConfig,
+};
+use crate::metrics::{imbalance_weighted, part_weights, partition_imbalance};
 use crate::rng::Rng;
 
 /// Repartition `g` starting from `prev`. Falls back to a fresh multilevel
 /// partition if diffusion cannot reach the balance tolerance (e.g. the old
 /// partition is pathologically concentrated).
 pub fn repartition_kway(g: &Graph, cfg: &PartitionConfig, prev: &[u32]) -> Vec<u32> {
+    repartition_kway_impl(g, cfg, prev, None)
+}
+
+/// Capacity-weighted repartitioning: diffuse from `prev` toward per-part
+/// loads proportional to `caps` (relative processor capacities). Uniform
+/// capacities delegate to [`repartition_kway`] exactly.
+pub fn repartition_kway_weighted(
+    g: &Graph,
+    cfg: &PartitionConfig,
+    prev: &[u32],
+    caps: &[f64],
+) -> Vec<u32> {
+    match capacity_fractions(caps, cfg.nparts) {
+        None => repartition_kway_impl(g, cfg, prev, None),
+        Some(frac) => repartition_kway_impl(g, cfg, prev, Some(&frac)),
+    }
+}
+
+fn repartition_kway_impl(
+    g: &Graph,
+    cfg: &PartitionConfig,
+    prev: &[u32],
+    frac: Option<&[f64]>,
+) -> Vec<u32> {
     assert_eq!(prev.len(), g.n());
     if cfg.nparts == 1 {
         return vec![0; g.n()];
     }
     let mut rng = Rng::new(cfg.seed ^ 0x5265_7061); // "Repa"
     let mut part = prev.to_vec();
-    let total = g.total_vwgt();
-    let max_w = (total as f64 / cfg.nparts as f64 * cfg.imbalance_tol).ceil() as u64;
+    let max_w = part_ceilings(g.total_vwgt(), cfg, frac);
     let mut weights = part_weights(g, &part, cfg.nparts);
 
     // Diffuse: alternate forced balancing with cut refinement.
     for _ in 0..4 {
-        kway_balance(g, &mut part, &mut weights, max_w);
+        kway_balance(g, &mut part, &mut weights, &max_w);
         for _ in 0..cfg.refine_passes {
-            if kway_refine_pass(g, &mut part, &mut weights, max_w, &mut rng) == 0 {
+            if kway_refine_pass(g, &mut part, &mut weights, &max_w, &mut rng) == 0 {
                 break;
             }
         }
-        if weights.iter().all(|&w| w <= max_w) {
+        if weights.iter().zip(&max_w).all(|(&w, &m)| w <= m) {
             break;
         }
     }
 
-    let achieved = partition_imbalance(g, &part, cfg.nparts);
+    let achieved = match frac {
+        None => partition_imbalance(g, &part, cfg.nparts),
+        Some(f) => imbalance_weighted(&part_weights(g, &part, cfg.nparts), f),
+    };
     if achieved > cfg.imbalance_tol * 1.10 {
         // Diffusion failed; a fresh partition is better than an unbalanced one.
-        return partition_kway(g, cfg);
+        return partition_kway_impl(g, cfg, frac);
     }
     part
 }
@@ -51,7 +80,7 @@ pub fn repartition_kway(g: &Graph, cfg: &PartitionConfig, prev: &[u32]) -> Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kway::quality;
+    use crate::kway::{partition_kway, quality};
     use crate::metrics::migration;
 
     fn grid(nx: usize, ny: usize) -> Graph<'static> {
@@ -114,6 +143,50 @@ mod tests {
             "diffusive repartition moved {moved}/{} vertices",
             g.n()
         );
+    }
+
+    #[test]
+    fn weighted_repartition_drains_a_slow_part() {
+        let g = grid(16, 16);
+        let cfg = PartitionConfig::new(4);
+        let prev = partition_kway(&g, &cfg);
+        // Part 0's processor just slowed to half speed; the others are fine.
+        let caps = [0.5, 1.0, 1.0, 1.0];
+        let next = repartition_kway_weighted(&g, &cfg, &prev, &caps);
+        let w = part_weights(&g, &next, 4);
+        let eff = imbalance_weighted(&w, &caps);
+        assert!(
+            eff <= cfg.imbalance_tol * 1.10 + 0.02,
+            "capacity-weighted imbalance {eff} (weights {w:?})"
+        );
+        // Part 0 should end up near its fair share of 1/7 of the load.
+        let share = w[0] as f64 / g.total_vwgt() as f64;
+        assert!(
+            share < 0.22,
+            "slow part still carries {share:.3} of the load"
+        );
+        // Diffusion, not wholesale relabeling.
+        let (moved, _) = migration(&g, &prev, &next);
+        assert!(
+            moved < g.n() / 2,
+            "weighted repartition moved {moved}/{} vertices",
+            g.n()
+        );
+    }
+
+    #[test]
+    fn uniform_capacities_match_unweighted_repartition() {
+        let mut g = grid(12, 12);
+        let cfg = PartitionConfig::new(4);
+        let prev = partition_kway(&g, &cfg);
+        for v in 0..g.n() {
+            if prev[v] == 1 {
+                g.vwgt.to_mut()[v] = 3;
+            }
+        }
+        let plain = repartition_kway(&g, &cfg, &prev);
+        let weighted = repartition_kway_weighted(&g, &cfg, &prev, &[1.0; 4]);
+        assert_eq!(plain, weighted);
     }
 
     #[test]
