@@ -162,4 +162,17 @@ mod tests {
         assert!(run.rows.iter().any(|r| r.accepted));
         assert!(!run.trace_json.is_empty());
     }
+
+    /// Seed 7 once regressed when the distributed repartitioner's coarsest
+    /// solve relabeled the parts (fresh-partition fallback) and the
+    /// similarity mapper then permuted the capacity-sized parts onto the
+    /// wrong processors. Recovery must happen in the very first cycle.
+    #[test]
+    fn quick_chaos_recovers_with_capacity_sized_parts() {
+        let run = chaos_recovery(Scale::Quick, 7);
+        assert_eq!(run.slow_rank, 7);
+        assert!(run.recovered, "{run:?}");
+        assert_eq!(run.rows.len(), 1, "must recover in the first cycle");
+        assert!(run.rows[0].eff_imbalance < 1.10, "{run:?}");
+    }
 }

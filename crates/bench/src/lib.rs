@@ -432,10 +432,10 @@ pub fn print_fig6(sw: &[SweepPoint]) {
 /// One remap-before adaption cycle (the Real_2 strategy) exported as a
 /// per-rank trace. The cycle engine already runs every phase on one
 /// long-lived SPMD session, so [`plum_core::CycleTraces::session`] *is* the
-/// continuous timeline — modeled spans (solver, partition, subdivide) and
-/// executed protocols (marking, reassignment, remap) follow one another on
-/// the same virtual clocks, no host-side stitching required. Returns
-/// `(chrome_json, text_timeline)`.
+/// continuous timeline — modeled spans (solver, subdivide) and executed
+/// protocols (marking, partitioning, reassignment, remap) follow one
+/// another on the same virtual clocks, no host-side stitching required.
+/// Returns `(chrome_json, text_timeline)`.
 ///
 /// Only virtual quantities enter the export (the wall-clocked mapper time is
 /// deliberately excluded), so two runs at the same scale produce

@@ -5,9 +5,7 @@ use std::time::Instant;
 
 use plum_mesh::DualGraph;
 use plum_parsim::TraceLog;
-use plum_partition::{
-    imbalance_weighted, partition_kway, repartition_kway, repartition_kway_weighted, Graph,
-};
+use plum_partition::{imbalance_weighted, partition_kway, repartition_kway_weighted, Graph};
 use plum_reassign::{
     greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats, SimilarityMatrix,
 };
@@ -34,8 +32,14 @@ pub struct BalanceDecision {
     /// Max per-processor `W_comp` before/after (Fig. 8's ratio).
     pub wmax_old: u64,
     pub wmax_new: u64,
-    /// Modeled repartitioner wall time.
+    /// Repartitioner wall time: measured from the distributed kernel's
+    /// session step on the engine path, modeled
+    /// ([`WorkModel::partition_time`]) on the reference path.
     pub partition_time: f64,
+    /// Event trace of the distributed repartitioner (engine path only;
+    /// `None` when the balancer short-circuited or the serial reference
+    /// ran).
+    pub partition_trace: Option<TraceLog>,
     /// Real measured wall time of the reassignment algorithm (Table 2).
     pub reassign_seconds: f64,
     /// Virtual time of the distributed row-gather/solution-scatter protocol
@@ -96,10 +100,11 @@ pub fn run_mapper(sm: &SimilarityMatrix, mapper: Mapper) -> (Assignment, f64) {
     (a, t0.elapsed().as_secs_f64())
 }
 
-/// Stage 1 of the load balancer (host side): evaluate the current balance
-/// and, when it exceeds the trigger, repartition the dual graph. Returns
-/// the partially filled decision plus the proposed partition vector (`None`
-/// when the evaluation short-circuited).
+/// The evaluation step of the load balancer: measure the current balance
+/// and decide whether to repartition at all. Returns the partially filled
+/// decision plus `true` when the trigger fired (the caller then runs a
+/// repartitioner — serial on the reference path, distributed on the engine
+/// path).
 ///
 /// `caps` holds one relative processor capacity per rank (observed solver
 /// rates, mean 1.0). On a homogeneous machine (`caps` uniform) the whole
@@ -107,13 +112,12 @@ pub fn run_mapper(sm: &SimilarityMatrix, mapper: Mapper) -> (Assignment, f64) {
 /// imbalance is measured as `max(w_r/c_r)/(Σw/Σc)`, the partitioner targets
 /// per-part loads proportional to capacity, and the decision's `wmax_*` /
 /// `imbalance_*` fields report *effective* (capacity-scaled) weights.
-pub(crate) fn evaluate_and_repartition(
+pub(crate) fn evaluate_balance(
     dual: &DualGraph,
     old_proc: &[u32],
     cfg: &PlumConfig,
-    work: &WorkModel,
     caps: &[f64],
-) -> (BalanceDecision, Option<Vec<u32>>) {
+) -> (BalanceDecision, bool) {
     let nproc = cfg.nproc;
     assert_eq!(caps.len(), nproc, "one capacity per processor");
     let uniform = caps_uniform(caps);
@@ -136,6 +140,7 @@ pub(crate) fn evaluate_and_repartition(
         wmax_old,
         wmax_new: wmax_old,
         partition_time: 0.0,
+        partition_trace: None,
         reassign_seconds: 0.0,
         reassign_comm_time: 0.0,
         reassign_trace: None,
@@ -147,25 +152,61 @@ pub(crate) fn evaluate_and_repartition(
     // Evaluation step: keep the current partitions if they remain adequately
     // balanced.
     if imb_old <= cfg.imbalance_trigger || nproc == 1 {
-        return (decision, None);
+        return (decision, false);
     }
     decision.repartitioned = true;
+    (decision, true)
+}
 
-    // Parallel repartitioning on the dual graph with the new W_comp.
-    // Heterogeneous capacities need partition j sized for processor j, which
-    // only holds under F = 1 (partition ids == processor ids before
-    // reassignment); with F > 1 the capacity-aware path degrades to uniform.
+/// The repartitioning mode shared by the serial reference and the
+/// distributed engine kernel: the previous assignment seeds the diffusion
+/// only under F = 1 (partition ids == processor ids), and heterogeneous
+/// capacities apply only in that same regime — partition j must be sized
+/// for processor j, which F > 1 breaks, so the capacity-aware path degrades
+/// to uniform there.
+pub(crate) fn partition_mode<'a>(
+    cfg: &PlumConfig,
+    old_proc: &'a [u32],
+    caps: &[f64],
+) -> (Option<&'a [u32]>, Vec<f64>) {
+    let seeded = cfg.partitions_per_proc == 1;
+    let weighted = seeded && !caps_uniform(caps);
+    let part_caps = if weighted {
+        caps.to_vec()
+    } else {
+        vec![1.0; cfg.nparts()]
+    };
+    (seeded.then_some(old_proc), part_caps)
+}
+
+/// Stage 1 of the load balancer on the *reference* path (host side):
+/// [`evaluate_balance`], then the retained serial repartitioner with its
+/// modeled wall time. The engine instead executes the distributed kernel
+/// inside its session (see `engine::balance_on_session`); the differential
+/// test battery pins the two against each other.
+pub(crate) fn evaluate_and_repartition(
+    dual: &DualGraph,
+    old_proc: &[u32],
+    cfg: &PlumConfig,
+    work: &WorkModel,
+    caps: &[f64],
+) -> (BalanceDecision, Option<Vec<u32>>) {
+    let (mut decision, go) = evaluate_balance(dual, old_proc, cfg, caps);
+    if !go {
+        return (decision, None);
+    }
+
+    // Serial repartitioning on the dual graph with the new W_comp.
     let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
     let mut pcfg = cfg.partition;
     pcfg.nparts = cfg.nparts();
-    let weighted = !uniform && cfg.partitions_per_proc == 1;
-    let new_part = match (cfg.partitions_per_proc == 1, weighted) {
+    let (prev, part_caps) = partition_mode(cfg, old_proc, caps);
+    let new_part = match prev {
         // Seed with the previous assignment (partition ids == processor ids).
-        (true, true) => repartition_kway_weighted(&graph, &pcfg, old_proc, caps),
-        (true, false) => repartition_kway(&graph, &pcfg, old_proc),
-        (false, _) => partition_kway(&graph, &pcfg),
+        Some(prev) => repartition_kway_weighted(&graph, &pcfg, prev, &part_caps),
+        None => partition_kway(&graph, &pcfg),
     };
-    decision.partition_time = work.partition_time(dual.n(), nproc);
+    decision.partition_time = work.partition_time(dual.n(), cfg.nproc);
     (decision, Some(new_part))
 }
 
@@ -186,6 +227,21 @@ pub(crate) fn apply_reassignment(
 ) {
     let nproc = cfg.nproc;
     let uniform = caps_uniform(caps);
+
+    // When the repartitioner sized partition j for processor j's capacity
+    // (the seeded heterogeneous regime of `partition_mode`), the processors
+    // are no longer interchangeable: permuting a full-size part onto a slow
+    // processor undoes the capacity-aware sizing no matter how much data
+    // movement it saves. The similarity-matrix mapping is an optimization
+    // among equals, so it applies only on homogeneous machines; otherwise
+    // the assignment is pinned to the identity.
+    let identity;
+    let assignment = if uniform || cfg.partitions_per_proc != 1 {
+        assignment
+    } else {
+        identity = Assignment::identity(nproc, cfg.partitions_per_proc);
+        &identity
+    };
 
     // Compose: dual vertex → new partition → processor.
     let new_proc: Vec<u32> = new_part

@@ -25,7 +25,9 @@ pub struct PhaseTimes {
     pub solver: f64,
     /// Edge marking incl. propagation communication (parsim).
     pub marking: f64,
-    /// Repartitioner (modeled; see `WorkModel::partition_time`).
+    /// Repartitioner: measured from the distributed kernel's session step on
+    /// the engine path; modeled (`WorkModel::partition_time`) on the
+    /// reference path.
     pub partition: f64,
     /// Processor reassignment (real measured algorithm time).
     pub reassign: f64,
@@ -48,14 +50,18 @@ impl PhaseTimes {
 }
 
 /// Event traces and aggregate communication metrics of the parsim-executed
-/// phases of one cycle (the modeled phases — solver, repartitioner,
-/// subdivision — have no event detail; their virtual times live in
-/// [`PhaseTimes`]).
+/// phases of one cycle (the modeled phases — solver, subdivision — have no
+/// event detail; their virtual times live in [`PhaseTimes`]).
 #[derive(Debug, Clone, Default)]
 pub struct CycleTraces {
     /// Edge-marking phase trace and its wait/compute/wire split.
     pub marking: TraceLog,
     pub marking_comm: CommBreakdown,
+    /// Distributed repartitioner trace (engine path, when the balancer
+    /// repartitioned; the reference driver runs the serial kernel and has
+    /// no partition trace).
+    pub partition: Option<TraceLog>,
+    pub partition_comm: Option<CommBreakdown>,
     /// Reassignment protocol trace (when the balancer repartitioned).
     pub reassign: Option<TraceLog>,
     pub reassign_comm: Option<CommBreakdown>,
@@ -362,6 +368,8 @@ impl Plum {
         let traces = CycleTraces {
             marking_comm: CommBreakdown::from_trace(&mark.trace),
             marking: mark.trace,
+            partition: None,
+            partition_comm: None,
             reassign_comm: decision
                 .reassign_trace
                 .as_ref()
@@ -504,6 +512,24 @@ mod tests {
             .abs()
                 < 1e-9
         );
+
+        // The distributed repartitioner's step: its measured phase time is
+        // the slowest rank's accounted trace time, and every rank accounts
+        // the same span (the step boundary syncs the clocks).
+        if let Some(tr) = &report.traces.partition {
+            let s = tr.summary();
+            for r in &s.ranks {
+                assert!(
+                    (r.total() - report.times.partition).abs() < 1e-9,
+                    "rank {} accounts {}, partition phase time {}",
+                    r.rank,
+                    r.total(),
+                    report.times.partition
+                );
+            }
+            let comm = report.traces.partition_comm.as_ref().unwrap();
+            assert!(comm.msgs > 0, "executed partitioning sends real messages");
+        }
 
         // Same for the reassignment protocol and the remap, when they ran.
         if let Some(tr) = &report.traces.reassign {

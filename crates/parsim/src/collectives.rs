@@ -104,6 +104,20 @@ impl Comm {
         out
     }
 
+    /// Variable-size gather ("gatherv"): like [`Comm::gather`], but makes the
+    /// per-rank payload sizes explicit at the call site. Each rank declares
+    /// the size of its *own* contribution in `my_words` — CSR rows, owned
+    /// vertex blocks, and other irregular payloads charge exactly what they
+    /// ship. Returns `Some(values)` (indexed by rank) on the root.
+    pub fn gatherv<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        my_words: u64,
+        value: T,
+    ) -> Option<Vec<T>> {
+        self.gather(root, my_words, value)
+    }
+
     /// Flat scatter: root supplies one value per rank; every rank receives
     /// its own.
     pub fn scatter<T: Send + 'static>(
@@ -237,5 +251,31 @@ impl Comm {
         };
         self.collective_exit(CollectiveKind::Reduce);
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{spmd, MachineModel};
+
+    #[test]
+    fn gatherv_collects_variable_size_payloads() {
+        let results = spmd(4, MachineModel::sp2(), |comm| {
+            // Rank r contributes r+1 words.
+            let mine: Vec<u64> = vec![comm.rank() as u64; comm.rank() + 1];
+            comm.gatherv(0, mine.len() as u64, mine)
+        });
+        let root = results[0].value.as_ref().unwrap();
+        assert_eq!(root.len(), 4);
+        for (r, piece) in root.iter().enumerate() {
+            assert_eq!(piece, &vec![r as u64; r + 1], "rank {r} piece");
+        }
+        for r in &results[1..] {
+            assert!(r.value.is_none(), "non-root rank got a gather result");
+        }
+        // Senders charge exactly their own payload size.
+        for r in &results[1..] {
+            assert_eq!(r.sent_words, (r.rank + 1) as u64, "rank {}", r.rank);
+        }
     }
 }

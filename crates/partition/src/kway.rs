@@ -13,7 +13,7 @@ use crate::rng::Rng;
 /// exactly `a < b`, so the unweighted paths keep their historical behavior
 /// bit-for-bit.
 #[inline]
-fn rel_lt(a: u64, ca: u64, b: u64, cb: u64) -> bool {
+pub(crate) fn rel_lt(a: u64, ca: u64, b: u64, cb: u64) -> bool {
     (a as u128) * (cb as u128) < (b as u128) * (ca as u128)
 }
 
@@ -79,7 +79,7 @@ impl PartitionConfig {
         }
     }
 
-    fn coarsen_target(&self) -> usize {
+    pub(crate) fn coarsen_target(&self) -> usize {
         if self.coarsen_to > 0 {
             self.coarsen_to
         } else {
@@ -377,7 +377,7 @@ pub fn quality(g: &Graph, part: &[u32], nparts: usize) -> PartitionQuality {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn grid3d(nx: usize, ny: usize, nz: usize) -> Graph<'static> {

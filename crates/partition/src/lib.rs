@@ -22,15 +22,19 @@
 mod bisect;
 mod coarsen;
 mod diffusion;
+mod distributed;
 mod graph;
 mod kway;
 mod metrics;
+#[cfg(test)]
+mod proptests;
 mod repart;
 mod rng;
 
 pub use bisect::{bisect, grow_bisection, refine_bisection};
 pub use coarsen::{coarsen_once, contract, heavy_edge_matching};
 pub use diffusion::{diffuse, DiffusionConfig, DiffusionResult};
+pub use distributed::{repartition_body, repartition_distributed, DistPartition};
 pub use graph::{Graph, GraphView};
 pub use kway::{
     partition_kway, partition_kway_weighted, quality, PartitionConfig, PartitionQuality,

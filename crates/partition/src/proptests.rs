@@ -1,0 +1,248 @@
+//! Property tests of the distributed repartitioner internals: parallel
+//! heavy-edge matching validity, per-level weight conservation, and the
+//! exact-cover/ceiling contract of the final partition — each on random
+//! distributed graphs with random ownership.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use plum_parsim::{spmd, MachineModel};
+
+use crate::distributed::{build_level0, contract_distributed, parallel_hem, DistGraph};
+use crate::graph::Graph;
+use crate::kway::{capacity_fractions, part_ceilings, partition_kway, PartitionConfig};
+use crate::metrics::part_weights;
+use crate::repartition_distributed;
+
+/// Random connected symmetric graph: a ring plus `extra` chords, with
+/// deterministic non-uniform vertex and edge weights derived from the ids
+/// (symmetric by construction).
+fn random_graph(n: usize, extra: &[(u32, u32)]) -> Graph<'static> {
+    use std::collections::BTreeSet;
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for v in 0..n {
+        let u = (v + 1) % n;
+        adj[v].insert(u as u32);
+        adj[u].insert(v as u32);
+    }
+    for &(a, b) in extra {
+        let a = a as usize % n;
+        let b = b as usize % n;
+        if a != b {
+            adj[a].insert(b as u32);
+            adj[b].insert(a as u32);
+        }
+    }
+    let ew = |a: u32, b: u32| -> u32 { (a.min(b) * 31 + a.max(b) * 17) % 5 + 1 };
+    let mut xadj = vec![0u32];
+    let mut adjncy = Vec::new();
+    let mut adjwgt = Vec::new();
+    for (v, row) in adj.iter().enumerate() {
+        for &u in row {
+            adjncy.push(u);
+            adjwgt.push(ew(v as u32, u));
+        }
+        xadj.push(adjncy.len() as u32);
+    }
+    let vwgt: Vec<u64> = (0..n).map(|v| (v as u64 * 7) % 3 + 1).collect();
+    let g = Graph {
+        xadj: xadj.into(),
+        adjncy: adjncy.into(),
+        adjwgt: adjwgt.into(),
+        vwgt: vwgt.into(),
+    };
+    g.check().expect("generated graph must be well-formed");
+    g
+}
+
+/// Rank-major renumbering, mirroring `build_level0`: original id → level-0
+/// global id.
+fn renumber(owner: &[u32], nranks: usize) -> Vec<u32> {
+    let n = owner.len();
+    let mut off = vec![0u32; nranks + 1];
+    for &o in owner {
+        off[o as usize + 1] += 1;
+    }
+    for r in 0..nranks {
+        off[r + 1] += off[r];
+    }
+    let mut next = off;
+    let mut newid = vec![0u32; n];
+    for v in 0..n {
+        let r = owner[v] as usize;
+        newid[v] = next[r];
+        next[r] += 1;
+    }
+    newid
+}
+
+/// Global edge weight between owned local vertex `i` and global id `m`.
+fn row_weight_to(dg: &DistGraph, i: usize, m: u32) -> u64 {
+    dg.row(i)
+        .filter(|&(u, _)| u == m)
+        .map(|(_, w)| w as u64)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (a) Parallel HEM yields a valid matching: the global mate relation is
+    /// involutive (so no vertex is matched twice and both sides of every
+    /// cross-rank pair agreed), and every matched pair is an actual edge.
+    #[test]
+    fn parallel_hem_yields_a_valid_matching(
+        n in 24usize..96,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 32),
+        owners in proptest::collection::vec(0u32..8, 96),
+        p in 2usize..5,
+        level in 0usize..3,
+    ) {
+        let g = random_graph(n, &extra);
+        let owner: Vec<u32> = (0..n).map(|v| owners[v % owners.len()] % p as u32).collect();
+        let gref = &g;
+        let ownref = &owner;
+        let results = spmd(p, MachineModel::zero(), move |comm| {
+            let dg = build_level0(comm.rank(), p, gref, ownref, None);
+            let partner = parallel_hem(comm, &dg, 0x9e37, level);
+            (dg.off.clone(), partner)
+        });
+        let off = results[0].value.0.clone();
+        let mut mate = vec![u32::MAX; n];
+        for r in &results {
+            let base = off[r.rank] as usize;
+            for (i, &m) in r.value.1.iter().enumerate() {
+                mate[base + i] = m;
+            }
+        }
+        let newid = renumber(&owner, p);
+        let mut neighbors = vec![Vec::new(); n];
+        for v in 0..n {
+            for (u, _) in g.edges(v) {
+                neighbors[newid[v] as usize].push(newid[u as usize]);
+            }
+        }
+        for v in 0..n {
+            let m = mate[v];
+            prop_assert!((m as usize) < n, "partner {} out of range at {}", m, v);
+            prop_assert_eq!(
+                mate[m as usize], v as u32,
+                "mate relation not involutive at {} (cross-rank disagreement)", v
+            );
+            prop_assert!(
+                m == v as u32 || neighbors[v].contains(&m),
+                "vertex {} matched to non-neighbour {}", v, m
+            );
+        }
+    }
+
+    /// (b) Every coarsening level conserves the total vertex weight, and the
+    /// coarse edge-weight total equals the fine total minus the matched
+    /// internal edges (each pair's edge appears twice in the symmetric CSR).
+    #[test]
+    fn coarsening_levels_conserve_vertex_and_edge_weight(
+        n in 24usize..96,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 32),
+        owners in proptest::collection::vec(0u32..8, 96),
+        p in 2usize..5,
+    ) {
+        let g = random_graph(n, &extra);
+        let owner: Vec<u32> = (0..n).map(|v| owners[v % owners.len()] % p as u32).collect();
+        let gref = &g;
+        let ownref = &owner;
+        let results = spmd(p, MachineModel::zero(), move |comm| {
+            let mut cur = build_level0(comm.rank(), p, gref, ownref, None);
+            // (vertex total, edge total, matched internal edge weight ×2)
+            let mut ledger: Vec<(u64, u64, u64)> = Vec::new();
+            let vtot = |c: &mut plum_parsim::Comm, dg: &DistGraph| {
+                let v: u64 = dg.vwgt.iter().sum();
+                let e: u64 = dg.adjwgt.iter().map(|&w| w as u64).sum();
+                (c.allreduce_sum_u64(v), c.allreduce_sum_u64(e))
+            };
+            let (v0, e0) = vtot(comm, &cur);
+            ledger.push((v0, e0, 0));
+            for level in 0..4 {
+                if cur.global_n() <= 8 {
+                    break;
+                }
+                let partner = parallel_hem(comm, &cur, 0x9e37, level);
+                let base = cur.off[comm.rank()];
+                let mut internal2 = 0u64;
+                for (i, &m) in partner.iter().enumerate() {
+                    if m != base + i as u32 {
+                        internal2 += row_weight_to(&cur, i, m);
+                    }
+                }
+                let internal2 = comm.allreduce_sum_u64(internal2);
+                match contract_distributed(comm, &cur, &partner) {
+                    Some((coarse, _)) => {
+                        cur = coarse;
+                        let (v, e) = vtot(comm, &cur);
+                        ledger.push((v, e, internal2));
+                    }
+                    None => break,
+                }
+            }
+            ledger
+        });
+        let ledger = &results[0].value;
+        for r in &results {
+            prop_assert_eq!(&r.value, ledger, "rank {} ledger diverged", r.rank);
+        }
+        prop_assert!(ledger.len() > 1, "no contraction happened");
+        for lv in 1..ledger.len() {
+            let (v_prev, e_prev, _) = ledger[lv - 1];
+            let (v, e, internal2) = ledger[lv];
+            prop_assert_eq!(v, v_prev, "vertex weight lost at level {}", lv);
+            prop_assert_eq!(
+                e, e_prev - internal2,
+                "edge weight at level {}: {} fine − {} matched ≠ {} coarse",
+                lv, e_prev, internal2, e
+            );
+        }
+    }
+
+    /// (c) The final partition assigns every vertex exactly once, and each
+    /// part stays within its capacity ceiling up to one vertex of
+    /// granularity slack (the same slack the serial kernel's own tests
+    /// allow).
+    #[test]
+    fn final_partition_is_an_exact_cover_with_bounded_parts(
+        n in 60usize..140,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 48),
+        owners in proptest::collection::vec(0u32..8, 96),
+        p in 2usize..5,
+        caps in proptest::collection::vec(0.5f64..2.0, 4),
+        use_prev in any::<bool>(),
+    ) {
+        let g = random_graph(n, &extra);
+        let owner: Vec<u32> = (0..n).map(|v| owners[v % owners.len()] % p as u32).collect();
+        let mut cfg = PartitionConfig::new(p);
+        cfg.coarsen_to = 24; // force the multilevel path on these small graphs
+        let prev = partition_kway(&g, &cfg);
+        let d = repartition_distributed(
+            &g,
+            &owner,
+            if use_prev { Some(&prev) } else { None },
+            &cfg,
+            &caps[..p],
+            p,
+            MachineModel::zero(),
+            0.0,
+        );
+        prop_assert_eq!(d.part.len(), n, "partition must cover every vertex");
+        prop_assert!(d.part.iter().all(|&q| (q as usize) < p), "part id out of range");
+        let w = part_weights(&g, &d.part, p);
+        let frac = capacity_fractions(&caps[..p], p);
+        let ceil = part_ceilings(g.total_vwgt(), &cfg, frac.as_deref());
+        let maxv = *g.vwgt.iter().max().unwrap();
+        for q in 0..p {
+            prop_assert!(
+                w[q] <= ceil[q] + maxv,
+                "part {} weighs {} > ceiling {} + granularity {}",
+                q, w[q], ceil[q], maxv
+            );
+        }
+    }
+}

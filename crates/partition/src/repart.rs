@@ -38,7 +38,14 @@ pub fn repartition_kway_weighted(
     }
 }
 
-fn repartition_kway_impl(
+/// The diffusion core: balance/refine rounds from `prev`, *without* the
+/// fresh-partition fallback. The distributed repartitioner's coarsest solve
+/// uses this directly — on a coarse graph the achieved imbalance is limited
+/// by vertex granularity (a fresh partition cannot beat it either), and a
+/// fresh relabeling there would destroy the seed alignment that keeps
+/// migration volume and, under heterogeneous capacities, the part↔processor
+/// sizing correct. Residual imbalance is repaired during uncoarsening.
+pub(crate) fn repartition_diffuse(
     g: &Graph,
     cfg: &PartitionConfig,
     prev: &[u32],
@@ -65,7 +72,19 @@ fn repartition_kway_impl(
             break;
         }
     }
+    part
+}
 
+pub(crate) fn repartition_kway_impl(
+    g: &Graph,
+    cfg: &PartitionConfig,
+    prev: &[u32],
+    frac: Option<&[f64]>,
+) -> Vec<u32> {
+    let part = repartition_diffuse(g, cfg, prev, frac);
+    if cfg.nparts == 1 {
+        return part;
+    }
     let achieved = match frac {
         None => partition_imbalance(g, &part, cfg.nparts),
         Some(f) => imbalance_weighted(&part_weights(g, &part, cfg.nparts), f),

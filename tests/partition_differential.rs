@@ -1,0 +1,182 @@
+//! Differential battery: the distributed multilevel repartitioner versus the
+//! retained serial reference kernel, at P ∈ {2, 8, 64} on a quick-scale
+//! Fig-6 mesh.
+//!
+//! Two regimes are pinned. On the exact-serial path (coarsest graph = input
+//! graph) the distributed kernel gathers the problem to rank 0 and runs the
+//! very same serial kernel, so the result must be *bit-identical*. On the
+//! genuinely multilevel path the two kernels take discretely different
+//! matching/refinement decisions, so the contract is qualitative: edge cut
+//! within 10% of the serial result and imbalance no worse than the serial
+//! result plus a small epsilon.
+
+use plum_mesh::generate::{box_dims_for_elements, box_mesh};
+use plum_mesh::DualGraph;
+use plum_parsim::MachineModel;
+use plum_partition::{
+    imbalance_weighted, part_weights, partition_kway, quality, repartition_distributed,
+    repartition_kway_weighted, Graph, PartitionConfig,
+};
+
+const PROC_COUNTS: [usize; 3] = [2, 8, 64];
+
+/// Work units charged per locally-matched vertex; any positive value — the
+/// partition result is machine-model independent by construction.
+const VERTEX_UNITS: f64 = 16.0;
+
+/// Quick-scale Fig-6 dual graph (~6000 elements) with a deterministic
+/// non-uniform weighting: a contiguous band of elements is 8× heavier, as if
+/// a refinement wave had just passed through. The uniform seed partition is
+/// therefore imbalanced — exactly the state the engine repartitions from.
+fn fig6_quick_graph() -> Graph<'static> {
+    let (nx, ny, nz) = box_dims_for_elements(6_000);
+    let mesh = box_mesh(nx, ny, nz, [0.0; 3], [1.0; 3]);
+    let dual = DualGraph::build(&mesh);
+    let mut w = dual.wcomp.clone();
+    let n = w.len();
+    for x in w.iter_mut().take(n / 5) {
+        *x *= 8;
+    }
+    Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), w)
+}
+
+/// The "previous" partition: computed on uniform weights, like the partition
+/// the engine held before the refinement wave changed the weights.
+fn seed_partition(g: &Graph, nparts: usize) -> Vec<u32> {
+    let uniform = Graph::from_csr(g.xadj.to_vec(), g.adjncy.to_vec(), vec![1; g.n()]);
+    partition_kway(&uniform, &PartitionConfig::new(nparts))
+}
+
+#[test]
+fn exact_path_is_bit_identical_to_serial_at_all_proc_counts() {
+    let g = fig6_quick_graph();
+    for &p in &PROC_COUNTS {
+        let mut cfg = PartitionConfig::new(p);
+        // Stop coarsening immediately: the coarsest graph is the input graph,
+        // so the distributed kernel must reproduce the serial kernel exactly.
+        cfg.coarsen_to = g.n();
+        let prev = seed_partition(&g, p);
+        let caps = vec![1.0; p];
+        let serial = repartition_kway_weighted(&g, &cfg, &prev, &caps);
+        let dist = repartition_distributed(
+            &g,
+            &prev,
+            Some(&prev),
+            &cfg,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        assert_eq!(dist.part, serial, "P={p}: exact path diverged from serial");
+        assert!(dist.makespan > 0.0, "P={p}: partitioning took no time");
+    }
+}
+
+#[test]
+fn multilevel_cut_and_balance_track_the_serial_reference() {
+    let g = fig6_quick_graph();
+    for &p in &PROC_COUNTS {
+        let cfg = PartitionConfig::new(p);
+        let prev = seed_partition(&g, p);
+        let caps = vec![1.0; p];
+        let serial = repartition_kway_weighted(&g, &cfg, &prev, &caps);
+        let dist = repartition_distributed(
+            &g,
+            &prev,
+            Some(&prev),
+            &cfg,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        let qs = quality(&g, &serial, p);
+        let qd = quality(&g, &dist.part, p);
+        eprintln!(
+            "P={p}: serial cut {} imb {:.4} | distributed cut {} imb {:.4}",
+            qs.cut, qs.imbalance, qd.cut, qd.imbalance
+        );
+        assert!(
+            qd.cut as f64 <= qs.cut as f64 * 1.10,
+            "P={p}: distributed cut {} exceeds serial {} by more than 10%",
+            qd.cut,
+            qs.cut
+        );
+        assert!(
+            qd.imbalance <= qs.imbalance.max(cfg.imbalance_tol) + 0.05,
+            "P={p}: distributed imbalance {:.4} vs serial {:.4} (tol {})",
+            qd.imbalance,
+            qs.imbalance,
+            cfg.imbalance_tol
+        );
+    }
+}
+
+#[test]
+fn multilevel_result_is_deterministic_and_machine_independent() {
+    let g = fig6_quick_graph();
+    let p = 8;
+    let cfg = PartitionConfig::new(p);
+    let prev = seed_partition(&g, p);
+    let caps = vec![1.0; p];
+    let a = repartition_distributed(
+        &g,
+        &prev,
+        Some(&prev),
+        &cfg,
+        &caps,
+        p,
+        MachineModel::sp2(),
+        VERTEX_UNITS,
+    );
+    // Different machine model, different compute charge: same partition.
+    let b = repartition_distributed(
+        &g,
+        &prev,
+        Some(&prev),
+        &cfg,
+        &caps,
+        p,
+        MachineModel::zero(),
+        0.0,
+    );
+    assert_eq!(a.part, b.part, "partition depends on the machine model");
+    assert!(a.makespan > b.makespan, "sp2 run should cost virtual time");
+}
+
+#[test]
+fn weighted_capacities_shift_load_and_respect_ceilings() {
+    let g = fig6_quick_graph();
+    let p = 8;
+    let cfg = PartitionConfig::new(p);
+    let prev = seed_partition(&g, p);
+    // Two double-capacity processors, as after a chaos slowdown elsewhere.
+    let caps: Vec<f64> = (0..p).map(|r| if r < 2 { 2.0 } else { 1.0 }).collect();
+    let dist = repartition_distributed(
+        &g,
+        &prev,
+        Some(&prev),
+        &cfg,
+        &caps,
+        p,
+        MachineModel::sp2(),
+        VERTEX_UNITS,
+    );
+    assert_eq!(dist.part.len(), g.n(), "every vertex assigned exactly once");
+    assert!(dist.part.iter().all(|&q| (q as usize) < p));
+    let w = part_weights(&g, &dist.part, p);
+    let imb = imbalance_weighted(&w, &caps);
+    assert!(
+        imb <= cfg.imbalance_tol * 1.10 + 0.02,
+        "capacity-weighted imbalance {imb:.4} exceeds the kernel's ceiling"
+    );
+    // The double-capacity parts must actually carry more than a fair
+    // uniform share between them.
+    let heavy: u64 = w[..2].iter().sum();
+    let total: u64 = w.iter().sum();
+    assert!(
+        heavy as f64 > total as f64 * 2.0 / p as f64,
+        "2x-capacity parts hold {heavy} of {total}: no load shifted"
+    );
+}
