@@ -7,8 +7,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use plum_bench::{initial_mesh, marked_problem, Scale, CASES};
-use plum_core::Ownership;
+use plum_core::{CommBreakdown, Ownership};
 use plum_mesh::DualGraph;
+use plum_parsim::{MachineModel, Session, TraceLog};
 use plum_partition::{partition_kway, repartition_kway, Graph, PartitionConfig};
 use plum_reassign::{greedy_mwbg, optimal_bmcm, optimal_mwbg, SimilarityMatrix};
 use plum_remap::{Packer, Unpacker};
@@ -142,12 +143,73 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// A synthetic multi-phase P = 8 session timeline: per-phase compute, a
+/// ring exchange, and a barrier — the event mix of a real cycle log.
+fn synthetic_session(nranks: usize) -> TraceLog {
+    let mut session = Session::new(nranks, MachineModel::sp2());
+    let mut log = TraceLog {
+        events: vec![Vec::new(); nranks],
+    };
+    for (p, phase) in ["alpha", "beta", "gamma"].into_iter().enumerate() {
+        let results = session.run(vec![(); nranks], move |comm, ()| {
+            comm.phase(phase, |c| {
+                c.compute(5_000.0 * (1.0 + c.rank() as f64 / 10.0));
+                let next = (c.rank() + 1) % c.nranks();
+                let prev = (c.rank() + c.nranks() - 1) % c.nranks();
+                for round in 0..100u64 {
+                    let tag = (p as u64) << 32 | round;
+                    c.send(next, tag, 64, round);
+                    let _: u64 = c.recv(prev, tag);
+                }
+                c.barrier();
+            });
+        });
+        for r in &results {
+            log.events[r.rank].extend(r.events.iter().cloned());
+        }
+    }
+    log
+}
+
+fn bench_trace_aggregation(c: &mut Criterion) {
+    let log = synthetic_session(8);
+
+    // Setup sanity: the accounting invariant the one-pass aggregation
+    // relies on — every charged second is attributed to exactly one phase.
+    let aggs = log.phase_breakdowns();
+    assert_eq!(aggs.len(), 3);
+    let full: f64 = log.summary().ranks.iter().map(|r| r.total()).sum();
+    let agg_total: f64 = aggs.iter().map(|a| a.total()).sum();
+    assert!(
+        (full - agg_total).abs() < 1e-9,
+        "one-pass aggregation must account every second: {agg_total} vs {full}"
+    );
+    let names: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+
+    let mut group = c.benchmark_group("trace_aggregation");
+    group.bench_function("one_pass_phase_breakdowns", |b| {
+        b.iter(|| black_box(&log).phase_breakdowns())
+    });
+    // The path the one-pass aggregation replaced: re-slice the log once
+    // per phase, then summarize each slice.
+    group.bench_function("per_phase_slice_and_summarize", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .map(|n| CommBreakdown::from_trace(&black_box(&log).phase_slice(n)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_partitioner,
     bench_mappers,
     bench_adaption,
     bench_ownership,
-    bench_codec
+    bench_codec,
+    bench_trace_aggregation
 );
 criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! BENCH report tooling: validate, show, and diff `BENCH_*.json` files.
+//!
+//! ```text
+//! plum-bench compare <baseline.json> <current.json> [--tolerance <pct>]
+//! plum-bench validate <file.json>
+//! plum-bench show <file.json>
+//! ```
+//!
+//! `compare` exits 0 when every tracked (non-`info.`) metric of the current
+//! report is within `tolerance` percent of the baseline (default 5), and 1
+//! when any metric regressed beyond tolerance or a tracked baseline metric
+//! was dropped. Exit code 2 means usage, I/O, or schema errors.
+
+use plum_obs::{compare, BenchReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: plum-bench compare <baseline.json> <current.json> [--tolerance <pct>]\n\
+         \x20      plum-bench validate <file.json>\n\
+         \x20      plum-bench show <file.json>"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("plum-bench: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match BenchReport::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("plum-bench: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => {
+            let mut tolerance = 5.0f64;
+            let mut paths = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--tolerance" => {
+                        i += 1;
+                        match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                            Some(t) if t >= 0.0 => tolerance = t,
+                            _ => {
+                                eprintln!("--tolerance needs a non-negative percentage");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                    a if a.starts_with("--") => {
+                        eprintln!("unknown flag '{a}'");
+                        std::process::exit(2);
+                    }
+                    a => paths.push(a.to_string()),
+                }
+                i += 1;
+            }
+            let [baseline_path, current_path] = paths.as_slice() else {
+                usage();
+            };
+            let baseline = load(baseline_path);
+            let current = load(current_path);
+            if baseline.experiment != current.experiment {
+                eprintln!(
+                    "plum-bench: experiment mismatch: baseline is {:?}, current is {:?}",
+                    baseline.experiment, current.experiment
+                );
+                std::process::exit(2);
+            }
+            let report = compare(&baseline, &current, tolerance);
+            print!("{}", report.render());
+            std::process::exit(if report.passed() { 0 } else { 1 });
+        }
+        Some("validate") => {
+            let [_, path] = args.as_slice() else { usage() };
+            let report = load(path);
+            println!(
+                "{path}: valid BENCH report, experiment {:?}, {} metrics",
+                report.experiment,
+                report.metrics.len()
+            );
+        }
+        Some("show") => {
+            let [_, path] = args.as_slice() else { usage() };
+            let report = load(path);
+            println!("experiment: {}", report.experiment);
+            for (k, v) in &report.meta {
+                match v {
+                    plum_obs::MetaValue::Str(s) => println!("meta {k} = {s}"),
+                    plum_obs::MetaValue::Num(x) => println!("meta {k} = {x}"),
+                }
+            }
+            for (k, v) in &report.metrics {
+                println!("{k} = {v}");
+            }
+        }
+        _ => usage(),
+    }
+}

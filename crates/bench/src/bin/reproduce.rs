@@ -10,7 +10,15 @@
 //! `all`. `--quick` runs at ~6k elements instead of the paper's ~61k.
 //! `fig6 --trace <path>` additionally writes a Chrome-trace JSON (load it in
 //! Perfetto or `chrome://tracing`) of one adaption cycle, plus a plain-text
-//! timeline next to it at `<path>.txt`.
+//! timeline next to it (`foo.json` → `foo.txt`).
+//!
+//! `fig5` and `fig6` also emit a versioned BENCH report
+//! (`BENCH_fig5.json` / `BENCH_fig6.json`; override with `--bench <path>`)
+//! of deterministic virtual-time metrics — per-phase seconds, comm
+//! counters, cross-rank critical-path lengths — that `plum-bench compare`
+//! diffs against a committed baseline in CI. The fig6 report instruments
+//! one remap-before Real_2 cycle at P = 64 and prints its critical-path
+//! analysis.
 //!
 //! `fig6 --chaos <seed>` runs the chaos recovery experiment instead: one
 //! rank is slowed 2× (which rank depends on the seed, as does the link
@@ -26,6 +34,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut trace_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut what: Option<String> = None;
     let mut i = 0;
@@ -38,6 +47,16 @@ fn main() {
                     Some(p) => trace_path = Some(p.clone()),
                     None => {
                         eprintln!("--trace needs a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--bench" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => bench_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--bench needs a path argument");
                         std::process::exit(2);
                     }
                 }
@@ -78,11 +97,26 @@ fn main() {
         None
     };
 
+    let write_bench = |default_name: &str, report: &plum_obs::BenchReport| {
+        let path = bench_path
+            .clone()
+            .unwrap_or_else(|| default_name.to_string());
+        report
+            .validate()
+            .expect("BENCH report must be schema-valid");
+        std::fs::write(&path, report.to_json()).expect("write BENCH report");
+        eprintln!("# wrote {path}");
+    };
+
     match what.as_str() {
         "table1" => print_table1(&table1(scale)),
         "table2" => print_table2(&table2(scale)),
         "fig4" => print_fig4(sw.as_ref().unwrap()),
-        "fig5" => print_fig5(sw.as_ref().unwrap()),
+        "fig5" => {
+            let sw = sw.as_ref().unwrap();
+            print_fig5(sw);
+            write_bench("BENCH_fig5.json", &report::fig5_bench(sw, scale));
+        }
         "fig6" => {
             if let Some(seed) = chaos_seed {
                 eprintln!("# running the chaos recovery experiment (seed {seed})…");
@@ -102,9 +136,21 @@ fn main() {
                 eprintln!("# building the per-rank cycle trace at P={nproc}…");
                 let (json, text) = fig6_trace(scale, nproc);
                 std::fs::write(path, json).expect("write chrome trace");
-                std::fs::write(format!("{path}.txt"), text).expect("write text timeline");
-                eprintln!("# wrote {path} (Perfetto/chrome://tracing) and {path}.txt");
+                let text_path = match path.strip_suffix(".json") {
+                    Some(stem) => format!("{stem}.txt"),
+                    None => format!("{path}.txt"),
+                };
+                std::fs::write(&text_path, text).expect("write text timeline");
+                eprintln!("# wrote {path} (Perfetto/chrome://tracing) and {text_path}");
             }
+            eprintln!(
+                "# instrumenting one remap-before Real_2 cycle at P={}…",
+                report::FIG6_BENCH_NPROC
+            );
+            let (bench, analysis) = report::fig6_bench(scale);
+            println!();
+            print!("{analysis}");
+            write_bench("BENCH_fig6.json", &bench);
         }
         "fig7" => {
             print_fig7(&paper_growths());

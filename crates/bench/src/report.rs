@@ -1,0 +1,130 @@
+//! BENCH report emission: turn experiment runs into versioned, schema-
+//! checked `BENCH_<experiment>.json` files the regression gate can diff.
+//!
+//! Every metric in these reports is a *virtual* quantity (deterministic,
+//! byte-reproducible run to run), except the host wall-clock values, which
+//! go out under the [`plum_obs::INFO_PREFIX`] so the gate never compares
+//! them. That determinism is what lets CI keep a committed baseline and
+//! fail on any growth beyond tolerance.
+
+use plum_core::{CycleReport, RemapPolicy};
+use plum_obs::{
+    critical_path, heaviest_edges, phase_critical_path, render_heaviest_edges, BenchReport,
+    Registry,
+};
+
+use crate::{run_case, Scale, SweepPoint, CASES};
+
+/// Processor count of the instrumented fig6 cycle — the paper's largest
+/// machine (its Fig. 6 x-axis ends at P = 64). Independent of `--quick`,
+/// which only shrinks the mesh.
+pub const FIG6_BENCH_NPROC: usize = 64;
+
+/// Short git commit hash of the working tree, or `"unknown"` outside a
+/// repository. Metadata only — never compared.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Build a BENCH report from one instrumented adaption cycle: the cycle's
+/// counters and gauges (via [`CycleReport::emit_metrics`]), plus the
+/// cross-rank critical path of the whole session and of every phase.
+pub fn cycle_bench(
+    experiment: &str,
+    report: &CycleReport,
+    nproc: usize,
+    initial_elements: usize,
+) -> BenchReport {
+    let mut reg = Registry::new();
+    report.emit_metrics(&mut reg);
+    let mut bench = BenchReport::new(experiment);
+    bench
+        .meta_str("git_sha", &git_sha())
+        .meta_num("nproc", nproc as f64)
+        .meta_num("initial_elements", initial_elements as f64)
+        .meta_num("final_elements", report.counts.elements as f64)
+        .absorb_registry(&reg);
+
+    let session = &report.traces.session;
+    if !session.events.is_empty() {
+        let cp = critical_path(session);
+        bench
+            .set("critical_path.seconds", cp.length())
+            .set("critical_path.wait_seconds", cp.wait)
+            .set("critical_path.wire_seconds", cp.wire);
+        for (name, _) in &report.traces.phase_comm {
+            let pcp = phase_critical_path(session, name);
+            bench.set(&format!("critical_path.{name}.seconds"), pcp.length());
+        }
+    }
+    bench
+}
+
+/// Human-readable critical-path analysis of the cycle's session timeline:
+/// the longest cross-rank dependency chain plus the top-k heaviest message
+/// edges (by receiver wait).
+pub fn cycle_analysis(report: &CycleReport, top_k: usize) -> String {
+    let session = &report.traces.session;
+    let mut out = critical_path(session).render();
+    out.push('\n');
+    out.push_str(&render_heaviest_edges(&heaviest_edges(session, top_k)));
+    out
+}
+
+/// The fig6 BENCH run: one instrumented remap-before Real_2 cycle at
+/// [`FIG6_BENCH_NPROC`]. Returns the report plus its critical-path text.
+pub fn fig6_bench(scale: Scale) -> (BenchReport, String) {
+    let r = run_case(
+        scale,
+        CASES[1].1,
+        FIG6_BENCH_NPROC,
+        RemapPolicy::BeforeRefinement,
+    );
+    let mut b = cycle_bench("fig6", &r, FIG6_BENCH_NPROC, scale.elements());
+    b.meta_str("scale", &format!("{scale:?}"))
+        .meta_str("case", "Real_2");
+    (b, cycle_analysis(&r, 10))
+}
+
+/// The fig5 BENCH report, from the already-run sweep: per-case remap times
+/// under both policies at every swept P.
+pub fn fig5_bench(sw: &[SweepPoint], scale: Scale) -> BenchReport {
+    let mut b = BenchReport::new("fig5");
+    b.meta_str("git_sha", &git_sha())
+        .meta_str("scale", &format!("{scale:?}"))
+        .meta_num("initial_elements", scale.elements() as f64);
+    for p in sw {
+        if p.nproc == 1 {
+            continue;
+        }
+        let policy = match p.policy {
+            RemapPolicy::AfterRefinement => "after",
+            RemapPolicy::BeforeRefinement => "before",
+        };
+        b.set(
+            &format!("remap.{}.{}.p{}.seconds", p.case, policy, p.nproc),
+            p.remap_time,
+        );
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn git_sha_is_short_and_nonempty() {
+        let sha = git_sha();
+        assert!(!sha.is_empty());
+        assert!(sha.len() <= 40);
+    }
+}

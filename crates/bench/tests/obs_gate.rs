@@ -1,0 +1,104 @@
+//! End-to-end observability gate on a real P = 64 adaption cycle: the
+//! cross-rank critical path must tile the measured phase times exactly,
+//! the BENCH report must round-trip schema-valid, and the regression gate
+//! must pass against itself and fail on an injected slowdown.
+
+use plum_bench::report::cycle_bench;
+use plum_core::{CycleReport, Plum, PlumConfig, RemapPolicy};
+use plum_mesh::generate::unit_box_mesh;
+use plum_obs::{compare, critical_path, phase_critical_path, BenchReport};
+use plum_solver::WaveField;
+
+const TOL: f64 = 1e-9;
+
+/// One remap-before Real_2-style cycle at P = 64 on a mesh small enough
+/// for debug builds (750 initial elements).
+fn p64_cycle() -> CycleReport {
+    let mut cfg = PlumConfig::new(64);
+    cfg.policy = RemapPolicy::BeforeRefinement;
+    let mut p = Plum::new(unit_box_mesh(5), WaveField::unit_box(), cfg);
+    p.adaption_cycle(0.33, 0.1)
+}
+
+#[test]
+fn critical_path_tiles_the_p64_session_and_its_phases() {
+    let r = p64_cycle();
+    let session = &r.traces.session;
+
+    // Whole-session path length == makespan.
+    let makespan = session
+        .events
+        .iter()
+        .flatten()
+        .map(|e| e.end_time())
+        .fold(0.0, f64::max);
+    let cp = critical_path(session);
+    assert!(
+        (cp.length() - makespan).abs() < TOL,
+        "critical path {} vs session makespan {makespan}",
+        cp.length()
+    );
+    assert!(!cp.segments.is_empty());
+
+    // Each phase's path length == that phase's measured elapsed time.
+    let phases = session.phase_breakdowns();
+    assert!(phases.len() >= 4, "expected a full cycle: {phases:?}");
+    for agg in &phases {
+        let pcp = phase_critical_path(session, &agg.name);
+        assert!(
+            (pcp.length() - agg.elapsed()).abs() < TOL,
+            "phase {}: path {} vs elapsed {}",
+            agg.name,
+            pcp.length(),
+            agg.elapsed()
+        );
+    }
+
+    // The phase spans partition the session end to end.
+    let span_sum: f64 = phases.iter().map(|a| a.elapsed()).sum();
+    assert!(
+        (span_sum - makespan).abs() < TOL,
+        "phases cover {span_sum} of the {makespan} makespan"
+    );
+
+    // And the measured PhaseTimes agree with the per-phase paths.
+    for (name, expect) in [
+        ("solver", r.times.solver),
+        ("marking", r.times.marking),
+        ("remap", r.times.remap),
+        ("subdivide", r.times.subdivide),
+    ] {
+        let pcp = phase_critical_path(session, name);
+        assert!(
+            (pcp.length() - expect).abs() < TOL,
+            "phase {name}: path {} vs reported time {expect}",
+            pcp.length()
+        );
+    }
+}
+
+#[test]
+fn bench_report_roundtrips_and_gates() {
+    let r = p64_cycle();
+    let bench = cycle_bench("fig6", &r, 64, 750);
+    bench.validate().expect("emitted report is schema-valid");
+    assert!(bench.metrics.contains_key("critical_path.seconds"));
+    assert!(bench.metrics.contains_key("phase.marking.seconds"));
+    assert!(bench.metrics.contains_key("phase.marking.msgs"));
+
+    let text = bench.to_json();
+    let back = BenchReport::from_json(&text).expect("round-trip");
+    assert_eq!(back, bench);
+
+    // Identical reports pass the 5% gate.
+    assert!(compare(&bench, &back, 5.0).passed());
+
+    // An injected 10% slowdown on a tracked metric fails it.
+    let mut slowed = bench.clone();
+    let cur = slowed.metrics["phase.marking.seconds"];
+    slowed.set("phase.marking.seconds", cur * 1.10);
+    let cmp = compare(&bench, &slowed, 5.0);
+    assert!(!cmp.passed(), "10% slowdown must trip the 5% gate");
+    assert_eq!(cmp.regressions.len(), 1);
+    assert_eq!(cmp.regressions[0].name, "phase.marking.seconds");
+}

@@ -427,24 +427,51 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
     let (wcomp_final, _) = p.am.weights();
     let wmax_balanced = *p.engine.per_rank_load(&wcomp_final).iter().max().unwrap();
 
+    // Debug builds re-check SPMD discipline on the full session timeline
+    // after every cycle, so each engine test doubles as a protocol audit.
+    #[cfg(debug_assertions)]
+    {
+        let violations = plum_parsim::check_protocol(&slog);
+        assert!(
+            violations.is_empty(),
+            "session trace violates the SPMD protocol: {violations:?}"
+        );
+    }
+
+    // One streaming pass over the session timeline yields every phase's
+    // communication split; the cached `*_comm` fields are lookups into it.
+    // Events after a phase closes (step-boundary syncs) are attributed to
+    // that phase, matching what the standalone per-step traces contain.
+    let phase_comm: Vec<(String, CommBreakdown)> = slog
+        .phase_breakdowns()
+        .iter()
+        .map(|agg| (agg.name.clone(), CommBreakdown::from_agg(agg)))
+        .collect();
+    let comm_of = |name: &str| {
+        phase_comm
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    };
+
     let traces = CycleTraces {
-        marking_comm: CommBreakdown::from_trace(&mark_trace),
+        marking_comm: comm_of("marking"),
         marking: mark_trace,
         partition_comm: decision
             .partition_trace
-            .as_ref()
-            .map(CommBreakdown::from_trace),
+            .is_some()
+            .then(|| comm_of("partition")),
         partition: decision.partition_trace.clone(),
         reassign_comm: decision
             .reassign_trace
-            .as_ref()
-            .map(CommBreakdown::from_trace),
+            .is_some()
+            .then(|| comm_of("reassignment")),
         reassign: decision.reassign_trace.clone(),
-        remap_comm: migration
-            .as_ref()
-            .map(|m| CommBreakdown::from_trace(&m.trace)),
+        remap_comm: migration.is_some().then(|| comm_of("remap")),
         remap: migration.as_ref().map(|m| m.trace.clone()),
         session: slog,
+        phase_comm,
     };
 
     CycleReport {
@@ -590,6 +617,61 @@ mod tests {
     fn golden_equivalence_p8_both_policies() {
         golden(8, 4, RemapPolicy::BeforeRefinement, true);
         golden(8, 4, RemapPolicy::AfterRefinement, true);
+    }
+
+    /// The cached `*_comm` splits come from one streaming pass over the
+    /// session timeline; re-deriving each from its standalone per-step
+    /// trace must agree — same event set, only the summation order may
+    /// differ.
+    #[test]
+    fn one_pass_phase_comm_matches_per_step_traces() {
+        let mut p = plum(8, 4, RemapPolicy::BeforeRefinement);
+        let report = p.adaption_cycle(0.33, 0.1);
+        let tr = &report.traces;
+
+        let mut pairs = vec![(
+            "marking",
+            tr.marking_comm,
+            CommBreakdown::from_trace(&tr.marking),
+        )];
+        if let (Some(c), Some(t)) = (&tr.partition_comm, &tr.partition) {
+            pairs.push(("partition", *c, CommBreakdown::from_trace(t)));
+        }
+        if let (Some(c), Some(t)) = (&tr.reassign_comm, &tr.reassign) {
+            pairs.push(("reassignment", *c, CommBreakdown::from_trace(t)));
+        }
+        if let (Some(c), Some(t)) = (&tr.remap_comm, &tr.remap) {
+            pairs.push(("remap", *c, CommBreakdown::from_trace(t)));
+        }
+        assert!(pairs.len() >= 3, "cycle should have balanced and remapped");
+        for (name, one_pass, per_step) in pairs {
+            assert_eq!(one_pass.msgs, per_step.msgs, "{name}: msgs");
+            assert_eq!(one_pass.words, per_step.words, "{name}: words");
+            for (what, a, b) in [
+                ("compute", one_pass.compute, per_step.compute),
+                ("wire", one_pass.wire, per_step.wire),
+                ("wait", one_pass.wait, per_step.wait),
+            ] {
+                assert!(
+                    (a - b).abs() < TOL,
+                    "{name}: {what} diverged: one-pass {a} vs per-step {b}"
+                );
+            }
+        }
+
+        // The cache covers the modeled phases too, in timeline order.
+        let names: Vec<&str> = tr.phase_comm.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "solver",
+                "marking",
+                "partition",
+                "reassignment",
+                "remap",
+                "subdivide"
+            ]
+        );
     }
 
     #[test]

@@ -73,6 +73,23 @@ pub struct CycleTraces {
     /// are absolute session times, so phases follow one another without
     /// per-phase clock resets.
     pub session: TraceLog,
+    /// Per-phase communication splits in phase-appearance order. On the
+    /// engine path this comes from **one** streaming pass over
+    /// [`CycleTraces::session`] ([`TraceLog::phase_breakdowns`]) and is
+    /// the source of the cached `*_comm` fields above; the reference path
+    /// fills it from its standalone per-phase traces (so only the
+    /// parsim-executed phases appear there).
+    pub phase_comm: Vec<(String, CommBreakdown)>,
+}
+
+impl CycleTraces {
+    /// The cached communication split of a named phase, if it ran.
+    pub fn phase(&self, name: &str) -> Option<&CommBreakdown> {
+        self.phase_comm
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
 }
 
 /// Everything one adaption cycle reports.
@@ -113,6 +130,58 @@ impl CycleReport {
     /// simultaneously *given its observed speed*.
     pub fn effective_imbalance(&self, per_rank_load: &[u64]) -> f64 {
         plum_partition::imbalance_weighted(per_rank_load, &self.capacity)
+    }
+
+    /// Emit this cycle's counters and gauges into a metrics sink (e.g. the
+    /// `plum-obs` registry). Counters accumulate across cycles; gauges
+    /// report the latest cycle. Names under the `info.` prefix are
+    /// informational — higher-is-better or host-wall-clock values the
+    /// benchmark regression gate must never treat as regressions.
+    pub fn emit_metrics(&self, sink: &mut dyn plum_parsim::MetricsSink) {
+        sink.inc_by("cycle.count", 1);
+        sink.inc_by("marking.sweeps", self.marking_sweeps as u64);
+        sink.inc_by("balance.repartitioned", self.decision.repartitioned as u64);
+        sink.inc_by("balance.accepted", self.decision.accepted as u64);
+        if let Some(m) = &self.migration {
+            sink.inc_by("migration.elems_moved", m.elems_moved);
+            sink.inc_by("migration.words_moved", m.words_moved);
+            sink.inc_by("migration.msgs", m.msgs);
+        }
+
+        let t = &self.times;
+        sink.set_gauge("phase.solver.seconds", t.solver);
+        sink.set_gauge("phase.marking.seconds", t.marking);
+        sink.set_gauge("phase.partition.seconds", t.partition);
+        // The reassignment's virtual time is its gather/scatter protocol;
+        // the mapper itself runs host-side and is wall-clock (not
+        // reproducible), so it goes out as informational.
+        sink.set_gauge(
+            "phase.reassignment.seconds",
+            self.decision.reassign_comm_time,
+        );
+        sink.set_gauge("info.phase.reassign.host_seconds", t.reassign);
+        sink.set_gauge("phase.remap.seconds", t.remap);
+        sink.set_gauge("phase.subdivide.seconds", t.subdivide);
+        sink.set_gauge("cycle.virtual_seconds", t.total() - t.reassign);
+
+        sink.set_gauge("balance.imbalance_new", self.decision.imbalance_new);
+        sink.set_gauge("balance.wmax_balanced", self.wmax_balanced as f64);
+        sink.set_gauge("info.balance.imbalance_old", self.decision.imbalance_old);
+        sink.set_gauge("info.balance.gain", self.decision.gain);
+        sink.set_gauge("info.balance.cost", self.decision.cost);
+        sink.set_gauge("info.balance.wmax_unbalanced", self.wmax_unbalanced as f64);
+        sink.set_gauge("info.cycle.growth", self.growth);
+
+        for (name, c) in &self.traces.phase_comm {
+            sink.set_gauge(&format!("phase.{name}.compute_seconds"), c.compute);
+            sink.set_gauge(&format!("phase.{name}.wire_seconds"), c.wire);
+            sink.set_gauge(&format!("phase.{name}.wait_seconds"), c.wait);
+            sink.inc_by(&format!("phase.{name}.msgs"), c.msgs);
+            sink.inc_by(&format!("phase.{name}.words"), c.words);
+        }
+        if !self.traces.session.events.is_empty() {
+            self.traces.session.summary().emit_metrics("session", sink);
+        }
     }
 }
 
@@ -365,21 +434,32 @@ impl Plum {
             .max()
             .unwrap();
 
+        let marking_comm = CommBreakdown::from_trace(&mark.trace);
+        let reassign_comm = decision
+            .reassign_trace
+            .as_ref()
+            .map(CommBreakdown::from_trace);
+        let remap_comm = migration
+            .as_ref()
+            .map(|m| CommBreakdown::from_trace(&m.trace));
+        let mut phase_comm = vec![("marking".to_string(), marking_comm)];
+        if let Some(c) = reassign_comm {
+            phase_comm.push(("reassignment".to_string(), c));
+        }
+        if let Some(c) = remap_comm {
+            phase_comm.push(("remap".to_string(), c));
+        }
         let traces = CycleTraces {
-            marking_comm: CommBreakdown::from_trace(&mark.trace),
+            marking_comm,
             marking: mark.trace,
             partition: None,
             partition_comm: None,
-            reassign_comm: decision
-                .reassign_trace
-                .as_ref()
-                .map(CommBreakdown::from_trace),
+            reassign_comm,
             reassign: decision.reassign_trace.clone(),
-            remap_comm: migration
-                .as_ref()
-                .map(|m| CommBreakdown::from_trace(&m.trace)),
+            remap_comm,
             remap: migration.as_ref().map(|m| m.trace.clone()),
             session: TraceLog::default(),
+            phase_comm,
         };
 
         // The reference path mutates the mesh and assignment without
@@ -556,6 +636,48 @@ mod tests {
         {
             assert!(plum_parsim::check_protocol(tr).is_empty());
         }
+    }
+
+    #[test]
+    fn cycle_report_emits_metrics() {
+        #[derive(Default)]
+        struct Sink {
+            counters: std::collections::BTreeMap<String, u64>,
+            gauges: std::collections::BTreeMap<String, f64>,
+            observations: usize,
+        }
+        impl plum_parsim::MetricsSink for Sink {
+            fn inc_by(&mut self, name: &str, delta: u64) {
+                *self.counters.entry(name.to_string()).or_default() += delta;
+            }
+            fn set_gauge(&mut self, name: &str, value: f64) {
+                self.gauges.insert(name.to_string(), value);
+            }
+            fn observe(&mut self, _name: &str, _value: f64) {
+                self.observations += 1;
+            }
+        }
+
+        let mut p = plum(4, 4);
+        let report = p.adaption_cycle(0.33, 0.1);
+        let mut s = Sink::default();
+        report.emit_metrics(&mut s);
+
+        assert_eq!(s.counters["cycle.count"], 1);
+        assert!(s.counters["phase.marking.msgs"] > 0);
+        assert_eq!(s.gauges["phase.marking.seconds"], report.times.marking);
+        assert!(s.gauges["cycle.virtual_seconds"] > 0.0);
+        assert!(
+            s.gauges.contains_key("info.balance.gain"),
+            "higher-is-better values go out under the info. prefix"
+        );
+        assert!(s.observations > 0, "session summary emits histograms");
+
+        // Counters accumulate across cycles; gauges report the latest.
+        let second = p.adaption_cycle(0.33, 0.1);
+        second.emit_metrics(&mut s);
+        assert_eq!(s.counters["cycle.count"], 2);
+        assert_eq!(s.gauges["phase.marking.seconds"], second.times.marking);
     }
 
     #[test]

@@ -127,6 +127,21 @@ impl CommBreakdown {
         }
     }
 
+    /// Build from a one-pass per-phase aggregate (see
+    /// [`TraceLog::phase_breakdowns`](plum_parsim::TraceLog::phase_breakdowns)):
+    /// the streaming-friendly path that avoids re-slicing the session log
+    /// per phase. Like [`CommBreakdown::from_trace`], injected fault time
+    /// is excluded (it is chaos accounting, not phase communication).
+    pub fn from_agg(agg: &plum_parsim::PhaseAgg) -> Self {
+        CommBreakdown {
+            compute: agg.compute,
+            wire: agg.wire,
+            wait: agg.wait,
+            msgs: agg.msgs,
+            words: agg.words,
+        }
+    }
+
     /// Total accounted rank-seconds of the phase.
     pub fn total(&self) -> f64 {
         self.compute + self.wire + self.wait

@@ -1,0 +1,487 @@
+//! Versioned `BENCH_<experiment>.json` reports and the regression gate.
+//!
+//! A [`BenchReport`] records one experiment run: schema version,
+//! experiment name, run metadata (P, mesh size, git sha — never compared),
+//! and a flat map of finite `f64` metrics (per-phase virtual times,
+//! critical-path length, comm counters). Virtual times are deterministic,
+//! so a committed report is an exact baseline.
+//!
+//! Metrics are cost-like by convention: **lower is better**, and
+//! [`compare`] flags `current > baseline · (1 + tol%)`. Values that are
+//! informational or higher-is-better (growth, gain, wall-clock host times)
+//! must be prefixed [`INFO_PREFIX`] — they are carried in the file but
+//! never gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{self, Value};
+use crate::registry::Registry;
+
+/// Schema identifier embedded in (and required of) every BENCH file.
+pub const BENCH_SCHEMA: &str = "plum-bench/v1";
+
+/// Metrics with this prefix are informational: emitted, shown, never
+/// compared.
+pub const INFO_PREFIX: &str = "info.";
+
+/// One metadata value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaValue {
+    Str(String),
+    Num(f64),
+}
+
+/// A BENCH report: one experiment's metrics plus run metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    pub experiment: String,
+    pub meta: BTreeMap<String, MetaValue>,
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Failure reading or validating a BENCH file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    Parse(json::ParseError),
+    Schema(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Parse(e) => write!(f, "{e}"),
+            BenchError::Schema(msg) => write!(f, "BENCH schema error: {msg}"),
+        }
+    }
+}
+
+impl BenchReport {
+    pub fn new(experiment: &str) -> Self {
+        BenchReport {
+            experiment: experiment.to_string(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Attach a string metadata field (e.g. `git_sha`, `scale`).
+    pub fn meta_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.meta
+            .insert(key.to_string(), MetaValue::Str(value.to_string()));
+        self
+    }
+
+    /// Attach a numeric metadata field (e.g. `nproc`, `elements`).
+    pub fn meta_num(&mut self, key: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "meta {key} must be finite, got {value}");
+        self.meta.insert(key.to_string(), MetaValue::Num(value));
+        self
+    }
+
+    /// Set one metric. Non-finite values are a bug in the emitter.
+    pub fn set(&mut self, name: &str, value: f64) -> &mut Self {
+        assert!(!name.is_empty(), "metric names must be non-empty");
+        assert!(
+            value.is_finite(),
+            "metric {name} must be finite, got {value}"
+        );
+        self.metrics.insert(name.to_string(), value);
+        self
+    }
+
+    /// Absorb every metric of a [`Registry`] (see
+    /// [`Registry::flat_metrics`]).
+    pub fn absorb_registry(&mut self, registry: &Registry) -> &mut Self {
+        for (name, value) in registry.flat_metrics() {
+            self.set(&name, value);
+        }
+        self
+    }
+
+    /// Check the report is emittable: named experiment, at least one
+    /// metric, everything finite (finiteness is enforced on insert; this
+    /// re-checks reports built by [`BenchReport::from_json`]).
+    pub fn validate(&self) -> Result<(), BenchError> {
+        if self.experiment.is_empty() {
+            return Err(BenchError::Schema("empty experiment name".into()));
+        }
+        if self.metrics.is_empty() {
+            return Err(BenchError::Schema("no metrics".into()));
+        }
+        for (name, value) in &self.metrics {
+            if name.is_empty() {
+                return Err(BenchError::Schema("empty metric name".into()));
+            }
+            if !value.is_finite() {
+                return Err(BenchError::Schema(format!(
+                    "metric {name} is not finite: {value}"
+                )));
+            }
+        }
+        for (key, value) in &self.meta {
+            if let MetaValue::Num(x) = value {
+                if !x.is_finite() {
+                    return Err(BenchError::Schema(format!("meta {key} is not finite: {x}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize deterministically (sorted keys, shortest-round-trip
+    /// numbers, 2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schema\": \"{}\",\n",
+            json::escape(BENCH_SCHEMA)
+        ));
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            json::escape(&self.experiment)
+        ));
+        out.push_str("  \"meta\": {");
+        let mut first = true;
+        for (k, v) in &self.meta {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            match v {
+                MetaValue::Str(s) => out.push_str(&format!(
+                    "    \"{}\": \"{}\"",
+                    json::escape(k),
+                    json::escape(s)
+                )),
+                MetaValue::Num(x) => out.push_str(&format!(
+                    "    \"{}\": {}",
+                    json::escape(k),
+                    json::fmt_f64(*x)
+                )),
+            }
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (k, v) in &self.metrics {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!(
+                "    \"{}\": {}",
+                json::escape(k),
+                json::fmt_f64(*v)
+            ));
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse and schema-check a BENCH document.
+    pub fn from_json(text: &str) -> Result<Self, BenchError> {
+        let doc = json::parse(text).map_err(BenchError::Parse)?;
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| BenchError::Schema("document is not an object".into()))?;
+        let schema = obj
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| BenchError::Schema("missing \"schema\" field".into()))?;
+        if schema != BENCH_SCHEMA {
+            return Err(BenchError::Schema(format!(
+                "unsupported schema {schema:?} (want {BENCH_SCHEMA:?})"
+            )));
+        }
+        let experiment = obj
+            .get("experiment")
+            .and_then(Value::as_str)
+            .ok_or_else(|| BenchError::Schema("missing \"experiment\" field".into()))?
+            .to_string();
+        let mut report = BenchReport::new(&experiment);
+        if let Some(meta) = obj.get("meta") {
+            let meta = meta
+                .as_obj()
+                .ok_or_else(|| BenchError::Schema("\"meta\" is not an object".into()))?;
+            for (k, v) in meta {
+                let mv = match v {
+                    Value::Str(s) => MetaValue::Str(s.clone()),
+                    Value::Num(x) => MetaValue::Num(*x),
+                    other => {
+                        return Err(BenchError::Schema(format!(
+                            "meta {k} has unsupported type: {other:?}"
+                        )))
+                    }
+                };
+                report.meta.insert(k.clone(), mv);
+            }
+        }
+        let metrics = obj
+            .get("metrics")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| BenchError::Schema("missing \"metrics\" object".into()))?;
+        for (k, v) in metrics {
+            let x = v
+                .as_num()
+                .ok_or_else(|| BenchError::Schema(format!("metric {k} is not a number: {v:?}")))?;
+            report.metrics.insert(k.clone(), x);
+        }
+        report.validate()?;
+        Ok(report)
+    }
+}
+
+/// One metric that moved between two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    pub name: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// `current / baseline` (`inf` when the baseline is zero).
+    pub ratio: f64,
+}
+
+/// Result of diffing two BENCH reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    pub tolerance_pct: f64,
+    /// Tracked metrics that grew beyond tolerance — the gate failures.
+    pub regressions: Vec<MetricDelta>,
+    /// Tracked metrics that shrank beyond tolerance (reported, never fail).
+    pub improvements: Vec<MetricDelta>,
+    /// Tracked metrics within tolerance.
+    pub unchanged: usize,
+    /// Tracked baseline metrics absent from the current report (a silently
+    /// dropped metric must fail the gate, or regressions could hide).
+    pub missing_in_current: Vec<String>,
+    /// Tracked current metrics with no baseline (informational).
+    pub new_in_current: Vec<String>,
+}
+
+impl CompareReport {
+    /// The gate verdict: no regressions and no dropped metrics.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing_in_current.is_empty()
+    }
+
+    /// Human-readable verdict for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench compare (tolerance {}%): {} regressed, {} improved, {} unchanged\n",
+            self.tolerance_pct,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged
+        );
+        for d in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION  {}: {} -> {} ({:+.2}%)\n",
+                d.name,
+                d.baseline,
+                d.current,
+                (d.ratio - 1.0) * 100.0
+            ));
+        }
+        for name in &self.missing_in_current {
+            out.push_str(&format!(
+                "  MISSING     {name}: dropped from current report\n"
+            ));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!(
+                "  improvement {}: {} -> {} ({:+.2}%)\n",
+                d.name,
+                d.baseline,
+                d.current,
+                (d.ratio - 1.0) * 100.0
+            ));
+        }
+        for name in &self.new_in_current {
+            out.push_str(&format!("  new         {name} (no baseline)\n"));
+        }
+        out.push_str(if self.passed() { "PASS\n" } else { "FAIL\n" });
+        out
+    }
+}
+
+/// Diff two reports. Only tracked metrics (no [`INFO_PREFIX`]) gate;
+/// lower is better; a tracked metric regresses when
+/// `current > baseline · (1 + tolerance_pct/100) + 1e-12`.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64) -> CompareReport {
+    let tol = tolerance_pct / 100.0;
+    let mut report = CompareReport {
+        tolerance_pct,
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        unchanged: 0,
+        missing_in_current: Vec::new(),
+        new_in_current: Vec::new(),
+    };
+    for (name, &base) in &baseline.metrics {
+        if name.starts_with(INFO_PREFIX) {
+            continue;
+        }
+        let Some(&cur) = current.metrics.get(name) else {
+            report.missing_in_current.push(name.clone());
+            continue;
+        };
+        let ratio = if base == 0.0 {
+            if cur.abs() <= 1e-12 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            cur / base
+        };
+        let delta = MetricDelta {
+            name: name.clone(),
+            baseline: base,
+            current: cur,
+            ratio,
+        };
+        if cur > base * (1.0 + tol) + 1e-12 {
+            report.regressions.push(delta);
+        } else if cur < base * (1.0 - tol) - 1e-12 {
+            report.improvements.push(delta);
+        } else {
+            report.unchanged += 1;
+        }
+    }
+    for name in current.metrics.keys() {
+        if !name.starts_with(INFO_PREFIX) && !baseline.metrics.contains_key(name) {
+            report.new_in_current.push(name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("fig6");
+        r.meta_str("git_sha", "abc1234")
+            .meta_num("nproc", 64.0)
+            .set("phase.solver.seconds", 1.5)
+            .set("phase.remap.seconds", 0.25)
+            .set("comm.msgs", 1200.0)
+            .set("info.cycle.growth", 1.33);
+        r
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        // Deterministic bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(matches!(
+            BenchReport::from_json("{}"),
+            Err(BenchError::Schema(_))
+        ));
+        assert!(matches!(
+            BenchReport::from_json("not json"),
+            Err(BenchError::Parse(_))
+        ));
+        let wrong_schema = sample().to_json().replace("plum-bench/v1", "plum-bench/v0");
+        assert!(matches!(
+            BenchReport::from_json(&wrong_schema),
+            Err(BenchError::Schema(_))
+        ));
+        let bad_metric = sample().to_json().replace("1200", "\"1200\"");
+        assert!(BenchReport::from_json(&bad_metric).is_err());
+        assert!(BenchReport::new("x").validate().is_err(), "no metrics");
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = sample();
+        let cmp = compare(&r, &r, 5.0);
+        assert!(cmp.passed());
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.unchanged, 3, "info. metric is not tracked");
+    }
+
+    #[test]
+    fn ten_percent_slowdown_fails_the_five_percent_gate() {
+        let base = sample();
+        let mut cur = sample();
+        let slowed = cur.metrics["phase.remap.seconds"] * 1.10;
+        cur.set("phase.remap.seconds", slowed);
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].name, "phase.remap.seconds");
+        assert!((cmp.regressions[0].ratio - 1.10).abs() < 1e-9);
+        assert!(cmp.render().contains("FAIL"));
+        // The same slowdown passes a looser gate.
+        assert!(compare(&base, &cur, 15.0).passed());
+    }
+
+    #[test]
+    fn info_metrics_never_gate() {
+        let base = sample();
+        let mut cur = sample();
+        cur.set("info.cycle.growth", 99.0);
+        assert!(compare(&base, &cur, 5.0).passed());
+    }
+
+    #[test]
+    fn dropped_tracked_metric_fails() {
+        let base = sample();
+        let mut cur = sample();
+        cur.metrics.remove("comm.msgs");
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing_in_current, vec!["comm.msgs".to_string()]);
+        assert!(cmp.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn improvements_and_new_metrics_pass() {
+        let base = sample();
+        let mut cur = sample();
+        cur.set("phase.remap.seconds", 0.1); // 2.5× faster
+        cur.set("phase.subdivide.seconds", 0.01); // new metric
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(
+            cmp.new_in_current,
+            vec!["phase.subdivide.seconds".to_string()]
+        );
+        let text = cmp.render();
+        assert!(text.contains("improvement"));
+        assert!(text.contains("PASS"));
+    }
+
+    #[test]
+    fn zero_baseline_growth_is_a_regression() {
+        let mut base = BenchReport::new("x");
+        base.set("comm.msgs", 0.0);
+        let mut cur = BenchReport::new("x");
+        cur.set("comm.msgs", 5.0);
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].ratio.is_infinite());
+        // Zero stays zero: fine.
+        assert!(compare(&base, &base, 5.0).passed());
+    }
+
+    #[test]
+    fn absorbs_registry_metrics() {
+        let mut reg = Registry::new();
+        use plum_parsim::MetricsSink;
+        reg.inc_by("comm.msgs", 7);
+        reg.set_gauge("phase.solver.seconds", 2.0);
+        let mut r = BenchReport::new("t");
+        r.absorb_registry(&reg);
+        assert_eq!(r.metrics["comm.msgs"], 7.0);
+        assert_eq!(r.metrics["phase.solver.seconds"], 2.0);
+    }
+}

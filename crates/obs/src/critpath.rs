@@ -1,0 +1,658 @@
+//! Cross-rank critical-path analysis.
+//!
+//! A [`TraceLog`](plum_parsim::TraceLog) induces a happens-before graph:
+//! each rank's events are serially ordered on its own virtual clock, and
+//! every matched send/recv pair adds a cross-rank edge (the receive cannot
+//! complete before the payload left the sender). The **critical path** is
+//! the longest dependency chain ending at the latest event in the log —
+//! the simulator-exact analogue of the paper's bottleneck analysis: it
+//! names which rank the makespan was spent on, and whether that time was
+//! compute, wire, injected faults, or unattributable idle.
+//!
+//! The walk is backward from the global end:
+//!
+//! * a compute / send / fault span was binding on its own rank — account it
+//!   and step to the previous event;
+//! * a receive that *waited* was bound by the sender: the flight time is
+//!   charged as wire on the sender's rank and the walk jumps to the
+//!   matching send (FIFO channel pairing, see
+//!   [`TraceLog::message_edges`](plum_parsim::TraceLog::message_edges));
+//! * a step-boundary sync was bound by the slowest rank of the step: the
+//!   walk jumps to the event on another rank that ends exactly where the
+//!   sync ends (rank clocks are aligned by `advance_to`, so the match is
+//!   exact; unmatched syncs degrade to local wait).
+//!
+//! Because every clock charge records exactly one event (the 1e-9
+//! accounting invariant), the walked segments tile the timeline and the
+//! path length equals the log's makespan.
+
+use plum_parsim::{MessageEdge, TraceEvent, TraceLog};
+use std::collections::HashMap;
+
+/// Exact-alignment slack for cross-rank time matching. Clock alignment
+/// uses `advance_to` (bit-exact), so this is purely defensive.
+const EPS: f64 = 1e-12;
+
+/// What kind of time a path segment is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Local computation (modeled or charged work).
+    Compute,
+    /// Send startup or in-flight transfer time, attributed to the sender.
+    Wire,
+    /// Idle with no identifiable upstream dependency.
+    Wait,
+    /// Injected fault time (chaos stalls).
+    Injected,
+}
+
+impl SegmentKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Wire => "wire",
+            SegmentKind::Wait => "wait",
+            SegmentKind::Injected => "injected",
+        }
+    }
+}
+
+/// One segment of the critical path: `[start, end]` of `kind` time on
+/// `rank`'s timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSegment {
+    pub rank: usize,
+    pub kind: SegmentKind,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl PathSegment {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The longest dependency chain of a log, in chronological order, with its
+/// time split by segment kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CriticalPath {
+    pub segments: Vec<PathSegment>,
+    /// Where the chain starts / ends on the global virtual timeline.
+    pub start: f64,
+    pub end: f64,
+    pub compute: f64,
+    pub wire: f64,
+    pub wait: f64,
+    pub injected: f64,
+    /// Timeline not covered by any segment (0.0 on gap-free logs).
+    pub unattributed: f64,
+}
+
+impl CriticalPath {
+    /// Total path length. On a gap-free log this equals `end - start`
+    /// (and, for a full log, the makespan) to the accounting tolerance.
+    pub fn length(&self) -> f64 {
+        self.compute + self.wire + self.wait + self.injected + self.unattributed
+    }
+
+    /// Plain-text report: the split, then the chain.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "critical path: {:.3}us over {} segments \
+             (compute {:.3}us, wire {:.3}us, wait {:.3}us, injected {:.3}us)\n",
+            self.length() * 1e6,
+            self.segments.len(),
+            self.compute * 1e6,
+            self.wire * 1e6,
+            self.wait * 1e6,
+            self.injected * 1e6,
+        );
+        for s in &self.segments {
+            out.push_str(&format!(
+                "  rank {:>3}  {:<8} {:>12.3}..{:<12.3}us  {:>10.3}us\n",
+                s.rank,
+                s.kind.name(),
+                s.start * 1e6,
+                s.end * 1e6,
+                s.duration() * 1e6
+            ));
+        }
+        out
+    }
+}
+
+/// True for events that occupy clock time (positive-length spans).
+fn is_span(ev: &TraceEvent) -> bool {
+    matches!(
+        ev,
+        TraceEvent::Compute { .. }
+            | TraceEvent::Send { .. }
+            | TraceEvent::Recv { .. }
+            | TraceEvent::Sync { .. }
+            | TraceEvent::Fault { .. }
+    ) && ev.end_time() - ev.time() > 0.0
+}
+
+/// Find the event on some rank `!= skip_rank` that ends at `target` and is
+/// a real span (not a sync — a sync's own end was imposed by someone
+/// else). Returns `(rank, event_index)`.
+fn donor_at(log: &TraceLog, target: f64, skip_rank: usize) -> Option<(usize, usize)> {
+    for (rank, stream) in log.events.iter().enumerate() {
+        if rank == skip_rank {
+            continue;
+        }
+        // Per-stream end times are nondecreasing (the clock is monotone),
+        // so binary search for the window ending near `target`.
+        let hi = stream.partition_point(|e| e.end_time() <= target + EPS);
+        let mut i = hi;
+        while i > 0 {
+            i -= 1;
+            let ev = &stream[i];
+            if ev.end_time() < target - EPS {
+                break;
+            }
+            if is_span(ev) && !matches!(ev, TraceEvent::Sync { .. }) {
+                return Some((rank, i));
+            }
+        }
+    }
+    None
+}
+
+/// Walk the happens-before graph backward from the latest event and return
+/// the critical path. See the module docs for the walk rules.
+pub fn critical_path(log: &TraceLog) -> CriticalPath {
+    let mut path = CriticalPath::default();
+    // Start point: the globally latest span event. Ties prefer a non-sync
+    // event (the rank that actually ran until the end), then lower rank.
+    let mut start: Option<(usize, usize)> = None;
+    let mut best_end = f64::NEG_INFINITY;
+    for (rank, stream) in log.events.iter().enumerate() {
+        for (i, ev) in stream.iter().enumerate() {
+            if !is_span(ev) {
+                continue;
+            }
+            let end = ev.end_time();
+            let better = end > best_end + EPS
+                || ((end - best_end).abs() <= EPS
+                    && !matches!(ev, TraceEvent::Sync { .. })
+                    && start
+                        .map(|(r, j)| matches!(log.events[r][j], TraceEvent::Sync { .. }))
+                        .unwrap_or(false));
+            if better {
+                best_end = end;
+                start = Some((rank, i));
+            }
+        }
+    }
+    let Some((mut rank, mut idx)) = start else {
+        return path;
+    };
+    path.end = best_end;
+
+    // Matched message edges, addressable by the receive they end at.
+    let edges: HashMap<(usize, usize), MessageEdge> = log
+        .message_edges()
+        .into_iter()
+        .map(|e| ((e.dst, e.recv_event), e))
+        .collect();
+
+    let total_events: usize = log.events.iter().map(|s| s.len()).sum();
+    let mut fuel = total_events * 2 + 64;
+    let mut cur_t = best_end;
+    let mut segments: Vec<PathSegment> = Vec::new();
+    let push = |segments: &mut Vec<PathSegment>, seg: PathSegment, bucket: &mut f64| {
+        if seg.duration() > 0.0 {
+            *bucket += seg.duration();
+            segments.push(seg);
+        }
+    };
+
+    'walk: loop {
+        if fuel == 0 {
+            debug_assert!(false, "critical-path walk ran out of fuel");
+            break;
+        }
+        fuel -= 1;
+        let Some(ev) = log.events[rank].get(idx) else {
+            break;
+        };
+        if !is_span(ev) {
+            if idx == 0 {
+                break;
+            }
+            idx -= 1;
+            continue;
+        }
+        // A gap between the accounted-down-to time and this event's end
+        // can only come from dropped events; track it so length() still
+        // reconciles (0.0 on gap-free logs).
+        let end = ev.end_time();
+        if end < cur_t - EPS {
+            path.unattributed += cur_t - end;
+        }
+        cur_t = cur_t.min(end);
+        match ev {
+            TraceEvent::Compute { start, .. } => {
+                push(
+                    &mut segments,
+                    PathSegment {
+                        rank,
+                        kind: SegmentKind::Compute,
+                        start: *start,
+                        end: cur_t,
+                    },
+                    &mut path.compute,
+                );
+                cur_t = *start;
+            }
+            TraceEvent::Send { start, .. } => {
+                push(
+                    &mut segments,
+                    PathSegment {
+                        rank,
+                        kind: SegmentKind::Wire,
+                        start: *start,
+                        end: cur_t,
+                    },
+                    &mut path.wire,
+                );
+                cur_t = *start;
+            }
+            TraceEvent::Fault { start, .. } => {
+                push(
+                    &mut segments,
+                    PathSegment {
+                        rank,
+                        kind: SegmentKind::Injected,
+                        start: *start,
+                        end: cur_t,
+                    },
+                    &mut path.injected,
+                );
+                cur_t = *start;
+            }
+            TraceEvent::Recv { posted, .. } => {
+                if let Some(edge) = edges.get(&(rank, idx)) {
+                    // The sender was binding: flight time is wire on the
+                    // sender's rank, then continue from its send.
+                    push(
+                        &mut segments,
+                        PathSegment {
+                            rank: edge.src,
+                            kind: SegmentKind::Wire,
+                            start: edge.send_end,
+                            end: cur_t,
+                        },
+                        &mut path.wire,
+                    );
+                    cur_t = cur_t.min(edge.send_end);
+                    rank = edge.src;
+                    idx = edge.send_event;
+                    continue 'walk;
+                }
+                // Unmatched receive (cross-phase message or truncated log):
+                // degrade to local wait.
+                push(
+                    &mut segments,
+                    PathSegment {
+                        rank,
+                        kind: SegmentKind::Wait,
+                        start: *posted,
+                        end: cur_t,
+                    },
+                    &mut path.wait,
+                );
+                cur_t = *posted;
+            }
+            TraceEvent::Sync { start, end } => {
+                if let Some((donor, di)) = donor_at(log, *end, rank) {
+                    // The slowest rank of the step was binding.
+                    rank = donor;
+                    idx = di;
+                    continue 'walk;
+                }
+                push(
+                    &mut segments,
+                    PathSegment {
+                        rank,
+                        kind: SegmentKind::Wait,
+                        start: *start,
+                        end: cur_t,
+                    },
+                    &mut path.wait,
+                );
+                cur_t = *start;
+            }
+            _ => unreachable!("is_span admits only clock-charging events"),
+        }
+        if idx == 0 {
+            break;
+        }
+        idx -= 1;
+    }
+    path.start = cur_t;
+    segments.reverse();
+    path.segments = segments;
+    path
+}
+
+/// Critical path of one named phase: the walk runs on
+/// [`TraceLog::phase_slice`], so its length equals the phase's elapsed
+/// virtual time (max `PhaseEnd` − min `PhaseBegin`) on gap-free logs.
+pub fn phase_critical_path(log: &TraceLog, name: &str) -> CriticalPath {
+    critical_path(&log.phase_slice(name))
+}
+
+/// The `k` message edges with the largest receiver wait, heaviest first.
+/// Deterministic tie-breaking by completion time, then source, then
+/// destination.
+pub fn heaviest_edges(log: &TraceLog, k: usize) -> Vec<MessageEdge> {
+    let mut edges: Vec<MessageEdge> = log
+        .message_edges()
+        .into_iter()
+        .filter(|e| e.wait > 0.0)
+        .collect();
+    edges.sort_by(|a, b| {
+        b.wait
+            .partial_cmp(&a.wait)
+            .unwrap()
+            .then(a.recv_completed.partial_cmp(&b.recv_completed).unwrap())
+            .then(a.src.cmp(&b.src))
+            .then(a.dst.cmp(&b.dst))
+    });
+    edges.truncate(k);
+    edges
+}
+
+/// Text report of [`heaviest_edges`].
+pub fn render_heaviest_edges(edges: &[MessageEdge]) -> String {
+    let mut out = String::from("heaviest message waits:\n");
+    if edges.is_empty() {
+        out.push_str("  (none — no receive waited)\n");
+        return out;
+    }
+    for e in edges {
+        out.push_str(&format!(
+            "  {:>3} -> {:<3} tag={:<6} words={:<8} wait {:>10.3}us  (phase {})\n",
+            e.src,
+            e.dst,
+            e.tag,
+            e.words,
+            e.wait * 1e6,
+            e.phase.as_deref().unwrap_or("-"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plum_parsim::{spmd, MachineModel, Session};
+
+    fn compute(start: f64, end: f64) -> TraceEvent {
+        TraceEvent::Compute { start, end }
+    }
+
+    fn send(start: f64, end: f64, peer: usize, tag: u64, arrival: f64) -> TraceEvent {
+        TraceEvent::Send {
+            start,
+            end,
+            peer,
+            tag,
+            words: 10,
+            arrival,
+        }
+    }
+
+    fn recv(posted: f64, completed: f64, peer: usize, tag: u64) -> TraceEvent {
+        TraceEvent::Recv {
+            posted,
+            completed,
+            peer,
+            tag,
+            words: 10,
+            wait: completed - posted,
+        }
+    }
+
+    fn seg(rank: usize, kind: SegmentKind, start: f64, end: f64) -> PathSegment {
+        PathSegment {
+            rank,
+            kind,
+            start,
+            end,
+        }
+    }
+
+    /// Serial chain 0 → 1 → 2: every segment is on the path, in order.
+    #[test]
+    fn serial_chain_exact_membership() {
+        let log = TraceLog {
+            events: vec![
+                vec![compute(0.0, 1.0), send(1.0, 1.5, 1, 1, 2.0)],
+                vec![
+                    recv(0.0, 2.0, 0, 1),
+                    compute(2.0, 3.0),
+                    send(3.0, 3.5, 2, 2, 4.0),
+                ],
+                vec![recv(0.0, 4.0, 1, 2), compute(4.0, 5.0)],
+            ],
+        };
+        let path = critical_path(&log);
+        use SegmentKind::*;
+        assert_eq!(
+            path.segments,
+            vec![
+                seg(0, Compute, 0.0, 1.0),
+                seg(0, Wire, 1.0, 1.5),
+                seg(0, Wire, 1.5, 2.0), // flight into rank 1, on sender 0
+                seg(1, Compute, 2.0, 3.0),
+                seg(1, Wire, 3.0, 3.5),
+                seg(1, Wire, 3.5, 4.0),
+                seg(2, Compute, 4.0, 5.0),
+            ]
+        );
+        assert!((path.length() - 5.0).abs() < 1e-12);
+        assert!((path.compute - 3.0).abs() < 1e-12);
+        assert!((path.wire - 2.0).abs() < 1e-12);
+        assert_eq!(path.wait, 0.0);
+        assert_eq!(path.unattributed, 0.0);
+        assert_eq!((path.start, path.end), (0.0, 5.0));
+    }
+
+    /// Fork-join: rank 0 fans out to 1 (short work) and 2 (long work), then
+    /// joins. The path must run through rank 2 and never touch rank 1.
+    #[test]
+    fn fork_join_follows_long_branch() {
+        let log = TraceLog {
+            events: vec![
+                vec![
+                    compute(0.0, 1.0),
+                    send(1.0, 1.2, 1, 1, 1.3),
+                    send(1.2, 1.4, 2, 2, 1.4),
+                    recv(1.4, 2.0, 1, 3),
+                    recv(2.0, 3.6, 2, 4),
+                    compute(3.6, 4.0),
+                ],
+                vec![
+                    recv(0.0, 1.3, 0, 1),
+                    compute(1.3, 1.8),
+                    send(1.8, 1.9, 0, 3, 2.0),
+                ],
+                vec![
+                    recv(0.0, 1.4, 0, 2),
+                    compute(1.4, 3.4),
+                    send(3.4, 3.5, 0, 4, 3.6),
+                ],
+            ],
+        };
+        let path = critical_path(&log);
+        assert!(
+            path.segments.iter().all(|s| s.rank != 1),
+            "the short branch must not be on the path: {path:?}"
+        );
+        assert!(
+            path.segments
+                .iter()
+                .any(|s| s.rank == 2 && s.kind == SegmentKind::Compute && s.duration() == 2.0),
+            "the long compute is the bottleneck: {path:?}"
+        );
+        assert!((path.length() - 4.0).abs() < 1e-12);
+        assert!((path.compute - 3.4).abs() < 1e-12);
+        assert!((path.wire - 0.6).abs() < 1e-12);
+        assert_eq!(path.wait, 0.0);
+    }
+
+    /// A blocked receive is attributed through the sender: the receiver's
+    /// wait shows up as sender-side compute + wire, never as path wait.
+    #[test]
+    fn blocked_recv_chain_charges_the_sender() {
+        let log = TraceLog {
+            events: vec![
+                vec![compute(0.0, 3.0), send(3.0, 3.5, 1, 1, 4.0)],
+                vec![recv(0.0, 4.0, 0, 1)],
+            ],
+        };
+        let path = critical_path(&log);
+        use SegmentKind::*;
+        assert_eq!(
+            path.segments,
+            vec![
+                seg(0, Compute, 0.0, 3.0),
+                seg(0, Wire, 3.0, 3.5),
+                seg(0, Wire, 3.5, 4.0),
+            ]
+        );
+        assert!((path.length() - 4.0).abs() < 1e-12);
+        assert_eq!(path.wait, 0.0, "waiting is someone else's busy time");
+    }
+
+    /// An unmatched receive (no send in the log) degrades to local wait.
+    #[test]
+    fn unmatched_recv_falls_back_to_wait() {
+        let log = TraceLog {
+            events: vec![vec![recv(0.0, 2.0, 0, 9), compute(2.0, 2.5)]],
+        };
+        let path = critical_path(&log);
+        assert!((path.length() - 2.5).abs() < 1e-12);
+        assert!((path.wait - 2.0).abs() < 1e-12);
+    }
+
+    /// Collective barrier on a real run: the slow rank's compute dominates
+    /// and the path length equals the makespan to the accounting tolerance.
+    #[test]
+    fn barrier_path_length_is_makespan_and_compute_is_the_slow_rank() {
+        let results = spmd(4, MachineModel::sp2(), |comm| {
+            if comm.rank() == 2 {
+                comm.advance(5.0);
+            }
+            comm.barrier();
+        });
+        let makespan = plum_parsim::makespan(&results);
+        let log = TraceLog::from_results(&results);
+        let path = critical_path(&log);
+        assert!(
+            (path.length() - makespan).abs() < 1e-9,
+            "length {} vs makespan {makespan}",
+            path.length()
+        );
+        // All compute on the path is the slow rank's 5 s (collectives
+        // charge no compute).
+        assert!((path.compute - 5.0).abs() < 1e-9, "{path:?}");
+        assert!(path
+            .segments
+            .iter()
+            .all(|s| s.kind != SegmentKind::Compute || s.rank == 2));
+        assert_eq!(path.unattributed, 0.0);
+    }
+
+    /// Step-boundary syncs jump to the slowest rank of the step.
+    #[test]
+    fn sync_jumps_to_step_bottleneck_rank() {
+        let mut sess = Session::new(2, MachineModel::sp2());
+        // Step 1: rank 1 is the bottleneck, rank 0 gets a Sync(1..3).
+        let s1 = sess.run(vec![(), ()], |comm, ()| {
+            comm.advance(if comm.rank() == 1 { 3.0 } else { 1.0 });
+        });
+        // Step 2: both ranks work one more second.
+        let s2 = sess.run(vec![(), ()], |comm, ()| {
+            comm.advance(1.0);
+        });
+        // Merge both steps' event streams per rank into one log.
+        let mut log = TraceLog {
+            events: vec![Vec::new(); 2],
+        };
+        for res in s1.into_iter().chain(s2) {
+            let rank = res.rank;
+            log.events[rank].extend(res.events);
+        }
+        let path = critical_path(&log);
+        assert!((path.length() - 4.0).abs() < 1e-12, "{path:?}");
+        // Rank 0's sync (1..3) must resolve to rank 1's compute, so the
+        // path has no wait at all.
+        assert_eq!(path.wait, 0.0, "{path:?}");
+        assert!((path.compute - 4.0).abs() < 1e-12);
+        assert!(path
+            .segments
+            .iter()
+            .any(|s| s.rank == 1 && s.duration() == 3.0));
+    }
+
+    /// Phase slices: per-phase path length equals the phase's elapsed time.
+    #[test]
+    fn phase_critical_path_matches_phase_elapsed() {
+        let results = spmd(3, MachineModel::sp2(), |comm| {
+            comm.phase("work", |c| {
+                c.compute(100.0 * (c.rank() + 1) as f64);
+                c.barrier();
+            });
+        });
+        let log = TraceLog::from_results(&results);
+        let aggs = log.phase_breakdowns();
+        let agg = aggs.iter().find(|a| a.name == "work").unwrap();
+        let path = phase_critical_path(&log, "work");
+        assert!(
+            (path.length() - agg.elapsed()).abs() < 1e-9,
+            "path {} vs elapsed {}",
+            path.length(),
+            agg.elapsed()
+        );
+    }
+
+    #[test]
+    fn heaviest_edges_sorted_and_rendered() {
+        let log = TraceLog {
+            events: vec![
+                vec![
+                    compute(0.0, 1.0),
+                    send(1.0, 1.1, 1, 1, 3.0),
+                    send(1.1, 1.2, 1, 2, 1.5),
+                ],
+                vec![recv(0.0, 3.0, 0, 1), recv(3.0, 3.0, 0, 2)],
+            ],
+        };
+        let edges = heaviest_edges(&log, 5);
+        assert_eq!(edges.len(), 1, "zero-wait edges are dropped");
+        assert_eq!(edges[0].tag, 1);
+        assert!((edges[0].wait - 3.0).abs() < 1e-12);
+        let text = render_heaviest_edges(&edges);
+        assert!(text.contains("0 -> 1"), "{text}");
+        let empty = render_heaviest_edges(&[]);
+        assert!(empty.contains("none"));
+    }
+
+    #[test]
+    fn render_names_every_bucket() {
+        let log = TraceLog {
+            events: vec![vec![compute(0.0, 1.0)]],
+        };
+        let path = critical_path(&log);
+        let text = path.render();
+        assert!(text.contains("critical path"));
+        assert!(text.contains("compute"));
+        assert!(text.contains("rank   0"));
+    }
+}

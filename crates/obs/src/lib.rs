@@ -1,0 +1,33 @@
+//! # plum-obs — observability for PLUM simulations
+//!
+//! Turns the `plum-parsim` trace stream into actionable numbers:
+//!
+//! * [`Registry`] — a typed metrics registry (counters, gauges,
+//!   virtual-time histograms) implementing
+//!   [`MetricsSink`](plum_parsim::MetricsSink), the hook interface the
+//!   simulator and the cycle engine emit into;
+//! * [`critical_path`] / [`phase_critical_path`] — a cross-rank
+//!   critical-path analyzer that walks the happens-before graph induced by
+//!   matched send/recv pairs in a [`TraceLog`](plum_parsim::TraceLog) and
+//!   reports the longest dependency chain (which rank, which kind of time —
+//!   compute vs wire vs wait), plus [`heaviest_edges`] for the top-k most
+//!   expensive message waits;
+//! * [`BenchReport`] — a versioned, schema-validated `BENCH_<experiment>.json`
+//!   format (per-phase virtual times, critical-path length, comm counters,
+//!   run metadata) with a [`compare`] function that diffs two reports and
+//!   flags regressions beyond a tolerance — the regression gate CI runs.
+
+pub mod bench;
+pub mod critpath;
+pub mod json;
+pub mod registry;
+
+pub use bench::{
+    compare, BenchError, BenchReport, CompareReport, MetaValue, MetricDelta, BENCH_SCHEMA,
+    INFO_PREFIX,
+};
+pub use critpath::{
+    critical_path, heaviest_edges, phase_critical_path, render_heaviest_edges, CriticalPath,
+    PathSegment, SegmentKind,
+};
+pub use registry::{Histogram, Registry};

@@ -1,0 +1,216 @@
+//! Typed metrics registry.
+//!
+//! [`Registry`] implements [`MetricsSink`], the hook interface
+//! `plum-parsim` and `plum-core` emit into. Three metric types:
+//!
+//! * **counters** — monotonically increasing `u64` (messages, words,
+//!   cycles, accepted rebalances);
+//! * **gauges** — last-write-wins `f64` (per-phase virtual seconds,
+//!   imbalance factors);
+//! * **histograms** — log-bucketed virtual-time distributions
+//!   (per-rank waits, per-rank elapsed).
+//!
+//! Everything is `BTreeMap`-backed, so rendering and
+//! [`Registry::flat_metrics`] are deterministic.
+
+use std::collections::BTreeMap;
+
+use plum_parsim::MetricsSink;
+
+/// Log-scaled histogram for virtual-time observations. Buckets are powers
+/// of two starting at 1 µs (`1e-6 · 2^i`); values below the first bound go
+/// into bucket 0, values beyond the last into the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// `buckets[i]` counts observations `<=` the i-th upper bound.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Number of finite buckets (1 µs · 2^0 .. 2^39 ≈ 152 h) + 1 overflow.
+const HIST_BUCKETS: usize = 40;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Upper bound of finite bucket `i`, in seconds.
+    pub fn bound(i: usize) -> f64 {
+        1e-6 * (1u64 << i) as f64
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = (0..HIST_BUCKETS)
+            .find(|&i| value <= Self::bound(i))
+            .unwrap_or(HIST_BUCKETS);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The metrics registry: a [`MetricsSink`] that stores everything it is
+/// handed, keyed by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Flatten every metric to `name → f64`: counters as-is, gauges as-is,
+    /// histograms as `name.count` / `name.sum` / `name.max`. This is the
+    /// set a [`crate::BenchReport`] absorbs.
+    pub fn flat_metrics(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (k, &v) in &self.counters {
+            out.insert(k.clone(), v as f64);
+        }
+        for (k, &v) in &self.gauges {
+            out.insert(k.clone(), v);
+        }
+        for (k, h) in &self.histograms {
+            out.insert(format!("{k}.count"), h.count as f64);
+            out.insert(format!("{k}.sum"), h.sum);
+            if h.count > 0 {
+                out.insert(format!("{k}.max"), h.max);
+            }
+        }
+        out
+    }
+
+    /// Human-readable dump, one metric per line, sorted by name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter  {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge    {k} = {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist     {k}: count={} mean={:.3e} min={:.3e} max={:.3e}\n",
+                h.count,
+                h.mean(),
+                if h.count > 0 { h.min } else { 0.0 },
+                if h.count > 0 { h.max } else { 0.0 },
+            ));
+        }
+        out
+    }
+}
+
+impl MetricsSink for Registry {
+    fn inc_by(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_default() += delta;
+    }
+
+    fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = Registry::new();
+        r.inc_by("c.msgs", 3);
+        r.inc_by("c.msgs", 4);
+        r.set_gauge("g.time", 1.0);
+        r.set_gauge("g.time", 2.5);
+        assert_eq!(r.counter("c.msgs"), 7);
+        assert_eq!(r.counter("c.other"), 0);
+        assert_eq!(r.gauge("g.time"), Some(2.5));
+        assert_eq!(r.gauge("g.missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut r = Registry::new();
+        for v in [1e-7, 1e-6, 5e-3, 2.0, 1e9] {
+            r.observe("h.wait", v);
+        }
+        let h = r.histogram("h.wait").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1e-7);
+        assert_eq!(h.max, 1e9);
+        assert!((h.sum - (1e-7 + 1e-6 + 5e-3 + 2.0 + 1e9)).abs() < 1e-3);
+        // Sub-microsecond lands in bucket 0; the huge value overflows.
+        assert_eq!(h.buckets[0], 2, "1e-7 and the exact 1e-6 bound");
+        assert_eq!(*h.buckets.last().unwrap(), 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn flat_metrics_cover_all_types_deterministically() {
+        let mut r = Registry::new();
+        r.inc_by("a.count", 2);
+        r.set_gauge("b.seconds", 0.5);
+        r.observe("c.wait", 1.0);
+        r.observe("c.wait", 3.0);
+        let flat = r.flat_metrics();
+        assert_eq!(flat["a.count"], 2.0);
+        assert_eq!(flat["b.seconds"], 0.5);
+        assert_eq!(flat["c.wait.count"], 2.0);
+        assert_eq!(flat["c.wait.sum"], 4.0);
+        assert_eq!(flat["c.wait.max"], 3.0);
+        let text = r.render_text();
+        assert!(text.contains("counter  a.count = 2"));
+        assert!(text.contains("hist     c.wait: count=2"));
+    }
+}

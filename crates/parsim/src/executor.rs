@@ -209,6 +209,24 @@ impl Session {
         self.comms.iter().map(|c| c.now()).fold(0.0, f64::max)
     }
 
+    /// Number of completed steps (`run` / `try_run` / `modeled_phase`).
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Emit session-level gauges plus every rank's cumulative communication
+    /// counters into a metrics sink. Call between steps (the host owns the
+    /// `Comm`s then).
+    pub fn emit_metrics(&self, sink: &mut dyn crate::MetricsSink) {
+        sink.set_gauge("session.now_seconds", self.now());
+        sink.set_gauge("session.nranks", self.nranks as f64);
+        sink.set_gauge("session.steps", self.step as f64);
+        for c in &self.comms {
+            c.emit_metrics(sink);
+        }
+    }
+
     /// Advance every rank's clock by `seconds` of modeled (not executed)
     /// work — e.g. a solver phase whose cost comes from the work model
     /// rather than from running real code. Recorded as compute on each rank.

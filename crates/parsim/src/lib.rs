@@ -32,6 +32,7 @@ mod clock;
 mod collectives;
 mod comm;
 mod executor;
+pub mod metrics;
 mod model;
 #[cfg(test)]
 mod proptests;
@@ -42,10 +43,11 @@ pub use chaos::{ChaosRng, Fault, FaultAction, FaultKind, FaultPlan, Perturbation
 pub use clock::VirtualClock;
 pub use comm::{Comm, Tag};
 pub use executor::{makespan, spmd, spmd_with_args, try_spmd, RankResult, Session};
+pub use metrics::MetricsSink;
 pub use model::MachineModel;
 pub use trace::{
-    check_protocol, CollectiveKind, CollectiveStats, MergedTrace, ProtocolViolation, RankSummary,
-    TraceEvent, TraceLog, TraceSummary, COLLECTIVE_KINDS,
+    check_protocol, CollectiveKind, CollectiveStats, MergedTrace, MessageEdge, PhaseAgg,
+    ProtocolViolation, RankSummary, TraceEvent, TraceLog, TraceSummary, COLLECTIVE_KINDS,
 };
 pub use watchdog::{DeadlockError, RankActivity};
 

@@ -850,6 +850,251 @@ fn shift(ev: &TraceEvent, dt: f64) -> TraceEvent {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Happens-before edges & one-pass phase aggregation
+// ---------------------------------------------------------------------------
+
+/// One matched send/recv pair: the cross-rank happens-before edge induced by
+/// a message. Channels are FIFO per `(src, dst)` pair, so the `i`-th send on
+/// a channel pairs with the `i`-th receive on it (the same rule
+/// [`check_protocol`] enforces on tag sequences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageEdge {
+    pub src: usize,
+    pub dst: usize,
+    /// Tag as recorded on the receive side.
+    pub tag: Tag,
+    pub words: u64,
+    /// Index of the `Send` event in `events[src]`.
+    pub send_event: usize,
+    /// Index of the `Recv` event in `events[dst]`.
+    pub recv_event: usize,
+    pub send_start: f64,
+    pub send_end: f64,
+    pub recv_posted: f64,
+    pub recv_completed: f64,
+    /// Receiver idle time paid on this edge (`Recv::wait`).
+    pub wait: f64,
+    /// Innermost phase open on the receiver when the receive completed.
+    pub phase: Option<String>,
+}
+
+/// Per-phase aggregate built in a single pass over a [`TraceLog`]
+/// (see [`TraceLog::phase_breakdowns`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseAgg {
+    pub name: String,
+    /// Seconds charged via `compute` / `advance`, summed over ranks.
+    pub compute: f64,
+    /// Send-startup seconds, summed over ranks.
+    pub wire: f64,
+    /// Recv + sync idle seconds, summed over ranks.
+    pub wait: f64,
+    /// Injected fault seconds, summed over ranks.
+    pub injected: f64,
+    /// Messages / words sent inside the phase, over all ranks.
+    pub msgs: u64,
+    pub words: u64,
+    /// Earliest `PhaseBegin` across ranks.
+    pub start: f64,
+    /// Latest `PhaseEnd` across ranks.
+    pub end: f64,
+}
+
+impl PhaseAgg {
+    /// Wall-clock (virtual) extent of the phase.
+    pub fn elapsed(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Total accounted seconds over all ranks.
+    pub fn total(&self) -> f64 {
+        self.compute + self.wire + self.wait + self.injected
+    }
+}
+
+impl TraceLog {
+    /// Match every `Send` to its `Recv` by FIFO channel order and return
+    /// the resulting happens-before edges, grouped by receiver rank in
+    /// stream order (deterministic). Unmatched sends or receives (a
+    /// protocol violation) produce no edge.
+    pub fn message_edges(&self) -> Vec<MessageEdge> {
+        use std::collections::{HashMap, VecDeque};
+        // Per (src, dst) channel: queued sends in send order.
+        struct PendingSend {
+            event: usize,
+            start: f64,
+            end: f64,
+        }
+        let mut channels: HashMap<(usize, usize), VecDeque<PendingSend>> = HashMap::new();
+        for (src, stream) in self.events.iter().enumerate() {
+            for (i, ev) in stream.iter().enumerate() {
+                if let TraceEvent::Send {
+                    start, end, peer, ..
+                } = *ev
+                {
+                    channels
+                        .entry((src, peer))
+                        .or_default()
+                        .push_back(PendingSend {
+                            event: i,
+                            start,
+                            end,
+                        });
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        for (dst, stream) in self.events.iter().enumerate() {
+            let mut phase_stack: Vec<&str> = Vec::new();
+            for (i, ev) in stream.iter().enumerate() {
+                match ev {
+                    TraceEvent::PhaseBegin { name, .. } => phase_stack.push(name),
+                    TraceEvent::PhaseEnd { .. } => {
+                        phase_stack.pop();
+                    }
+                    TraceEvent::Recv {
+                        posted,
+                        completed,
+                        peer,
+                        tag,
+                        words,
+                        wait,
+                    } => {
+                        if let Some(send) =
+                            channels.get_mut(&(*peer, dst)).and_then(|q| q.pop_front())
+                        {
+                            edges.push(MessageEdge {
+                                src: *peer,
+                                dst,
+                                tag: *tag,
+                                words: *words,
+                                send_event: send.event,
+                                recv_event: i,
+                                send_start: send.start,
+                                send_end: send.end,
+                                recv_posted: *posted,
+                                recv_completed: *completed,
+                                wait: *wait,
+                                phase: phase_stack.last().map(|s| s.to_string()),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        edges
+    }
+
+    /// One-pass per-phase aggregation. Each accountable event is attributed
+    /// to the innermost phase open on its rank; events occurring *after* a
+    /// phase closed but before the next one opens (e.g. the step-boundary
+    /// `Sync` a [`crate::Session`] records after the rank body returns) are
+    /// carried into the last closed phase, matching the per-step trace
+    /// capture the engine uses. Events before any phase has opened on a
+    /// rank are dropped. Phases are returned in order of first appearance.
+    pub fn phase_breakdowns(&self) -> Vec<PhaseAgg> {
+        use std::collections::HashMap;
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut aggs: Vec<PhaseAgg> = Vec::new();
+        for stream in &self.events {
+            // Indices into `aggs` of the open phases; `current` falls back
+            // to the last closed phase when the stack empties (carry rule).
+            let mut stack: Vec<usize> = Vec::new();
+            let mut current: Option<usize> = None;
+            for ev in stream {
+                match ev {
+                    TraceEvent::PhaseBegin { name, start } => {
+                        let idx = *index.entry(name.clone()).or_insert_with(|| {
+                            aggs.push(PhaseAgg {
+                                name: name.clone(),
+                                start: f64::INFINITY,
+                                end: f64::NEG_INFINITY,
+                                ..PhaseAgg::default()
+                            });
+                            aggs.len() - 1
+                        });
+                        aggs[idx].start = aggs[idx].start.min(*start);
+                        stack.push(idx);
+                        current = Some(idx);
+                    }
+                    TraceEvent::PhaseEnd { name, end } => {
+                        let popped = stack.pop();
+                        debug_assert_eq!(
+                            popped.map(|i| aggs[i].name.as_str()),
+                            Some(name.as_str()),
+                            "unbalanced phase markers"
+                        );
+                        if let Some(idx) = popped {
+                            aggs[idx].end = aggs[idx].end.max(*end);
+                            // Carry: `current` stays on the phase just
+                            // closed unless an outer phase is still open.
+                            current = stack.last().copied().or(Some(idx));
+                        }
+                    }
+                    _ => {
+                        let Some(idx) = current else { continue };
+                        let a = &mut aggs[idx];
+                        match *ev {
+                            TraceEvent::Compute { start, end } => a.compute += end - start,
+                            TraceEvent::Send {
+                                start, end, words, ..
+                            } => {
+                                a.wire += end - start;
+                                a.msgs += 1;
+                                a.words += words;
+                            }
+                            TraceEvent::Recv { wait, .. } => a.wait += wait,
+                            TraceEvent::Sync { start, end } => a.wait += end - start,
+                            TraceEvent::Fault { start, end, .. } => a.injected += end - start,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        for a in &mut aggs {
+            if !a.start.is_finite() {
+                a.start = 0.0;
+            }
+            if !a.end.is_finite() {
+                a.end = a.start;
+            }
+        }
+        aggs
+    }
+
+    /// Extract the events inside every `name` phase span (markers included)
+    /// as a log of the same rank count. Same-name nesting is handled by
+    /// depth counting. Events outside the span — including trailing
+    /// step-boundary syncs — are excluded.
+    pub fn phase_slice(&self, name: &str) -> TraceLog {
+        let mut out = TraceLog {
+            events: vec![Vec::new(); self.events.len()],
+        };
+        for (rank, stream) in self.events.iter().enumerate() {
+            let dst = &mut out.events[rank];
+            let mut depth = 0usize;
+            for ev in stream {
+                match ev {
+                    TraceEvent::PhaseBegin { name: n, .. } if n == name => {
+                        depth += 1;
+                        dst.push(ev.clone());
+                    }
+                    TraceEvent::PhaseEnd { name: n, .. } if n == name && depth > 0 => {
+                        depth -= 1;
+                        dst.push(ev.clone());
+                    }
+                    _ if depth > 0 => dst.push(ev.clone()),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,6 +1287,153 @@ mod tests {
         let text = log.text_timeline();
         assert!(text.contains("phase outer begin"));
         assert!(text.contains("phase inner end"));
+    }
+
+    #[test]
+    fn message_edges_pair_fifo_and_honor_causality() {
+        let results = run_workload();
+        let log = TraceLog::from_results(&results);
+        let edges = log.message_edges();
+        let summary = log.summary();
+        // Every send in this clean run is received, so edge count == total
+        // messages sent.
+        assert_eq!(edges.len() as u64, summary.total_msgs());
+        for e in &edges {
+            // Causality: the payload cannot complete before the send ended.
+            assert!(
+                e.recv_completed >= e.send_end - 1e-12,
+                "edge {e:?} violates causality"
+            );
+            assert!(e.wait >= 0.0);
+            // The edge indices really point at a Send / Recv pair.
+            assert!(matches!(
+                log.events[e.src][e.send_event],
+                TraceEvent::Send { peer, .. } if peer == e.dst
+            ));
+            assert!(matches!(
+                log.events[e.dst][e.recv_event],
+                TraceEvent::Recv { peer, .. } if peer == e.src
+            ));
+        }
+        // The setup phase sends nothing; the first edges belong to the
+        // barrier, which runs outside any phase span.
+        assert!(edges.iter().all(|e| e.phase.is_none()));
+    }
+
+    #[test]
+    fn message_edges_record_receiver_phase() {
+        let results = spmd(2, MachineModel::sp2(), |comm| {
+            comm.phase("exchange", |c| {
+                if c.rank() == 0 {
+                    c.send(1, 7, 10, 3u8);
+                } else {
+                    c.recv::<u8>(0, 7);
+                }
+            });
+        });
+        let edges = TraceLog::from_results(&results).message_edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].phase.as_deref(), Some("exchange"));
+        assert_eq!((edges[0].src, edges[0].dst), (0, 1));
+        assert_eq!(edges[0].words, 10);
+    }
+
+    #[test]
+    fn phase_breakdowns_match_per_phase_summaries() {
+        // Two phases per rank with disjoint activity; the one-pass
+        // aggregation must reproduce what slicing + summary() computes.
+        let results = spmd(3, MachineModel::sp2(), |comm| {
+            comm.phase("a", |c| {
+                c.compute(40.0 * (c.rank() + 1) as f64);
+                c.barrier();
+            });
+            comm.phase("b", |c| {
+                let p = c.nranks();
+                let items: Vec<(u64, usize)> = (0..p).map(|d| (2, d)).collect();
+                c.alltoallv(items);
+            });
+        });
+        let log = TraceLog::from_results(&results);
+        let aggs = log.phase_breakdowns();
+        assert_eq!(
+            aggs.iter().map(|a| a.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"],
+            "appearance order"
+        );
+        for agg in &aggs {
+            let sliced = log.phase_slice(&agg.name).summary();
+            let compute: f64 = sliced.ranks.iter().map(|r| r.compute).sum();
+            let wire: f64 = sliced.ranks.iter().map(|r| r.wire).sum();
+            assert!((agg.compute - compute).abs() < 1e-12, "{agg:?}");
+            assert!((agg.wire - wire).abs() < 1e-12, "{agg:?}");
+            // Wait can only exceed the slice by carried step-boundary syncs
+            // (the last phase absorbs the trailing alignment idle).
+            let wait: f64 = sliced.ranks.iter().map(|r| r.wait).sum();
+            assert!(agg.wait >= wait - 1e-12, "{agg:?}");
+            assert_eq!(agg.msgs, sliced.total_msgs());
+            assert_eq!(agg.words, sliced.total_words());
+            assert!(agg.elapsed() > 0.0);
+        }
+        // Everything in this run happens inside a phase (plus carried
+        // syncs), so summing the aggs reproduces the full summary exactly.
+        let full = log.summary();
+        let agg_total: f64 = aggs.iter().map(|a| a.total()).sum();
+        let full_total: f64 = full.ranks.iter().map(|r| r.total()).sum();
+        assert!((agg_total - full_total).abs() < 1e-12);
+        assert_eq!(aggs.iter().map(|a| a.msgs).sum::<u64>(), full.total_msgs());
+    }
+
+    #[test]
+    fn phase_breakdowns_carry_trailing_syncs_into_last_phase() {
+        // A Session step whose body is one phase: the step-boundary Sync
+        // falls after PhaseEnd but must be carried into that phase, so the
+        // per-phase totals match the full per-step accounting.
+        let mut sess = crate::Session::new(3, MachineModel::sp2());
+        let r = sess.run(vec![(); 3], |comm, ()| {
+            comm.phase("work", |c| c.advance(c.rank() as f64));
+        });
+        let log = TraceLog::from_results(&r);
+        let aggs = log.phase_breakdowns();
+        assert_eq!(aggs.len(), 1);
+        let full = log.summary();
+        let total: f64 = full.ranks.iter().map(|s| s.total()).sum();
+        assert!(
+            (aggs[0].total() - total).abs() < 1e-12,
+            "carry rule must account the trailing syncs: {} vs {}",
+            aggs[0].total(),
+            total
+        );
+        // The slice (which excludes trailing syncs) accounts for less.
+        let sliced: f64 = log
+            .phase_slice("work")
+            .summary()
+            .ranks
+            .iter()
+            .map(|s| s.total())
+            .sum();
+        assert!(sliced < total - 0.5);
+    }
+
+    #[test]
+    fn phase_slice_extracts_only_span_events() {
+        let results = spmd(2, MachineModel::sp2(), |comm| {
+            comm.compute(10.0); // outside any phase
+            comm.phase("p", |c| c.compute(20.0));
+            comm.compute(30.0); // outside again
+        });
+        let log = TraceLog::from_results(&results);
+        let sliced = log.phase_slice("p");
+        assert_eq!(sliced.nranks(), 2);
+        for stream in &sliced.events {
+            assert_eq!(stream.len(), 3, "begin + compute + end");
+            assert!(matches!(stream[0], TraceEvent::PhaseBegin { .. }));
+            assert!(matches!(stream[2], TraceEvent::PhaseEnd { .. }));
+        }
+        let s = sliced.summary();
+        let model = MachineModel::sp2();
+        for r in &s.ranks {
+            assert!((r.compute - model.compute_time(20.0)).abs() < 1e-12);
+        }
     }
 
     #[test]
