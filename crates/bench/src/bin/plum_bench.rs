@@ -1,7 +1,7 @@
 //! BENCH report tooling: validate, show, and diff `BENCH_*.json` files.
 //!
 //! ```text
-//! plum-bench compare <baseline.json> <current.json> [--tolerance <pct>]
+//! plum-bench compare <baseline.json> <current.json> [--tolerance <pct>] [--strict-new]
 //! plum-bench validate <file.json>
 //! plum-bench show <file.json>
 //! ```
@@ -9,13 +9,16 @@
 //! `compare` exits 0 when every tracked (non-`info.`) metric of the current
 //! report is within `tolerance` percent of the baseline (default 5), and 1
 //! when any metric regressed beyond tolerance or a tracked baseline metric
-//! was dropped. Exit code 2 means usage, I/O, or schema errors.
+//! was dropped. Tracked metrics with no baseline are warned about; with
+//! `--strict-new` they fail the gate instead (use after schema changes so
+//! new metrics cannot ride in ungated). Exit code 2 means usage, I/O, or
+//! schema errors.
 
 use plum_obs::{compare, BenchReport};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: plum-bench compare <baseline.json> <current.json> [--tolerance <pct>]\n\
+        "usage: plum-bench compare <baseline.json> <current.json> [--tolerance <pct>] [--strict-new]\n\
          \x20      plum-bench validate <file.json>\n\
          \x20      plum-bench show <file.json>"
     );
@@ -44,10 +47,12 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("compare") => {
             let mut tolerance = 5.0f64;
+            let mut strict_new = false;
             let mut paths = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--strict-new" => strict_new = true,
                     "--tolerance" => {
                         i += 1;
                         match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
@@ -78,7 +83,8 @@ fn main() {
                 );
                 std::process::exit(2);
             }
-            let report = compare(&baseline, &current, tolerance);
+            let mut report = compare(&baseline, &current, tolerance);
+            report.strict_new = strict_new;
             print!("{}", report.render());
             std::process::exit(if report.passed() { 0 } else { 1 });
         }

@@ -6,8 +6,9 @@
 //! cargo run --release -p plum-bench --bin reproduce -- fig4 --quick
 //! ```
 //!
-//! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
-//! `all`. `--quick` runs at ~6k elements instead of the paper's ~61k.
+//! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig6_mild`,
+//! `fig7`, `fig8`, `all`. `--quick` runs at ~6k elements instead of the
+//! paper's ~61k.
 //! `fig6 --trace <path>` additionally writes a Chrome-trace JSON (load it in
 //! Perfetto or `chrome://tracing`) of one adaption cycle, plus a plain-text
 //! timeline next to it (`foo.json` → `foo.txt`).
@@ -19,6 +20,11 @@
 //! diffs against a committed baseline in CI. The fig6 report instruments
 //! one remap-before Real_2 cycle at P = 64 and prints its critical-path
 //! analysis.
+//!
+//! `fig6_mild` emits `BENCH_fig6_mild.json`: the portfolio's mild-imbalance
+//! regime, where the policy must select SFC boundary diffusion and its
+//! partition phase must stay a small fraction of the multilevel kernel's —
+//! the companion regression gate to the heavy fig6 cycle.
 //!
 //! `fig6 --chaos <seed>` runs the chaos recovery experiment instead: one
 //! rank is slowed 2× (which rank depends on the seed, as does the link
@@ -152,6 +158,15 @@ fn main() {
             print!("{analysis}");
             write_bench("BENCH_fig6.json", &bench);
         }
+        "fig6_mild" => {
+            eprintln!(
+                "# running the mild-imbalance portfolio cycle at P={}…",
+                report::FIG6_BENCH_NPROC
+            );
+            let (bench, analysis) = report::fig6_mild_bench(scale);
+            print!("{analysis}");
+            write_bench("BENCH_fig6_mild.json", &bench);
+        }
         "fig7" => {
             print_fig7(&paper_growths());
         }
@@ -222,7 +237,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig7|fig8|ablation|baseline|multicycle|all"
+                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|fig7|fig8|ablation|baseline|multicycle|all"
             );
             std::process::exit(2);
         }

@@ -94,6 +94,104 @@ pub fn fig6_bench(scale: Scale) -> (BenchReport, String) {
     (b, cycle_analysis(&r, 10))
 }
 
+/// The fig6_mild BENCH run: the portfolio's mild-imbalance regime on the
+/// fig6 mesh at P = [`FIG6_BENCH_NPROC`].
+///
+/// A gentle refinement band (per-element weight 17 against a base of 16)
+/// leaves the count-balanced seed partition at an effective imbalance of
+/// ≈1.09 — above a tightened trigger of 1.02 but under the default 1.1 SFC
+/// threshold — so [`plum_core::select_method`] must pick SFC boundary
+/// diffusion. Both the diffusion kernel and the multilevel repartitioner
+/// run distributed on the same inputs; the report tracks the diffusion
+/// phase's critical path and its makespan ratio to multilevel (the ≥5×
+/// saving of the portfolio's mild branch, gated in CI).
+pub fn fig6_mild_bench(scale: Scale) -> (BenchReport, String) {
+    use plum_core::{select_method, BalanceMethod, PlumConfig, WorkModel};
+    use plum_mesh::{DualGraph, SfcCurve};
+    use plum_partition::{
+        imbalance_weighted, part_weights, partition_kway, repartition_distributed, sfc_distributed,
+        Graph, PartitionConfig,
+    };
+
+    let p = FIG6_BENCH_NPROC;
+    let mesh = crate::initial_mesh(scale);
+    let dual = DualGraph::build(&mesh);
+    let keys = plum_mesh::sfc::element_keys(&mesh, &dual.elem_of, SfcCurve::Hilbert);
+    let n = dual.n();
+    let mut vwgt: Vec<u64> = vec![16; n];
+    for w in vwgt.iter_mut().take(n / 5) {
+        *w = 17;
+    }
+    let g = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), vwgt.clone());
+    let uniform = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), vec![1; n]);
+    let prev = partition_kway(&uniform, &PartitionConfig::new(p));
+
+    let mut cfg = PlumConfig::new(p);
+    cfg.imbalance_trigger = 1.02;
+    let caps = vec![1.0; p];
+    let method = select_method(&vwgt, &prev, &cfg, &caps, true, true);
+    assert_eq!(
+        method,
+        BalanceMethod::SfcDiffusion,
+        "the mild fig6 cycle must select SFC diffusion"
+    );
+
+    let work = WorkModel::default();
+    let vertex_units = work.t_part_vertex / cfg.machine.t_flop / 4.0;
+    let mut pcfg = cfg.partition;
+    pcfg.nparts = p;
+    let diff = sfc_distributed(
+        &keys,
+        &vwgt,
+        &prev,
+        Some(&prev),
+        p,
+        &caps,
+        p,
+        cfg.machine,
+        vertex_units,
+    );
+    let ml = repartition_distributed(
+        &g,
+        &prev,
+        Some(&prev),
+        &pcfg,
+        &caps,
+        p,
+        cfg.machine,
+        vertex_units,
+    );
+
+    let imb_old = imbalance_weighted(&part_weights(&g, &prev, p), &caps);
+    let imb_new = imbalance_weighted(&part_weights(&g, &diff.part, p), &caps);
+    let cp = critical_path(&diff.trace);
+
+    let mut b = BenchReport::new("fig6_mild");
+    b.meta_str("git_sha", &git_sha())
+        .meta_str("scale", &format!("{scale:?}"))
+        .meta_num("nproc", p as f64)
+        .meta_num("initial_elements", n as f64);
+    b.set("balance.method", method.code() as f64)
+        .set("balance.imbalance_new", imb_new)
+        .set("critical_path.partition.seconds", cp.length())
+        .set("critical_path.partition.wait_seconds", cp.wait)
+        .set("partition.sfc_diffusion.seconds", diff.makespan)
+        .set("partition.ratio_vs_multilevel", diff.makespan / ml.makespan)
+        .set("info.balance.imbalance_old", imb_old)
+        .set("info.partition.multilevel.seconds", ml.makespan);
+
+    let analysis = format!(
+        "fig6_mild @ P={p}: imbalance {imb_old:.4} -> {imb_new:.4} via {}\n\
+         diffusion makespan {:.6}s vs multilevel {:.6}s (ratio {:.4})\n\n{}",
+        method.name(),
+        diff.makespan,
+        ml.makespan,
+        diff.makespan / ml.makespan,
+        cp.render(),
+    );
+    (b, analysis)
+}
+
 /// The fig5 BENCH report, from the already-run sweep: per-case remap times
 /// under both policies at every swept P.
 pub fn fig5_bench(sw: &[SweepPoint], scale: Scale) -> BenchReport {
@@ -126,5 +224,30 @@ mod tests {
         let sha = git_sha();
         assert!(!sha.is_empty());
         assert!(sha.len() <= 40);
+    }
+
+    /// Acceptance criteria of the portfolio's mild branch: the mild fig6
+    /// cycle selects SFC diffusion (asserted inside `fig6_mild_bench`),
+    /// lands under the 1.1 threshold afterwards, and its partition phase
+    /// costs at most a fifth of the multilevel repartitioner's.
+    #[test]
+    fn fig6_mild_selects_diffusion_and_saves_5x() {
+        let (b, analysis) = fig6_mild_bench(Scale::Quick);
+        b.validate().expect("schema-valid report");
+        assert_eq!(b.metrics["balance.method"], 2.0, "method code != diffusion");
+        assert!(
+            b.metrics["info.balance.imbalance_old"] > 1.02
+                && b.metrics["info.balance.imbalance_old"] <= 1.1,
+            "mild scenario drifted out of the (1.02, 1.1] band: {}",
+            b.metrics["info.balance.imbalance_old"]
+        );
+        assert!(b.metrics["balance.imbalance_new"] <= b.metrics["info.balance.imbalance_old"]);
+        assert!(
+            b.metrics["partition.ratio_vs_multilevel"] <= 0.2,
+            "diffusion/multilevel ratio {} above 1/5",
+            b.metrics["partition.ratio_vs_multilevel"]
+        );
+        assert!(b.metrics["critical_path.partition.seconds"] > 0.0);
+        assert!(analysis.contains("sfc_diffusion"));
     }
 }

@@ -5,7 +5,10 @@ use std::time::Instant;
 
 use plum_mesh::DualGraph;
 use plum_parsim::TraceLog;
-use plum_partition::{imbalance_weighted, partition_kway, repartition_kway_weighted, Graph};
+use plum_partition::{
+    imbalance_weighted, knapsack_partition, partition_kway, repartition_kway_weighted, sfc_diffuse,
+    sfc_partition, Graph,
+};
 use plum_reassign::{
     greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats, SimilarityMatrix,
 };
@@ -13,6 +16,48 @@ use plum_remap::RemapMetric;
 
 use crate::config::{Mapper, PlumConfig};
 use crate::timing::WorkModel;
+
+/// Which repartitioning method the portfolio policy chose for a cycle.
+///
+/// The portfolio spans the spectrum production AMR stacks use: the paper's
+/// multilevel diffusive repartitioner for heavy, locality-sensitive
+/// rebalances; a full SFC split when geometry suffices; SFC boundary
+/// diffusion when the imbalance is mild enough that shifting a few range
+/// boundaries repairs it (Cubism's rule); and LPT knapsack packing for the
+/// extreme-imbalance, locality-insensitive regime (AMReX's `makeKnapSack`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceMethod {
+    /// Multilevel diffusive graph repartitioning (the paper's §4.2 kernel).
+    Multilevel,
+    /// 1D-SFC boundary diffusion from the previous partition.
+    SfcDiffusion,
+    /// Full SFC key-sort/split into capacity-weighted contiguous ranges.
+    Sfc,
+    /// LPT greedy knapsack packing by weight alone.
+    Knapsack,
+}
+
+impl BalanceMethod {
+    pub fn name(self) -> &'static str {
+        match self {
+            BalanceMethod::Multilevel => "multilevel",
+            BalanceMethod::SfcDiffusion => "sfc_diffusion",
+            BalanceMethod::Sfc => "sfc",
+            BalanceMethod::Knapsack => "knapsack",
+        }
+    }
+
+    /// Stable numeric code for metrics (`balance.method` gauge); 0 means no
+    /// repartition happened.
+    pub fn code(self) -> u32 {
+        match self {
+            BalanceMethod::Multilevel => 1,
+            BalanceMethod::SfcDiffusion => 2,
+            BalanceMethod::Sfc => 3,
+            BalanceMethod::Knapsack => 4,
+        }
+    }
+}
 
 /// Everything the load balancer decided and measured in one invocation.
 #[derive(Debug, Clone)]
@@ -32,10 +77,17 @@ pub struct BalanceDecision {
     /// Max per-processor `W_comp` before/after (Fig. 8's ratio).
     pub wmax_old: u64,
     pub wmax_new: u64,
+    /// Which portfolio method repartitioned (`None` when the balancer
+    /// short-circuited without repartitioning).
+    pub method: Option<BalanceMethod>,
     /// Repartitioner wall time: measured from the distributed kernel's
-    /// session step on the engine path, modeled
-    /// ([`WorkModel::partition_time`]) on the reference path.
+    /// session step on the engine path, modeled (the [`WorkModel`] model
+    /// matching [`BalanceDecision::method`]) on the reference path.
     pub partition_time: f64,
+    /// The [`WorkModel`]-predicted wall time of the chosen method — what the
+    /// policy believed before running it (equals `partition_time` on the
+    /// reference path, where the model *is* the measurement).
+    pub predicted_partition_time: f64,
     /// Event trace of the distributed repartitioner (engine path only;
     /// `None` when the balancer short-circuited or the serial reference
     /// ran).
@@ -139,7 +191,9 @@ pub(crate) fn evaluate_balance(
         imbalance_new: imb_old,
         wmax_old,
         wmax_new: wmax_old,
+        method: None,
         partition_time: 0.0,
+        predicted_partition_time: 0.0,
         partition_trace: None,
         reassign_seconds: 0.0,
         reassign_comm_time: 0.0,
@@ -179,34 +233,180 @@ pub(crate) fn partition_mode<'a>(
     (seeded.then_some(old_proc), part_caps)
 }
 
+/// Per-cycle portfolio selection, shared verbatim by the serial reference
+/// path and every rank of the engine's SPMD session (all inputs are
+/// replicated, so every caller lands on the same method).
+///
+/// The policy is two-tier, following the production pattern:
+///
+/// 1. **Mild imbalance** (effective imbalance ≤ `cfg.sfc_threshold`, SFC
+///    keys present, previous partition seedable): shift curve-range
+///    boundaries instead of repartitioning — [`BalanceMethod::SfcDiffusion`].
+/// 2. Otherwise score each candidate with the existing gain/cost model on
+///    effective weights: predicted gain from the method's achievable
+///    `wmax`, predicted cost from its expected migration volume. The
+///    multilevel kernel predicts low movement when seeded (it drains only
+///    overflow); the geometric methods predict near-total reshuffles — so
+///    heavy-but-seeded cycles keep choosing multilevel, exactly as the
+///    committed fig6 baseline expects.
+///
+/// `cfg.force_method` pins the choice (degrading to the nearest runnable
+/// method when the pinned one needs keys or a seed that is absent).
+pub fn select_method(
+    wcomp: &[u64],
+    old_proc: &[u32],
+    cfg: &PlumConfig,
+    caps: &[f64],
+    has_keys: bool,
+    seeded: bool,
+) -> BalanceMethod {
+    if let Some(forced) = cfg.force_method {
+        return match forced {
+            BalanceMethod::SfcDiffusion if !(has_keys && seeded) => {
+                if has_keys {
+                    BalanceMethod::Sfc
+                } else {
+                    BalanceMethod::Multilevel
+                }
+            }
+            BalanceMethod::Sfc if !has_keys => BalanceMethod::Multilevel,
+            m => m,
+        };
+    }
+
+    let nproc = cfg.nproc;
+    let w_old = per_proc_wcomp(wcomp, old_proc, nproc);
+    let uniform = caps_uniform(caps);
+    let (w_eff, imb_old) = if uniform {
+        (w_old.clone(), imbalance(&w_old))
+    } else {
+        (
+            effective_weights(&w_old, caps),
+            imbalance_weighted(&w_old, caps),
+        )
+    };
+    if has_keys && seeded && imb_old <= cfg.sfc_threshold {
+        return BalanceMethod::SfcDiffusion;
+    }
+
+    let total: u64 = w_eff.iter().sum();
+    let wmax_old = *w_eff.iter().max().unwrap();
+    let avg = total as f64 / nproc as f64;
+    let wv_max = *wcomp.iter().max().unwrap_or(&0);
+    // A full reshuffle touches all but the ~1/P of elements already home.
+    let reshuffle = (total as f64 * (nproc - 1) as f64 / nproc as f64) as u64;
+    // A seeded multilevel repartition drains only the overflow above target.
+    let overflow: u64 = w_eff
+        .iter()
+        .map(|&w| (w as f64 - avg).max(0.0) as u64)
+        .sum();
+    let score = |wmax_pred: f64, moved_pred: u64| -> f64 {
+        let gain = cfg
+            .cost
+            .computational_gain(wmax_old, wmax_pred.ceil() as u64, 0, 0);
+        gain - cfg.cost.redistribution_cost(moved_pred, nproc as u64)
+    };
+    // Achievable-wmax predictors: element-granular assignment (multilevel
+    // boundary refinement, LPT packing) lands within about half a heaviest
+    // element of the average; an SFC cut rounds a whole element at each
+    // range boundary. With gains this close, the movement term decides —
+    // which is exactly the seeded multilevel kernel's edge.
+    let candidates: [(BalanceMethod, f64); 3] = [
+        (
+            BalanceMethod::Multilevel,
+            score(
+                avg + wv_max as f64 / 2.0,
+                if seeded { overflow } else { reshuffle },
+            ),
+        ),
+        (
+            BalanceMethod::Sfc,
+            if has_keys {
+                score(avg + wv_max as f64, reshuffle)
+            } else {
+                f64::NEG_INFINITY
+            },
+        ),
+        (
+            BalanceMethod::Knapsack,
+            score(avg + wv_max as f64 / 2.0, reshuffle),
+        ),
+    ];
+    // Strictly-better-wins in preference order: ties keep the earlier
+    // (better-studied) method.
+    let mut best = candidates[0];
+    for &c in &candidates[1..] {
+        if c.1 > best.1 {
+            best = c;
+        }
+    }
+    best.0
+}
+
+/// The [`WorkModel`] prediction matching a portfolio method.
+pub(crate) fn predicted_time(method: BalanceMethod, work: &WorkModel, n: usize, p: usize) -> f64 {
+    match method {
+        BalanceMethod::Multilevel => work.partition_time(n, p),
+        BalanceMethod::SfcDiffusion => work.sfc_diffusion_time(n, p),
+        BalanceMethod::Sfc => work.sfc_partition_time(n, p),
+        BalanceMethod::Knapsack => work.knapsack_time(n, p),
+    }
+}
+
 /// Stage 1 of the load balancer on the *reference* path (host side):
-/// [`evaluate_balance`], then the retained serial repartitioner with its
-/// modeled wall time. The engine instead executes the distributed kernel
-/// inside its session (see `engine::balance_on_session`); the differential
-/// test battery pins the two against each other.
+/// [`evaluate_balance`], then the portfolio method [`select_method`] picked,
+/// run serially with its modeled wall time. The engine instead executes the
+/// matching distributed kernel inside its session (see
+/// `engine::balance_on_session`); the differential test battery pins the
+/// two against each other.
 pub(crate) fn evaluate_and_repartition(
     dual: &DualGraph,
     old_proc: &[u32],
     cfg: &PlumConfig,
     work: &WorkModel,
     caps: &[f64],
+    keys: Option<&[u64]>,
 ) -> (BalanceDecision, Option<Vec<u32>>) {
     let (mut decision, go) = evaluate_balance(dual, old_proc, cfg, caps);
     if !go {
         return (decision, None);
     }
 
-    // Serial repartitioning on the dual graph with the new W_comp.
-    let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
     let mut pcfg = cfg.partition;
     pcfg.nparts = cfg.nparts();
     let (prev, part_caps) = partition_mode(cfg, old_proc, caps);
-    let new_part = match prev {
-        // Seed with the previous assignment (partition ids == processor ids).
-        Some(prev) => repartition_kway_weighted(&graph, &pcfg, prev, &part_caps),
-        None => partition_kway(&graph, &pcfg),
+    let method = select_method(
+        &dual.wcomp,
+        old_proc,
+        cfg,
+        caps,
+        keys.is_some(),
+        prev.is_some(),
+    );
+    if let Some(keys) = keys {
+        assert_eq!(keys.len(), dual.n(), "one SFC key per dual vertex");
+    }
+    let new_part = match method {
+        BalanceMethod::Multilevel => {
+            // Serial repartitioning on the dual graph with the new W_comp.
+            let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
+            match prev {
+                // Seed with the previous assignment (partition ids ==
+                // processor ids).
+                Some(prev) => repartition_kway_weighted(&graph, &pcfg, prev, &part_caps),
+                None => partition_kway(&graph, &pcfg),
+            }
+        }
+        BalanceMethod::SfcDiffusion => {
+            let prev = prev.expect("selection guarantees a seed for diffusion");
+            sfc_diffuse(keys.unwrap(), &dual.wcomp, prev, pcfg.nparts, &part_caps)
+        }
+        BalanceMethod::Sfc => sfc_partition(keys.unwrap(), &dual.wcomp, pcfg.nparts, &part_caps),
+        BalanceMethod::Knapsack => knapsack_partition(&dual.wcomp, pcfg.nparts, &part_caps),
     };
-    decision.partition_time = work.partition_time(dual.n(), cfg.nproc);
+    decision.method = Some(method);
+    decision.predicted_partition_time = predicted_time(method, work, dual.n(), cfg.nproc);
+    decision.partition_time = decision.predicted_partition_time;
     (decision, Some(new_part))
 }
 
@@ -305,8 +505,22 @@ pub fn balance_step(
     cfg: &PlumConfig,
     work: &WorkModel,
 ) -> BalanceDecision {
+    balance_step_keyed(dual, old_proc, refine_work, cfg, work, None)
+}
+
+/// [`balance_step`] with SFC keys: when `keys` carries one curve key per
+/// dual vertex the portfolio's geometric methods become eligible; with
+/// `None` the policy can only pick the multilevel kernel (or knapsack).
+pub fn balance_step_keyed(
+    dual: &DualGraph,
+    old_proc: &[u32],
+    refine_work: &[u64],
+    cfg: &PlumConfig,
+    work: &WorkModel,
+    keys: Option<&[u64]>,
+) -> BalanceDecision {
     let caps = vec![1.0; cfg.nproc];
-    let (mut decision, new_part) = evaluate_and_repartition(dual, old_proc, cfg, work, &caps);
+    let (mut decision, new_part) = evaluate_and_repartition(dual, old_proc, cfg, work, &caps, keys);
     let Some(new_part) = new_part else {
         return decision;
     };
@@ -426,6 +640,110 @@ mod tests {
             d.new_proc, part,
             "rejected mapping must leave assignment unchanged"
         );
+    }
+
+    #[test]
+    fn policy_mild_imbalance_picks_diffusion() {
+        let (dual, part) = dual_with_hotspot(4, 8);
+        let mut cfg = PlumConfig::new(4);
+        let caps = vec![1.0; 4];
+        // Below the (raised) SFC threshold: the mild rule fires — but only
+        // when keys and a seedable previous partition are both available.
+        cfg.sfc_threshold = 100.0;
+        assert_eq!(
+            select_method(&dual.wcomp, &part, &cfg, &caps, true, true),
+            BalanceMethod::SfcDiffusion
+        );
+        assert_ne!(
+            select_method(&dual.wcomp, &part, &cfg, &caps, false, true),
+            BalanceMethod::SfcDiffusion,
+            "no keys, no geometric method"
+        );
+        assert_ne!(
+            select_method(&dual.wcomp, &part, &cfg, &caps, true, false),
+            BalanceMethod::SfcDiffusion,
+            "no seed, no diffusion"
+        );
+    }
+
+    #[test]
+    fn policy_heavy_seeded_imbalance_keeps_multilevel() {
+        // Far above the default threshold: candidates are scored, and the
+        // seeded multilevel kernel's low predicted movement wins — the
+        // regime the committed fig6 baseline pins.
+        let (dual, part) = dual_with_hotspot(4, 8);
+        let cfg = PlumConfig::new(4);
+        let caps = vec![1.0; 4];
+        assert_eq!(
+            select_method(&dual.wcomp, &part, &cfg, &caps, true, true),
+            BalanceMethod::Multilevel
+        );
+    }
+
+    #[test]
+    fn forced_methods_degrade_to_runnable_ones() {
+        let (dual, part) = dual_with_hotspot(4, 8);
+        let mut cfg = PlumConfig::new(4);
+        let caps = vec![1.0; 4];
+        for (forced, has_keys, seeded, expect) in [
+            (
+                BalanceMethod::Knapsack,
+                false,
+                false,
+                BalanceMethod::Knapsack,
+            ),
+            (
+                BalanceMethod::SfcDiffusion,
+                true,
+                true,
+                BalanceMethod::SfcDiffusion,
+            ),
+            (BalanceMethod::SfcDiffusion, true, false, BalanceMethod::Sfc),
+            (
+                BalanceMethod::SfcDiffusion,
+                false,
+                true,
+                BalanceMethod::Multilevel,
+            ),
+            (BalanceMethod::Sfc, false, true, BalanceMethod::Multilevel),
+            (BalanceMethod::Sfc, true, false, BalanceMethod::Sfc),
+        ] {
+            cfg.force_method = Some(forced);
+            assert_eq!(
+                select_method(&dual.wcomp, &part, &cfg, &caps, has_keys, seeded),
+                expect,
+                "force {forced:?} keys={has_keys} seeded={seeded}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_balance_with_forced_sfc_produces_valid_accepted_mapping() {
+        let (dual, part) = dual_with_hotspot(4, 8);
+        let keys: Vec<u64> = (0..dual.n() as u64).collect();
+        for method in [BalanceMethod::Sfc, BalanceMethod::Knapsack] {
+            let mut cfg = PlumConfig::new(4);
+            cfg.force_method = Some(method);
+            let refine_work: Vec<u64> = dual.wcomp.iter().map(|&w| w - 1).collect();
+            let d = balance_step_keyed(
+                &dual,
+                &part,
+                &refine_work,
+                &cfg,
+                &WorkModel::default(),
+                Some(&keys),
+            );
+            assert!(d.repartitioned);
+            assert_eq!(d.method, Some(method), "{method:?}");
+            assert!(d.predicted_partition_time > 0.0);
+            assert!(d.new_proc.iter().all(|&p| (p as usize) < 4));
+            assert!(
+                d.imbalance_new <= d.imbalance_old + 1e-9,
+                "{method:?}: {} -> {}",
+                d.imbalance_old,
+                d.imbalance_new
+            );
+        }
     }
 
     #[test]

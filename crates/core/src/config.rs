@@ -1,8 +1,11 @@
 //! Framework configuration.
 
+use plum_mesh::SfcCurve;
 use plum_parsim::MachineModel;
 use plum_partition::PartitionConfig;
 use plum_remap::{CostModel, RemapMetric};
+
+use crate::balance::BalanceMethod;
 
 /// Which processor-reassignment algorithm the load balancer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +53,17 @@ pub struct PlumConfig {
     pub imbalance_trigger: f64,
     /// Partitioner settings (its `nparts` is overridden to `P·F`).
     pub partition: PartitionConfig,
+    /// Portfolio policy: a triggered cycle whose effective imbalance is
+    /// below this is mild enough for SFC boundary diffusion instead of a
+    /// full repartition (Cubism's diffusion-below-threshold rule). Needs
+    /// SFC keys and a seedable previous partition; above it, methods are
+    /// scored with the gain/cost model.
+    pub sfc_threshold: f64,
+    /// Which space-filling curve orders the element centroids.
+    pub sfc_curve: SfcCurve,
+    /// Pin the portfolio to one method (benchmarks and differential tests);
+    /// `None` lets the policy pick per cycle.
+    pub force_method: Option<BalanceMethod>,
 }
 
 impl PlumConfig {
@@ -69,6 +83,9 @@ impl PlumConfig {
             policy: RemapPolicy::BeforeRefinement,
             imbalance_trigger: 1.15,
             partition,
+            sfc_threshold: 1.1,
+            sfc_curve: SfcCurve::Hilbert,
+            force_method: None,
         }
     }
 
@@ -96,6 +113,9 @@ mod tests {
         assert_eq!(c.policy, RemapPolicy::BeforeRefinement);
         assert!(c.imbalance_trigger > 1.0);
         assert_eq!(c.metric(), RemapMetric::TotalV);
+        assert!(c.sfc_threshold > 1.0 && c.sfc_threshold < c.imbalance_trigger + 0.5);
+        assert_eq!(c.sfc_curve, SfcCurve::Hilbert);
+        assert_eq!(c.force_method, None);
     }
 
     #[test]

@@ -22,7 +22,10 @@ use plum_adapt::{AdaptiveMesh, RefineDelta};
 use plum_parsim::{RankResult, Session, TraceLog};
 use plum_solver::{edge_error_indicator, solve};
 
-use crate::balance::{apply_reassignment, evaluate_balance, partition_mode, BalanceDecision};
+use crate::balance::{
+    apply_reassignment, evaluate_balance, partition_mode, predicted_time, select_method,
+    BalanceDecision, BalanceMethod,
+};
 use crate::config::{PlumConfig, RemapPolicy};
 use crate::framework::{CycleReport, CycleTraces, PhaseTimes, Plum};
 use crate::marking::{mark_body, merge_marks, MarkValue, Ownership};
@@ -195,14 +198,27 @@ fn balance_on_session(
     pcfg.nparts = cfg.nparts();
     let (prev, part_caps) = partition_mode(cfg, &p.proc_of_root, &p.capacity);
     let vertex_units = partition_vertex_units(&p.work, &cfg.machine);
+    // Portfolio selection runs host-side on replicated inputs — the same
+    // call the serial reference makes, so both paths pick the same method
+    // and stay bit-identical.
+    let method = select_method(
+        &p.dual.wcomp,
+        &p.proc_of_root,
+        cfg,
+        &p.capacity,
+        !p.sfc_keys.is_empty(),
+        prev.is_some(),
+    );
     let t0 = session.now();
     let results = {
         let graph = plum_partition::Graph::view(&p.dual.xadj, &p.dual.adjncy, &p.dual.wcomp);
         let owner = &p.proc_of_root;
         let part_caps = &part_caps;
+        let keys = &p.sfc_keys;
+        let vwgt = &p.dual.wcomp;
         session.run(vec![(); cfg.nproc], move |comm, ()| {
-            comm.phase("partition", |c| {
-                plum_partition::repartition_body(
+            comm.phase("partition", |c| match method {
+                BalanceMethod::Multilevel => plum_partition::repartition_body(
                     c,
                     &graph,
                     owner,
@@ -210,10 +226,39 @@ fn balance_on_session(
                     &pcfg,
                     part_caps,
                     vertex_units,
-                )
+                ),
+                BalanceMethod::SfcDiffusion => plum_partition::sfc_diffuse_body(
+                    c,
+                    keys,
+                    vwgt,
+                    owner,
+                    prev.expect("selection guarantees a seed for diffusion"),
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                ),
+                BalanceMethod::Sfc => plum_partition::sfc_body(
+                    c,
+                    keys,
+                    vwgt,
+                    owner,
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                ),
+                BalanceMethod::Knapsack => plum_partition::knapsack_body(
+                    c,
+                    vwgt,
+                    owner,
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                ),
             })
         })
     };
+    decision.method = Some(method);
+    decision.predicted_partition_time = predicted_time(method, &p.work, p.dual.n(), cfg.nproc);
     decision.partition_time = session.now() - t0;
     let new_part = results[0].value.clone();
     debug_assert!(
@@ -726,6 +771,57 @@ mod tests {
             );
         }
         a.am.validate();
+    }
+
+    /// Every portfolio method runs the same way on both paths: forcing each
+    /// geometric method produces engine ≡ reference bit-identically (the
+    /// SPMD bodies return their serial kernels' exact output), and both
+    /// report the forced method on repartitioning cycles.
+    #[test]
+    fn forced_portfolio_methods_match_reference() {
+        for method in [
+            BalanceMethod::Sfc,
+            BalanceMethod::Knapsack,
+            BalanceMethod::SfcDiffusion,
+        ] {
+            let mut engine = plum(8, 4, RemapPolicy::BeforeRefinement);
+            let mut reference = plum(8, 4, RemapPolicy::BeforeRefinement);
+            engine.cfg.force_method = Some(method);
+            reference.cfg.force_method = Some(method);
+            for cycle in 0..2 {
+                let e = engine.adaption_cycle(0.3, 0.1);
+                let r = reference.adaption_cycle_reference(0.3, 0.1);
+                assert_equivalent(&e, &r, &format!("{method:?} cycle {cycle}"));
+                assert_eq!(e.decision.method, r.decision.method, "{method:?}");
+                if e.decision.repartitioned {
+                    assert_eq!(e.decision.method, Some(method), "cycle {cycle}");
+                    assert!(e.decision.predicted_partition_time > 0.0);
+                }
+            }
+            engine.am.validate();
+        }
+    }
+
+    /// Acceptance criterion: on the same mesh and cycle, the measured SFC
+    /// boundary-diffusion partition phase undercuts the multilevel phase by
+    /// at least 5× — the saving the portfolio's mild branch banks.
+    #[test]
+    fn diffusion_partition_phase_is_5x_cheaper_than_multilevel() {
+        let mut d = plum(8, 4, RemapPolicy::BeforeRefinement);
+        d.cfg.force_method = Some(BalanceMethod::SfcDiffusion);
+        let mut m = plum(8, 4, RemapPolicy::BeforeRefinement);
+        m.cfg.force_method = Some(BalanceMethod::Multilevel);
+        let rd = d.adaption_cycle(0.3, 0.1);
+        let rm = m.adaption_cycle(0.3, 0.1);
+        assert!(rd.decision.repartitioned && rm.decision.repartitioned);
+        assert_eq!(rd.decision.method, Some(BalanceMethod::SfcDiffusion));
+        assert_eq!(rm.decision.method, Some(BalanceMethod::Multilevel));
+        assert!(
+            rd.times.partition * 5.0 <= rm.times.partition,
+            "diffusion {} not ≥5× under multilevel {}",
+            rd.times.partition,
+            rm.times.partition
+        );
     }
 
     /// Satellite: an *explicitly* zero-chaos engine — `ChaosConfig::none`

@@ -10,7 +10,7 @@ use plum_solver::{
 
 use plum_parsim::TraceLog;
 
-use crate::balance::{balance_step, BalanceDecision};
+use crate::balance::{balance_step_keyed, BalanceDecision};
 use crate::chaos::ChaosConfig;
 use crate::config::{PlumConfig, RemapPolicy};
 use crate::engine::CycleEngine;
@@ -166,6 +166,23 @@ impl CycleReport {
 
         sink.set_gauge("balance.imbalance_new", self.decision.imbalance_new);
         sink.set_gauge("balance.wmax_balanced", self.wmax_balanced as f64);
+        // Which portfolio method ran (0 = no repartition this cycle), plus
+        // its measured partition seconds under a method-specific name so the
+        // regression gate tracks each method's cost independently.
+        sink.set_gauge(
+            "balance.method",
+            self.decision.method.map_or(0.0, |m| m.code() as f64),
+        );
+        if let Some(m) = self.decision.method {
+            sink.set_gauge(
+                &format!("balance.partition.{}.seconds", m.name()),
+                self.times.partition,
+            );
+            sink.set_gauge(
+                "info.balance.method_predicted_seconds",
+                self.decision.predicted_partition_time,
+            );
+        }
         sink.set_gauge("info.balance.imbalance_old", self.decision.imbalance_old);
         sink.set_gauge("info.balance.gain", self.decision.gain);
         sink.set_gauge("info.balance.cost", self.decision.cost);
@@ -193,6 +210,10 @@ pub struct Plum {
     pub am: AdaptiveMesh,
     /// Dual graph of the *initial* mesh; weights are refreshed every cycle.
     pub dual: DualGraph,
+    /// SFC key of each dual vertex (curve `cfg.sfc_curve` over the initial
+    /// elements' centroids). Roots never move, so the keys are computed once
+    /// and power the portfolio's geometric methods every cycle.
+    pub sfc_keys: Vec<u64>,
     /// The flow solution.
     pub field: VertexField,
     /// The analytic wave field driving the solution.
@@ -228,6 +249,7 @@ impl Plum {
         } else {
             vec![0; dual.n()]
         };
+        let sfc_keys = plum_mesh::sfc::element_keys(&mesh, &dual.elem_of, cfg.sfc_curve);
         let am = AdaptiveMesh::new(mesh);
         let mut field = VertexField::new(NCOMP, am.mesh.vert_slots());
         initialize_solution(&am.mesh, &mut field, &wave, 0.0);
@@ -240,6 +262,7 @@ impl Plum {
             work: WorkModel::default(),
             am,
             dual,
+            sfc_keys,
             field,
             wave,
             proc_of_root,
@@ -354,12 +377,13 @@ impl Plum {
                 // that moves is still the small, unrefined grid.
                 self.dual.wcomp = pred.wcomp.clone();
                 self.dual.wremap = wremap_now.clone();
-                let decision = balance_step(
+                let decision = balance_step_keyed(
                     &self.dual,
                     &self.proc_of_root,
                     &children_per_root,
                     &self.cfg,
                     &self.work,
+                    Some(&self.sfc_keys),
                 );
                 times.partition = decision.partition_time;
                 times.reassign = decision.reassign_seconds;
@@ -395,12 +419,13 @@ impl Plum {
                 let (wcomp_after, wremap_after) = self.am.weights();
                 self.dual.wcomp = wcomp_after;
                 self.dual.wremap = wremap_after;
-                let decision = balance_step(
+                let decision = balance_step_keyed(
                     &self.dual,
                     &self.proc_of_root,
                     &vec![0; self.dual.n()],
                     &self.cfg,
                     &self.work,
+                    Some(&self.sfc_keys),
                 );
                 times.partition = decision.partition_time;
                 times.reassign = decision.reassign_seconds;

@@ -44,7 +44,9 @@ mod reassign_par;
 mod snapshot;
 mod timing;
 
-pub use balance::{balance_step, run_mapper, BalanceDecision};
+pub use balance::{
+    balance_step, balance_step_keyed, run_mapper, select_method, BalanceDecision, BalanceMethod,
+};
 pub use chaos::ChaosConfig;
 pub use config::{Mapper, PlumConfig, RemapPolicy};
 pub use dmesh::{distribute, finalize, DistributedMesh, FinalizedMesh};

@@ -68,6 +68,47 @@ impl WorkModel {
         local + sync + self.t_part_base
     }
 
+    /// Modeled wall time of the full SFC partitioner on `p` processors: a
+    /// local key sort over `n/p` elements (far lighter than a multilevel
+    /// level — no matching, no contraction), one all-to-all key exchange,
+    /// and a fraction of the fixed setup. No `levels` factor: the curve is
+    /// cut in a single pass.
+    pub fn sfc_partition_time(&self, n: usize, p: usize) -> f64 {
+        let local = self.t_part_vertex * 0.5 * (n as f64 / p as f64);
+        let sync = if p > 1 {
+            self.t_part_sync * p as f64
+        } else {
+            0.0
+        };
+        local + sync + self.t_part_base * 0.1
+    }
+
+    /// Modeled wall time of SFC boundary diffusion: boundary sweeps over the
+    /// local curve range plus one reduced weight exchange — the cheap path
+    /// of the portfolio, an order of magnitude under
+    /// [`WorkModel::partition_time`].
+    pub fn sfc_diffusion_time(&self, n: usize, p: usize) -> f64 {
+        let local = self.t_part_vertex * 0.25 * (n as f64 / p as f64);
+        let sync = if p > 1 {
+            self.t_part_sync * 0.5 * p as f64
+        } else {
+            0.0
+        };
+        local + sync + self.t_part_base * 0.05
+    }
+
+    /// Modeled wall time of the LPT knapsack packer: local weight sort plus
+    /// one assignment exchange — same shape as the SFC sort, no geometry.
+    pub fn knapsack_time(&self, n: usize, p: usize) -> f64 {
+        let local = self.t_part_vertex * 0.5 * (n as f64 / p as f64);
+        let sync = if p > 1 {
+            self.t_part_sync * p as f64
+        } else {
+            0.0
+        };
+        local + sync + self.t_part_base * 0.1
+    }
+
     /// Compute-only share of one solver iteration on a rank owning `wcomp`
     /// leaf elements (≈ 6/5·wcomp edge visits per iteration on a tet mesh).
     /// This is the part a slow processor stretches — chaos profiles multiply
@@ -175,6 +216,26 @@ mod tests {
         );
         // Near-flat at scale: t(64) within 4× of the minimum.
         assert!(times[6] < times[min_idx] * 4.0);
+    }
+
+    #[test]
+    fn portfolio_methods_are_cheaper_than_multilevel() {
+        let wm = WorkModel::default();
+        for &(n, p) in &[(6_000usize, 8usize), (6_000, 64), (60_968, 64)] {
+            let ml = wm.partition_time(n, p);
+            assert!(
+                wm.sfc_diffusion_time(n, p) * 5.0 <= ml,
+                "diffusion not ≥5× cheaper at n={n} p={p}"
+            );
+            assert!(
+                wm.sfc_partition_time(n, p) < ml,
+                "SFC ≥ multilevel at n={n} p={p}"
+            );
+            assert!(
+                wm.knapsack_time(n, p) < ml,
+                "knapsack ≥ multilevel at n={n} p={p}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod generate;
 pub mod geometry;
 mod ids;
 mod pairmap;
+pub mod sfc;
 mod shared;
 mod submesh;
 mod tetmesh;
@@ -32,6 +33,7 @@ pub use dual::DualGraph;
 pub use field::VertexField;
 pub use ids::{EdgeId, ElemId, VertId};
 pub use pairmap::PairMap;
+pub use sfc::SfcCurve;
 pub use shared::SharedEdgeTracker;
 pub use submesh::{extract_submeshes, SubMesh};
 pub use tetmesh::{MeshCounts, TetMesh, LOCAL_EDGE_VERTS, LOCAL_FACE_EDGES, LOCAL_FACE_VERTS};

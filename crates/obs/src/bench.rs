@@ -251,14 +251,21 @@ pub struct CompareReport {
     /// Tracked baseline metrics absent from the current report (a silently
     /// dropped metric must fail the gate, or regressions could hide).
     pub missing_in_current: Vec<String>,
-    /// Tracked current metrics with no baseline (informational).
+    /// Tracked current metrics with no baseline. Warned about always;
+    /// gating only when [`CompareReport::strict_new`] is set — otherwise a
+    /// new tracked metric never gets a baseline and never gates.
     pub new_in_current: Vec<String>,
+    /// When set (`--strict-new`), unbaselined tracked metrics fail the gate.
+    pub strict_new: bool,
 }
 
 impl CompareReport {
-    /// The gate verdict: no regressions and no dropped metrics.
+    /// The gate verdict: no regressions, no dropped metrics, and — under
+    /// [`strict_new`](CompareReport::strict_new) — no unbaselined metrics.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing_in_current.is_empty()
+        self.regressions.is_empty()
+            && self.missing_in_current.is_empty()
+            && (!self.strict_new || self.new_in_current.is_empty())
     }
 
     /// Human-readable verdict for CI logs.
@@ -294,7 +301,16 @@ impl CompareReport {
             ));
         }
         for name in &self.new_in_current {
-            out.push_str(&format!("  new         {name} (no baseline)\n"));
+            if self.strict_new {
+                out.push_str(&format!(
+                    "  NEW         {name}: tracked metric has no baseline (strict-new)\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  WARNING new {name}: tracked metric has no baseline \
+                     (regenerate the baseline, or gate with --strict-new)\n"
+                ));
+            }
         }
         out.push_str(if self.passed() { "PASS\n" } else { "FAIL\n" });
         out
@@ -313,6 +329,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64
         unchanged: 0,
         missing_in_current: Vec::new(),
         new_in_current: Vec::new(),
+        strict_new: false,
     };
     for (name, &base) in &baseline.metrics {
         if name.starts_with(INFO_PREFIX) {
@@ -458,6 +475,31 @@ mod tests {
         let text = cmp.render();
         assert!(text.contains("improvement"));
         assert!(text.contains("PASS"));
+        // Unbaselined tracked metrics are never silent: a listed warning.
+        assert!(
+            text.contains("WARNING new phase.subdivide.seconds"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn strict_new_gates_unbaselined_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        cur.set("balance.method", 2.0); // new tracked metric
+        let mut cmp = compare(&base, &cur, 5.0);
+        assert!(cmp.passed(), "lenient mode warns but passes");
+        cmp.strict_new = true;
+        assert!(!cmp.passed(), "strict mode fails on unbaselined metrics");
+        let text = cmp.render();
+        assert!(text.contains("NEW         balance.method"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        // info. metrics stay exempt even under strict-new.
+        let mut cur2 = sample();
+        cur2.set("info.balance.method_predicted_seconds", 0.1);
+        let mut cmp2 = compare(&base, &cur2, 5.0);
+        cmp2.strict_new = true;
+        assert!(cmp2.passed(), "info. metrics never gate");
     }
 
     #[test]

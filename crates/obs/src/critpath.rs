@@ -13,8 +13,9 @@
 //!
 //! * a compute / send / fault span was binding on its own rank — account it
 //!   and step to the previous event;
-//! * a receive that *waited* was bound by the sender: the flight time is
-//!   charged as wire on the sender's rank and the walk jumps to the
+//! * a receive that *waited* was bound by the sender: the blocked span past
+//!   the sender's send-end is charged as wait on the receiver, the flight
+//!   time before it as wire on the sender, and the walk jumps to the
 //!   matching send (FIFO channel pairing, see
 //!   [`TraceLog::message_edges`](plum_parsim::TraceLog::message_edges));
 //! * a step-boundary sync was bound by the slowest rank of the step: the
@@ -275,15 +276,30 @@ pub fn critical_path(log: &TraceLog) -> CriticalPath {
             }
             TraceEvent::Recv { posted, .. } => {
                 if let Some(edge) = edges.get(&(rank, idx)) {
-                    // The sender was binding: flight time is wire on the
-                    // sender's rank, then continue from its send.
+                    // The sender was binding. The span from the sender's
+                    // send-end to the receive completion splits in two:
+                    // the receiver sat blocked from max(send_end, posted)
+                    // onward (wait, charged to the receiver), and anything
+                    // before that is flight time (wire, charged to the
+                    // sender). Segments are pushed latest-first.
+                    let wait_start = edge.send_end.max(*posted).min(cur_t);
+                    push(
+                        &mut segments,
+                        PathSegment {
+                            rank,
+                            kind: SegmentKind::Wait,
+                            start: wait_start,
+                            end: cur_t,
+                        },
+                        &mut path.wait,
+                    );
                     push(
                         &mut segments,
                         PathSegment {
                             rank: edge.src,
                             kind: SegmentKind::Wire,
                             start: edge.send_end,
-                            end: cur_t,
+                            end: wait_start,
                         },
                         &mut path.wire,
                     );
@@ -448,17 +464,17 @@ mod tests {
             vec![
                 seg(0, Compute, 0.0, 1.0),
                 seg(0, Wire, 1.0, 1.5),
-                seg(0, Wire, 1.5, 2.0), // flight into rank 1, on sender 0
+                seg(1, Wait, 1.5, 2.0), // blocked past send-end: receiver wait
                 seg(1, Compute, 2.0, 3.0),
                 seg(1, Wire, 3.0, 3.5),
-                seg(1, Wire, 3.5, 4.0),
+                seg(2, Wait, 3.5, 4.0),
                 seg(2, Compute, 4.0, 5.0),
             ]
         );
         assert!((path.length() - 5.0).abs() < 1e-12);
         assert!((path.compute - 3.0).abs() < 1e-12);
-        assert!((path.wire - 2.0).abs() < 1e-12);
-        assert_eq!(path.wait, 0.0);
+        assert!((path.wire - 1.0).abs() < 1e-12);
+        assert!((path.wait - 1.0).abs() < 1e-12);
         assert_eq!(path.unattributed, 0.0);
         assert_eq!((path.start, path.end), (0.0, 5.0));
     }
@@ -502,14 +518,16 @@ mod tests {
         );
         assert!((path.length() - 4.0).abs() < 1e-12);
         assert!((path.compute - 3.4).abs() < 1e-12);
-        assert!((path.wire - 0.6).abs() < 1e-12);
-        assert_eq!(path.wait, 0.0);
+        assert!((path.wire - 0.5).abs() < 1e-12);
+        assert!((path.wait - 0.1).abs() < 1e-12, "join wait on rank 0");
     }
 
-    /// A blocked receive is attributed through the sender: the receiver's
-    /// wait shows up as sender-side compute + wire, never as path wait.
+    /// A blocked receive splits across the edge: flight time up to the
+    /// sender's send-end is wire on the sender, the receiver's blocked span
+    /// past it is wait on the receiver — wait must be nonzero, not
+    /// swallowed into wire.
     #[test]
-    fn blocked_recv_chain_charges_the_sender() {
+    fn blocked_recv_pins_nonzero_receiver_wait() {
         let log = TraceLog {
             events: vec![
                 vec![compute(0.0, 3.0), send(3.0, 3.5, 1, 1, 4.0)],
@@ -523,11 +541,40 @@ mod tests {
             vec![
                 seg(0, Compute, 0.0, 3.0),
                 seg(0, Wire, 3.0, 3.5),
-                seg(0, Wire, 3.5, 4.0),
+                seg(1, Wait, 3.5, 4.0),
             ]
         );
         assert!((path.length() - 4.0).abs() < 1e-12);
-        assert_eq!(path.wait, 0.0, "waiting is someone else's busy time");
+        assert!((path.wire - 0.5).abs() < 1e-12);
+        assert!(path.wait > 0.0, "blocked receiver must show as wait");
+        assert!((path.wait - 0.5).abs() < 1e-12);
+    }
+
+    /// A receive posted after the payload was already in flight: the span
+    /// before the post is wire (the payload really was on the wire), only
+    /// the span past the post is receiver wait.
+    #[test]
+    fn late_posted_recv_splits_wire_before_wait() {
+        let log = TraceLog {
+            events: vec![
+                vec![compute(0.0, 3.0), send(3.0, 3.5, 1, 1, 4.0)],
+                vec![compute(0.0, 3.8), recv(3.8, 4.0, 0, 1)],
+            ],
+        };
+        let path = critical_path(&log);
+        use SegmentKind::*;
+        assert_eq!(
+            path.segments,
+            vec![
+                seg(0, Compute, 0.0, 3.0),
+                seg(0, Wire, 3.0, 3.5),
+                seg(0, Wire, 3.5, 3.8), // in flight while the recv was unposted
+                seg(1, Wait, 3.8, 4.0),
+            ]
+        );
+        assert!((path.length() - 4.0).abs() < 1e-12);
+        assert!((path.wire - 0.8).abs() < 1e-12);
+        assert!((path.wait - 0.2).abs() < 1e-12);
     }
 
     /// An unmatched receive (no send in the log) degrades to local wait.

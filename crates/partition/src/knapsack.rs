@@ -1,0 +1,185 @@
+//! Knapsack / cost-bin packing: longest-processing-time greedy assignment
+//! into capacity-weighted bins.
+//!
+//! The locality-insensitive end of the partitioner portfolio, after AMReX's
+//! `DistributionMapping::makeKnapSack`: when imbalance is extreme, the cut
+//! hardly matters and the fastest way back to balance is to treat vertices
+//! as independent jobs and pack them onto processors by weight. LPT greedy
+//! is within 4/3 of optimal makespan, deterministic, and needs no graph at
+//! all.
+//!
+//! The SPMD body follows the [`crate::distributed::repartition_body`]
+//! contract: replicated control flow, machine-model-independent result,
+//! virtual time from compute charges plus real collective traffic.
+
+use plum_parsim::{makespan, spmd, words_for_bytes, Comm, MachineModel, TraceLog};
+
+use crate::distributed::DistPartition;
+
+/// Bytes per (id, weight) pair in the distributed assignment exchange.
+const PAIR_BYTES: usize = 12;
+
+/// LPT greedy bin packing. Vertices in `(weight desc, id asc)` order each go
+/// to the bin whose *post-assignment* effective load `(w_p + w) / c_p` is
+/// smallest, lowest bin id breaking ties — a total order, so the result is
+/// deterministic.
+pub fn knapsack_partition(vwgt: &[u64], nparts: usize, caps: &[f64]) -> Vec<u32> {
+    assert_eq!(caps.len(), nparts, "one capacity per part");
+    let cap_sum: f64 = caps.iter().sum();
+    let caps: Vec<f64> = if cap_sum <= 0.0 || !cap_sum.is_finite() {
+        vec![1.0; nparts]
+    } else {
+        caps.to_vec()
+    };
+    let mut order: Vec<u32> = (0..vwgt.len() as u32).collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(vwgt[v as usize]), v));
+    let mut part = vec![0u32; vwgt.len()];
+    let mut w = vec![0u64; nparts];
+    for &v in &order {
+        let wv = vwgt[v as usize];
+        let mut best = 0usize;
+        let mut best_load = f64::INFINITY;
+        for p in 0..nparts {
+            let load = (w[p] + wv) as f64 / caps[p];
+            if load < best_load {
+                best = p;
+                best_load = load;
+            }
+        }
+        part[v as usize] = best as u32;
+        w[best] += wv;
+    }
+    part
+}
+
+/// SPMD body of the knapsack packer: local weight sort, alltoallv
+/// assignment exchange, allreduce'd bin loads. Returns the same partition
+/// [`knapsack_partition`] computes serially — bit-identical on every rank
+/// and under every machine model.
+pub fn knapsack_body(
+    comm: &mut Comm,
+    vwgt: &[u64],
+    owner: &[u32],
+    nparts: usize,
+    caps: &[f64],
+    vertex_units: f64,
+) -> Vec<u32> {
+    let rank = comm.rank();
+    let nranks = comm.nranks();
+    let part = knapsack_partition(vwgt, nparts, caps);
+    // Local sort plus the serial packing sweep on the gathered weights.
+    let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
+    let units = vertex_units * n_local as f64;
+    if units > 0.0 {
+        comm.compute(units);
+    }
+    // Each rank ships its local (id, weight) pairs to the home rank of the
+    // destination bin; bin loads are summed by allreduce.
+    let mut counts = vec![0u64; nranks];
+    let mut local_w = vec![0u64; nparts];
+    for v in 0..part.len() {
+        if owner[v] as usize != rank {
+            continue;
+        }
+        local_w[part[v] as usize] += vwgt[v];
+        counts[part[v] as usize * nranks / nparts] += 1;
+    }
+    let items: Vec<(u64, u64)> = counts
+        .iter()
+        .map(|&c| (words_for_bytes(PAIR_BYTES * c as usize), c))
+        .collect();
+    comm.alltoallv(items);
+    let global_w = comm.allreduce(nparts as u64, local_w, |a, b| {
+        a.iter().zip(&b).map(|(x, y)| x + y).collect::<Vec<u64>>()
+    });
+    let total: u64 = global_w.iter().sum();
+    assert_eq!(
+        total,
+        vwgt.iter().sum::<u64>(),
+        "allreduce'd bin loads diverged"
+    );
+    part
+}
+
+/// Standalone harness for [`knapsack_body`], mirroring
+/// [`crate::repartition_distributed`]. Panics if ranks disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn knapsack_distributed(
+    vwgt: &[u64],
+    owner: &[u32],
+    nparts: usize,
+    caps: &[f64],
+    nranks: usize,
+    model: MachineModel,
+    vertex_units: f64,
+) -> DistPartition {
+    let results = spmd(nranks, model, |comm| {
+        comm.phase("partition", |c| {
+            knapsack_body(c, vwgt, owner, nparts, caps, vertex_units)
+        })
+    });
+    let part = results[0].value.clone();
+    for r in &results {
+        assert_eq!(r.value, part, "rank {} disagrees on the partition", r.rank);
+    }
+    DistPartition {
+        part,
+        makespan: makespan(&results),
+        trace: TraceLog::from_results(&results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::imbalance_weighted;
+
+    #[test]
+    fn lpt_balances_skewed_weights_tightly() {
+        // One giant job plus many small ones: LPT puts the giant alone.
+        let mut vwgt = vec![1u64; 63];
+        vwgt.push(60);
+        let part = knapsack_partition(&vwgt, 4, &[1.0; 4]);
+        let mut w = [0u64; 4];
+        for v in 0..vwgt.len() {
+            w[part[v] as usize] += vwgt[v];
+        }
+        let imb = imbalance_weighted(&w, &[1.0; 4]);
+        assert!(imb < 2.0, "LPT imbalance {imb} (loads {w:?})");
+        let giant_bin = part[63] as usize;
+        assert_eq!(w[giant_bin], 60, "giant bin took extra load: {w:?}");
+    }
+
+    #[test]
+    fn capacity_weighted_bins_attract_proportional_load() {
+        let vwgt = vec![2u64; 200];
+        let caps = [3.0, 1.0, 1.0, 1.0];
+        let part = knapsack_partition(&vwgt, 4, &caps);
+        let mut w = [0u64; 4];
+        for v in 0..vwgt.len() {
+            w[part[v] as usize] += vwgt[v];
+        }
+        let imb = imbalance_weighted(&w, &caps);
+        assert!(
+            imb < 1.05,
+            "capacity-weighted imbalance {imb} (loads {w:?})"
+        );
+        assert!(
+            w[0] > w[1],
+            "triple-capacity bin did not attract load: {w:?}"
+        );
+    }
+
+    #[test]
+    fn distributed_matches_serial_and_is_model_invariant() {
+        let vwgt: Vec<u64> = (0..400u64).map(|v| 1 + (v * v) % 23).collect();
+        let caps = vec![1.0; 8];
+        let owner: Vec<u32> = (0..400).map(|v| (v * 4 / 400) as u32).collect();
+        let serial = knapsack_partition(&vwgt, 8, &caps);
+        let a = knapsack_distributed(&vwgt, &owner, 8, &caps, 4, MachineModel::sp2(), 16.0);
+        let b = knapsack_distributed(&vwgt, &owner, 8, &caps, 4, MachineModel::zero(), 0.0);
+        assert_eq!(a.part, serial, "SPMD body diverged from serial");
+        assert_eq!(a.part, b.part, "partition depends on the machine model");
+        assert!(a.makespan > b.makespan, "sp2 run should cost virtual time");
+    }
+}

@@ -24,18 +24,21 @@ mod coarsen;
 mod diffusion;
 mod distributed;
 mod graph;
+mod knapsack;
 mod kway;
 mod metrics;
 #[cfg(test)]
 mod proptests;
 mod repart;
 mod rng;
+mod sfc;
 
 pub use bisect::{bisect, grow_bisection, refine_bisection};
 pub use coarsen::{coarsen_once, contract, heavy_edge_matching};
 pub use diffusion::{diffuse, DiffusionConfig, DiffusionResult};
 pub use distributed::{repartition_body, repartition_distributed, DistPartition};
 pub use graph::{Graph, GraphView};
+pub use knapsack::{knapsack_body, knapsack_distributed, knapsack_partition};
 pub use kway::{
     partition_kway, partition_kway_weighted, quality, PartitionConfig, PartitionQuality,
 };
@@ -44,3 +47,7 @@ pub use metrics::{
 };
 pub use repart::{repartition_kway, repartition_kway_weighted};
 pub use rng::Rng;
+pub use sfc::{
+    sfc_body, sfc_diffuse, sfc_diffuse_body, sfc_distributed, sfc_effective_imbalance, sfc_order,
+    sfc_partition, sfc_split,
+};

@@ -54,6 +54,12 @@ pub fn imbalance_weighted(weights: &[u64], caps: &[f64]) -> f64 {
         return 1.0;
     }
     let cap_sum: f64 = caps.iter().sum();
+    if cap_sum <= 0.0 || !cap_sum.is_finite() {
+        // Zero / negative / non-finite total capacity has no meaningful
+        // ideal rate; NaN here would silently defeat every threshold
+        // comparison downstream (`imb <= trigger` is false for NaN).
+        return 1.0;
+    }
     let ideal_rate = total as f64 / cap_sum;
     weights
         .iter()
@@ -103,6 +109,17 @@ mod tests {
         assert_eq!(w, vec![3, 7]);
         assert!((imbalance(&w) - 1.4).abs() < 1e-12);
         assert!((imbalance(&[5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_defined_imbalance() {
+        // All-empty parts: no load is perfectly balanced.
+        assert_eq!(imbalance(&[0, 0, 0]), 1.0);
+        assert_eq!(imbalance_weighted(&[0, 0], &[1.0, 1.0]), 1.0);
+        // Zero / non-finite total capacity: defined 1.0, never NaN.
+        assert_eq!(imbalance_weighted(&[3, 5], &[0.0, 0.0]), 1.0);
+        assert_eq!(imbalance_weighted(&[3, 5], &[f64::NAN, 1.0]), 1.0);
+        assert_eq!(imbalance_weighted(&[3, 5], &[-1.0, 1.0]), 1.0);
     }
 
     #[test]

@@ -245,4 +245,96 @@ proptest! {
             );
         }
     }
+
+    /// (d) The SFC split is an exact cover and every part's weight stays
+    /// under its capacity-proportional share plus one vertex of granularity
+    /// — the cursor advances before assigning, so no part can overshoot by
+    /// more than the vertex that crossed its target.
+    #[test]
+    fn sfc_split_respects_capacity_shares(
+        keyseed in proptest::collection::vec(any::<u64>(), 160),
+        wseed in proptest::collection::vec(1u64..9, 160),
+        n in 30usize..160,
+        p in 2usize..9,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        let keys = &keyseed[..n];
+        let vwgt = &wseed[..n];
+        let part = crate::sfc::sfc_split(keys, vwgt, p, &caps[..p]);
+        prop_assert_eq!(part.len(), n, "split must cover every vertex");
+        prop_assert!(part.iter().all(|&q| (q as usize) < p), "part id out of range");
+        let mut w = vec![0u64; p];
+        for v in 0..n {
+            w[part[v] as usize] += vwgt[v];
+        }
+        let total: u64 = vwgt.iter().sum();
+        let csum: f64 = caps[..p].iter().sum();
+        let maxv = *vwgt.iter().max().unwrap();
+        for q in 0..p {
+            let share = total as f64 * caps[q] / csum;
+            prop_assert!(
+                w[q] as f64 <= share + maxv as f64 + 1e-6,
+                "part {} weighs {} > share {} + granularity {}",
+                q, w[q], share, maxv
+            );
+        }
+    }
+
+    /// (e) Boundary diffusion is monotone: from an *arbitrary* previous
+    /// labelling it never increases the effective (capacity-weighted)
+    /// imbalance, never invents part ids, and touches nothing when the
+    /// input is already a single part.
+    #[test]
+    fn sfc_diffusion_never_increases_effective_imbalance(
+        keyseed in proptest::collection::vec(any::<u64>(), 160),
+        wseed in proptest::collection::vec(1u64..9, 160),
+        prevseed in proptest::collection::vec(0u32..8, 160),
+        n in 30usize..160,
+        p in 2usize..9,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        let keys = &keyseed[..n];
+        let vwgt = &wseed[..n];
+        let prev: Vec<u32> = (0..n).map(|v| prevseed[v] % p as u32).collect();
+        let out = crate::sfc::sfc_diffuse(keys, vwgt, &prev, p, &caps[..p]);
+        prop_assert_eq!(out.len(), n);
+        prop_assert!(out.iter().all(|&q| (q as usize) < p));
+        let before = crate::sfc::sfc_effective_imbalance(vwgt, &prev, p, &caps[..p]);
+        let after = crate::sfc::sfc_effective_imbalance(vwgt, &out, p, &caps[..p]);
+        prop_assert!(
+            after <= before + 1e-9,
+            "diffusion worsened imbalance: {} -> {}",
+            before, after
+        );
+    }
+
+    /// (f) LPT knapsack packing: exact cover, and the heaviest effective
+    /// (capacity-scaled) bin load stays under the ideal `Σw/Σc` plus the
+    /// greedy bound's one-job slack `max(w)/min(c)`.
+    #[test]
+    fn knapsack_respects_the_greedy_bound(
+        wseed in proptest::collection::vec(1u64..50, 160),
+        n in 30usize..160,
+        p in 2usize..9,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        let vwgt = &wseed[..n];
+        let part = crate::knapsack::knapsack_partition(vwgt, p, &caps[..p]);
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|&q| (q as usize) < p));
+        let mut w = vec![0u64; p];
+        for v in 0..n {
+            w[part[v] as usize] += vwgt[v];
+        }
+        let total: u64 = vwgt.iter().sum();
+        let csum: f64 = caps[..p].iter().sum();
+        let cmin = caps[..p].iter().cloned().fold(f64::INFINITY, f64::min);
+        let maxv = *vwgt.iter().max().unwrap();
+        let worst = (0..p).map(|q| w[q] as f64 / caps[q]).fold(0.0, f64::max);
+        prop_assert!(
+            worst <= total as f64 / csum + maxv as f64 / cmin + 1e-6,
+            "effective max load {} beyond the LPT bound ({} ideal + {} slack)",
+            worst, total as f64 / csum, maxv as f64 / cmin
+        );
+    }
 }

@@ -11,11 +11,12 @@
 //! result plus a small epsilon.
 
 use plum_mesh::generate::{box_dims_for_elements, box_mesh};
-use plum_mesh::DualGraph;
+use plum_mesh::{DualGraph, SfcCurve};
 use plum_parsim::MachineModel;
 use plum_partition::{
-    imbalance_weighted, part_weights, partition_kway, quality, repartition_distributed,
-    repartition_kway_weighted, Graph, PartitionConfig,
+    imbalance_weighted, knapsack_distributed, knapsack_partition, part_weights, partition_kway,
+    quality, repartition_distributed, repartition_kway_weighted, sfc_diffuse, sfc_distributed,
+    sfc_partition, Graph, PartitionConfig,
 };
 
 const PROC_COUNTS: [usize; 3] = [2, 8, 64];
@@ -29,15 +30,25 @@ const VERTEX_UNITS: f64 = 16.0;
 /// a refinement wave had just passed through. The uniform seed partition is
 /// therefore imbalanced — exactly the state the engine repartitions from.
 fn fig6_quick_graph() -> Graph<'static> {
+    fig6_quick_graph_with_keys().0
+}
+
+/// Same graph plus the Hilbert keys of its elements' centroids — the inputs
+/// the portfolio's geometric methods consume.
+fn fig6_quick_graph_with_keys() -> (Graph<'static>, Vec<u64>) {
     let (nx, ny, nz) = box_dims_for_elements(6_000);
     let mesh = box_mesh(nx, ny, nz, [0.0; 3], [1.0; 3]);
     let dual = DualGraph::build(&mesh);
+    let keys = plum_mesh::sfc::element_keys(&mesh, &dual.elem_of, SfcCurve::Hilbert);
     let mut w = dual.wcomp.clone();
     let n = w.len();
     for x in w.iter_mut().take(n / 5) {
         *x *= 8;
     }
-    Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), w)
+    (
+        Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), w),
+        keys,
+    )
 }
 
 /// The "previous" partition: computed on uniform weights, like the partition
@@ -178,5 +189,136 @@ fn weighted_capacities_shift_load_and_respect_ceilings() {
     assert!(
         heavy as f64 > total as f64 * 2.0 / p as f64,
         "2x-capacity parts hold {heavy} of {total}: no load shifted"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio battery: the geometric methods against their serial kernels.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn portfolio_distributed_kernels_match_serial_at_all_proc_counts() {
+    let (g, keys) = fig6_quick_graph_with_keys();
+    let vwgt: &[u64] = &g.vwgt;
+    for &p in &PROC_COUNTS {
+        let prev = seed_partition(&g, p);
+        let caps = vec![1.0; p];
+
+        let serial_sfc = sfc_partition(&keys, vwgt, p, &caps);
+        let dist_sfc = sfc_distributed(
+            &keys,
+            vwgt,
+            &prev,
+            None,
+            p,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        assert_eq!(dist_sfc.part, serial_sfc, "P={p}: SFC split diverged");
+
+        let serial_diff = sfc_diffuse(&keys, vwgt, &prev, p, &caps);
+        let dist_diff = sfc_distributed(
+            &keys,
+            vwgt,
+            &prev,
+            Some(&prev),
+            p,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        assert_eq!(dist_diff.part, serial_diff, "P={p}: diffusion diverged");
+
+        let serial_knap = knapsack_partition(vwgt, p, &caps);
+        let dist_knap =
+            knapsack_distributed(vwgt, &prev, p, &caps, p, MachineModel::sp2(), VERTEX_UNITS);
+        assert_eq!(dist_knap.part, serial_knap, "P={p}: knapsack diverged");
+
+        // Machine-model invariance: the zero model changes only the clock.
+        let zero = sfc_distributed(
+            &keys,
+            vwgt,
+            &prev,
+            None,
+            p,
+            &caps,
+            p,
+            MachineModel::zero(),
+            0.0,
+        );
+        assert_eq!(zero.part, serial_sfc, "P={p}: SFC depends on the model");
+        assert!(
+            dist_sfc.makespan > zero.makespan,
+            "P={p}: sp2 must cost time"
+        );
+    }
+}
+
+#[test]
+fn sfc_split_respects_capacity_shares_on_fig6() {
+    let (g, keys) = fig6_quick_graph_with_keys();
+    let vwgt: &[u64] = &g.vwgt;
+    let total: u64 = vwgt.iter().sum();
+    let maxv = *vwgt.iter().max().unwrap();
+    for &p in &PROC_COUNTS {
+        let caps: Vec<f64> = (0..p).map(|r| if r == 0 { 2.0 } else { 1.0 }).collect();
+        let part = sfc_partition(&keys, vwgt, p, &caps);
+        let w = part_weights(&g, &part, p);
+        let csum: f64 = caps.iter().sum();
+        for q in 0..p {
+            let share = total as f64 * caps[q] / csum;
+            assert!(
+                w[q] as f64 <= share + maxv as f64 + 1e-6,
+                "P={p}: part {q} weighs {} > share {share} + {maxv}",
+                w[q]
+            );
+        }
+    }
+}
+
+/// Acceptance criterion: on the fig6 quick graph at P = 64, SFC boundary
+/// diffusion's measured partition makespan undercuts the multilevel
+/// repartitioner's by at least 5× — the portfolio's mild-cycle saving.
+#[test]
+fn diffusion_makespan_undercuts_multilevel_5x_at_p64() {
+    let (g, keys) = fig6_quick_graph_with_keys();
+    let vwgt: &[u64] = &g.vwgt;
+    let p = 64;
+    let cfg = PartitionConfig::new(p);
+    let prev = seed_partition(&g, p);
+    let caps = vec![1.0; p];
+    let ml = repartition_distributed(
+        &g,
+        &prev,
+        Some(&prev),
+        &cfg,
+        &caps,
+        p,
+        MachineModel::sp2(),
+        VERTEX_UNITS,
+    );
+    let diff = sfc_distributed(
+        &keys,
+        vwgt,
+        &prev,
+        Some(&prev),
+        p,
+        &caps,
+        p,
+        MachineModel::sp2(),
+        VERTEX_UNITS,
+    );
+    eprintln!(
+        "P=64 makespans: multilevel {:.6}s, diffusion {:.6}s",
+        ml.makespan, diff.makespan
+    );
+    assert!(
+        diff.makespan * 5.0 <= ml.makespan,
+        "diffusion {:.6}s not ≥5× under multilevel {:.6}s",
+        diff.makespan,
+        ml.makespan
     );
 }
