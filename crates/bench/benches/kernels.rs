@@ -171,6 +171,40 @@ fn synthetic_session(nranks: usize) -> TraceLog {
     log
 }
 
+/// Pins the per-step overhead of the fiber executor itself: spawn P rank
+/// tasks, run a trivial ring exchange, tear the step down. The step path
+/// reuses fiber stacks and the per-rank delay buffer, so per-step cost must
+/// stay O(ranks + messages) with no per-step O(P) allocation storms.
+fn bench_session_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_step");
+    group.sample_size(20);
+    for nranks in [8usize, 64, 256] {
+        let mut session = Session::new(nranks, MachineModel::sp2());
+        group.bench_function(format!("ring_step_p{nranks}"), |b| {
+            b.iter(|| {
+                let results = session.run(vec![(); nranks], |comm, ()| {
+                    let next = (comm.rank() + 1) % comm.nranks();
+                    let prev = (comm.rank() + comm.nranks() - 1) % comm.nranks();
+                    comm.send(next, 7, 8, comm.rank() as u64);
+                    let got: u64 = comm.recv(prev, 7);
+                    got
+                });
+                black_box(results.len())
+            })
+        });
+        // Compute-only step: isolates spawn/teardown from messaging.
+        group.bench_function(format!("compute_step_p{nranks}"), |b| {
+            b.iter(|| {
+                let results = session.run(vec![(); nranks], |comm, ()| {
+                    comm.compute(100.0);
+                });
+                black_box(results.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_trace_aggregation(c: &mut Criterion) {
     let log = synthetic_session(8);
 
@@ -210,6 +244,7 @@ criterion_group!(
     bench_adaption,
     bench_ownership,
     bench_codec,
+    bench_session_step,
     bench_trace_aggregation
 );
 criterion_main!(benches);

@@ -9,7 +9,9 @@
 //! `compare` exits 0 when every tracked (non-`info.`) metric of the current
 //! report is within `tolerance` percent of the baseline (default 5), and 1
 //! when any metric regressed beyond tolerance or a tracked baseline metric
-//! was dropped. Tracked metrics with no baseline are warned about; with
+//! was dropped. Plain metrics are cost-like (lower is better); metrics
+//! prefixed `rate.` are throughput-like (higher is better) and regress when
+//! they *shrink* beyond tolerance. Tracked metrics with no baseline are warned about; with
 //! `--strict-new` they fail the gate instead (use after schema changes so
 //! new metrics cannot ride in ungated). Exit code 2 means usage, I/O, or
 //! schema errors.

@@ -7,8 +7,15 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig6_mild`,
-//! `fig7`, `fig8`, `all`. `--quick` runs at ~6k elements instead of the
-//! paper's ~61k.
+//! `weakscale`, `fig7`, `fig8`, `all`. `--quick` runs at ~6k elements
+//! instead of the paper's ~61k.
+//!
+//! `weakscale` runs one full adaption cycle each at P = 256, 1024, and 4096
+//! (`--quick` skips 4096) on meshes sized to ~16 initial elements per rank,
+//! and emits `BENCH_weakscale.json`: deterministic virtual cycle makespans,
+//! per-P 1-word collective costs, and the `collective.*.logp_ratio` gates
+//! that pin tree-collective O(log P) scaling. Quick reports compare only
+//! against quick baselines (the committed CI baseline is quick-shaped).
 //! `fig6 --trace <path>` additionally writes a Chrome-trace JSON (load it in
 //! Perfetto or `chrome://tracing`) of one adaption cycle, plus a plain-text
 //! timeline next to it (`foo.json` → `foo.txt`).
@@ -167,6 +174,19 @@ fn main() {
             print!("{analysis}");
             write_bench("BENCH_fig6_mild.json", &bench);
         }
+        "weakscale" => {
+            let procs: &[usize] = if quick {
+                &[256, 1024]
+            } else {
+                &[256, 1024, 4096]
+            };
+            eprintln!(
+                "# running the weak-scaling sweep (one adaption cycle each at P in {procs:?})…"
+            );
+            let (bench, analysis) = report::weakscale_bench(quick);
+            print!("{analysis}");
+            write_bench("BENCH_weakscale.json", &bench);
+        }
         "fig7" => {
             print_fig7(&paper_growths());
         }
@@ -237,7 +257,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|fig7|fig8|ablation|baseline|multicycle|all"
+                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|weakscale|fig7|fig8|ablation|baseline|multicycle|all"
             );
             std::process::exit(2);
         }

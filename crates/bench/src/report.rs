@@ -192,6 +192,260 @@ pub fn fig6_mild_bench(scale: Scale) -> (BenchReport, String) {
     (b, analysis)
 }
 
+/// Processor counts of the weak-scaling sweep. `--quick` drops the last
+/// entry (P = 4096); everything else is identical, so quick reports compare
+/// only against quick baselines and full against full.
+pub const WEAKSCALE_PROCS: [usize; 3] = [256, 1024, 4096];
+
+/// Initial elements per rank in the weak-scaling sweep: the mesh grows with
+/// P so per-rank work stays fixed and any growth in cycle time is scheduler
+/// or collective overhead.
+pub const WEAKSCALE_ELEMS_PER_RANK: usize = 16;
+
+/// Everything measured at one weak-scaling processor count.
+#[derive(Debug, Clone)]
+pub struct WeakscalePoint {
+    pub nproc: usize,
+    pub initial_elements: usize,
+    pub final_elements: usize,
+    /// Host wall-clock of the full adaption cycle (nondeterministic).
+    pub wall_seconds: f64,
+    /// Virtual makespan of the cycle's session timeline (deterministic).
+    pub virtual_seconds: f64,
+    /// Modeled phase times (deterministic).
+    pub partition_seconds: f64,
+    pub remap_seconds: f64,
+    /// Virtual time of a 1-word collective at this P (deterministic).
+    pub allreduce_seconds: f64,
+    pub bcast_seconds: f64,
+    pub barrier_seconds: f64,
+}
+
+/// Virtual cost of single 1-word collectives at `p` ranks, each measured on
+/// a fresh session so the clocks start aligned at zero.
+fn one_word_collectives(p: usize) -> (f64, f64, f64) {
+    use plum_parsim::{MachineModel, Session};
+    let measure = |body: fn(&mut plum_parsim::Comm)| {
+        let mut s = Session::new(p, MachineModel::sp2());
+        s.run(vec![(); p], |c, ()| body(c));
+        s.now()
+    };
+    let allreduce = measure(|c| {
+        c.allreduce_sum_u64(1);
+    });
+    let bcast = measure(|c| {
+        let v = (c.rank() == 0).then_some(7u64);
+        c.bcast(0, 1, v);
+    });
+    let barrier = measure(|c| c.barrier());
+    (allreduce, bcast, barrier)
+}
+
+/// Run `reps` full adaption cycles at `nproc` ranks on a mesh of
+/// `nproc * elems_per_rank` initial elements, with the balancer pinned to
+/// SFC boundary diffusion (the O(log P) path — the multilevel kernel's
+/// coarsest-graph gather would dominate at these P) and a trigger low
+/// enough that balancing always runs.
+///
+/// Every rep rebuilds the problem from scratch; the virtual metrics must
+/// come out bit-identical (the scheduler is deterministic) and the reported
+/// wall time is the minimum across reps, which strips scheduler warm-up and
+/// host noise from the gated throughput numbers.
+///
+/// Asserts the session trace is protocol-clean and that its per-phase time
+/// accounting matches the whole-log summary to 1e-9 — the invariants the
+/// acceptance gate requires at P = 4096.
+pub fn weakscale_point(nproc: usize, elems_per_rank: usize, reps: usize) -> WeakscalePoint {
+    use plum_core::{BalanceMethod, Plum, PlumConfig, RemapPolicy};
+    use plum_mesh::generate::{box_dims_for_elements, box_mesh};
+    use plum_solver::WaveField;
+    use std::time::Instant;
+
+    assert!(reps >= 1);
+    let (nx, ny, nz) = box_dims_for_elements(nproc * elems_per_rank);
+    let mesh = box_mesh(nx, ny, nz, [0.0; 3], [1.0; 3]);
+    let initial_elements = mesh.counts().elements;
+
+    let run_once = || {
+        let mut cfg = PlumConfig::new(nproc);
+        cfg.policy = RemapPolicy::BeforeRefinement;
+        cfg.imbalance_trigger = 1.01;
+        cfg.force_method = Some(BalanceMethod::SfcDiffusion);
+        let mut plum = Plum::new(
+            box_mesh(nx, ny, nz, [0.0; 3], [1.0; 3]),
+            WaveField::unit_box(),
+            cfg,
+        );
+        let t0 = Instant::now();
+        let r = plum.adaption_cycle(0.05, 0.1);
+        (r, t0.elapsed().as_secs_f64())
+    };
+
+    let (r, mut wall_seconds) = run_once();
+    for _ in 1..reps {
+        let (r2, w2) = run_once();
+        // Every virtual phase time must be bit-identical between reps
+        // (`reassign` is excluded: it is host wall-clock by design).
+        for (name, a, b) in [
+            ("solver", r2.times.solver, r.times.solver),
+            ("marking", r2.times.marking, r.times.marking),
+            ("partition", r2.times.partition, r.times.partition),
+            ("remap", r2.times.remap, r.times.remap),
+            ("subdivide", r2.times.subdivide, r.times.subdivide),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "weakscale cycle at P={nproc}: virtual {name} time differs between reps"
+            );
+        }
+        wall_seconds = wall_seconds.min(w2);
+    }
+
+    let session = &r.traces.session;
+    let violations = plum_parsim::check_protocol(session);
+    assert!(
+        violations.is_empty(),
+        "weakscale cycle at P={nproc} violates SPMD discipline: {violations:?}"
+    );
+    let summary = session.summary();
+    let full: f64 = summary.ranks.iter().map(|r| r.total()).sum();
+    let agg: f64 = session.phase_breakdowns().iter().map(|a| a.total()).sum();
+    assert!(
+        (full - agg).abs() <= 1e-9 * full.max(1.0),
+        "weakscale cycle at P={nproc}: phase accounting {agg} != summary {full}"
+    );
+    let virtual_seconds = summary.ranks.iter().map(|r| r.total()).fold(0.0, f64::max);
+
+    let (allreduce_seconds, bcast_seconds, barrier_seconds) = one_word_collectives(nproc);
+
+    WeakscalePoint {
+        nproc,
+        initial_elements,
+        final_elements: r.counts.elements,
+        wall_seconds,
+        virtual_seconds,
+        partition_seconds: r.times.partition,
+        remap_seconds: r.times.remap,
+        allreduce_seconds,
+        bcast_seconds,
+        barrier_seconds,
+    }
+}
+
+/// The weakscale BENCH run: full adaption cycles at [`WEAKSCALE_PROCS`]
+/// (P = 4096 skipped under `quick`), ~[`WEAKSCALE_ELEMS_PER_RANK`] initial
+/// elements per rank.
+///
+/// Deterministic gates: the cycle's virtual makespan, the modeled partition
+/// and remap phase times, the 1-word collective costs per P, the
+/// `collective.*.logp_ratio` metrics — cost(1024)/cost(256), which sit near
+/// log₂ 1024 / log₂ 256 = 10/8 for tree collectives and would be ≈ 4 under
+/// the old flat O(P) implementations — and `rate.sim.cycles_per_sec.p*`,
+/// the simulator's cycle throughput per *virtual* second (the report-wide
+/// convention: gated seconds are virtual seconds). Host wall-clock
+/// throughput goes out as `info.sim.cycles_per_sec.p*` /
+/// `info.sim.wall_seconds_per_cycle.p*` only: measured run-to-run wall
+/// variance on one machine is 10–15% even taking the min of three reps, so
+/// a 5% CI gate on wall values would be pure noise.
+pub fn weakscale_bench(quick: bool) -> (BenchReport, String) {
+    let procs: &[usize] = if quick {
+        &WEAKSCALE_PROCS[..2]
+    } else {
+        &WEAKSCALE_PROCS
+    };
+    let mut b = BenchReport::new("weakscale");
+    b.meta_str("git_sha", &git_sha())
+        .meta_str("mode", if quick { "quick" } else { "full" })
+        .meta_num("elems_per_rank", WEAKSCALE_ELEMS_PER_RANK as f64);
+
+    let mut analysis = String::from(
+        "weakscale: one adaption cycle per P, ~16 initial elements/rank, SFC diffusion\n",
+    );
+    analysis.push_str(&format!(
+        "{:>6} {:>9} {:>9} | {:>11} {:>10} | {:>11} {:>11} {:>11}\n",
+        "P", "elems", "final", "virtual s", "wall s", "allreduce", "bcast", "barrier"
+    ));
+
+    let mut points = Vec::new();
+    for &p in procs {
+        // Three reps at the small counts tighten the min-wall estimate; the
+        // P = 4096 cycle is long enough that one rep is representative.
+        let reps = if p <= 1024 { 3 } else { 1 };
+        let pt = weakscale_point(p, WEAKSCALE_ELEMS_PER_RANK, reps);
+        analysis.push_str(&format!(
+            "{:>6} {:>9} {:>9} | {:>11.4} {:>10.3} | {:>11.3e} {:>11.3e} {:>11.3e}\n",
+            pt.nproc,
+            pt.initial_elements,
+            pt.final_elements,
+            pt.virtual_seconds,
+            pt.wall_seconds,
+            pt.allreduce_seconds,
+            pt.bcast_seconds,
+            pt.barrier_seconds,
+        ));
+        b.meta_num(
+            &format!("initial_elements.p{p}"),
+            pt.initial_elements as f64,
+        );
+        b.set(&format!("cycle.virtual_seconds.p{p}"), pt.virtual_seconds)
+            .set(
+                &format!("phase.partition.p{p}.seconds"),
+                pt.partition_seconds,
+            )
+            .set(&format!("phase.remap.p{p}.seconds"), pt.remap_seconds)
+            .set(
+                &format!("collective.allreduce_1word.p{p}.seconds"),
+                pt.allreduce_seconds,
+            )
+            .set(
+                &format!("collective.bcast_1word.p{p}.seconds"),
+                pt.bcast_seconds,
+            )
+            .set(
+                &format!("collective.barrier.p{p}.seconds"),
+                pt.barrier_seconds,
+            )
+            .set(
+                &format!("rate.sim.cycles_per_sec.p{p}"),
+                1.0 / pt.virtual_seconds,
+            )
+            .set(
+                &format!("info.sim.wall_seconds_per_cycle.p{p}"),
+                pt.wall_seconds,
+            )
+            .set(
+                &format!("info.sim.cycles_per_sec.p{p}"),
+                1.0 / pt.wall_seconds,
+            );
+        points.push(pt);
+    }
+
+    // Collective scaling across the first two P (always present): the ratio
+    // of 1-word collective costs must track log₂ P, not P.
+    let (a, b2) = (&points[0], &points[1]);
+    let logp = (b2.nproc as f64).log2() / (a.nproc as f64).log2();
+    for (name, lo, hi) in [
+        ("allreduce", a.allreduce_seconds, b2.allreduce_seconds),
+        ("bcast", a.bcast_seconds, b2.bcast_seconds),
+        ("barrier", a.barrier_seconds, b2.barrier_seconds),
+    ] {
+        let ratio = hi / lo;
+        assert!(
+            ratio < 2.0,
+            "{name} cost grew {ratio:.2}x from P={} to P={} — O(P), not O(log P)",
+            a.nproc,
+            b2.nproc
+        );
+        b.set(&format!("collective.{name}.logp_ratio"), ratio);
+        analysis.push_str(&format!(
+            "collective {name}: cost(P={}) / cost(P={}) = {ratio:.3} (log-P predicts {logp:.3})\n",
+            b2.nproc, a.nproc
+        ));
+    }
+    (b, analysis)
+}
+
 /// The fig5 BENCH report, from the already-run sweep: per-case remap times
 /// under both policies at every swept P.
 pub fn fig5_bench(sw: &[SweepPoint], scale: Scale) -> BenchReport {
@@ -224,6 +478,42 @@ mod tests {
         let sha = git_sha();
         assert!(!sha.is_empty());
         assert!(sha.len() <= 40);
+    }
+
+    /// Tier-1 smoke of the weak-scaling path: a full adaption cycle at
+    /// P = 256 (smaller per-rank mesh than the bench sweep so debug builds
+    /// stay fast). Protocol cleanliness and the 1e-9 phase-accounting
+    /// invariant are asserted inside `weakscale_point`.
+    #[test]
+    fn weakscale_smoke_p256() {
+        let pt = weakscale_point(256, 4, 2);
+        assert_eq!(pt.nproc, 256);
+        assert!(pt.initial_elements >= 256, "mesh too small to spread");
+        assert!(pt.final_elements >= pt.initial_elements);
+        assert!(pt.virtual_seconds > 0.0);
+        assert!(pt.partition_seconds > 0.0, "balancer must have run");
+        assert!(pt.allreduce_seconds > 0.0 && pt.barrier_seconds > 0.0);
+    }
+
+    /// The tentpole's scaling claim in isolation: 1-word collective costs
+    /// grow like log₂ P from 256 to 1024 ranks (ratio ≈ 1.25), nowhere
+    /// near the 4× the old flat implementations would show.
+    #[test]
+    fn one_word_collectives_scale_with_log_p() {
+        let (ar1, bc1, ba1) = one_word_collectives(256);
+        let (ar2, bc2, ba2) = one_word_collectives(1024);
+        for (name, lo, hi) in [
+            ("allreduce", ar1, ar2),
+            ("bcast", bc1, bc2),
+            ("barrier", ba1, ba2),
+        ] {
+            assert!(lo > 0.0, "{name} cost must be positive");
+            let ratio = hi / lo;
+            assert!(
+                ratio < 2.0,
+                "{name}: cost(1024)/cost(256) = {ratio:.2}, not O(log P)"
+            );
+        }
     }
 
     /// Acceptance criteria of the portfolio's mild branch: the mild fig6

@@ -17,6 +17,9 @@ use std::collections::HashMap;
 use plum_mesh::{extract_submeshes, SubMesh, TetMesh, VertId};
 use plum_parsim::{makespan, spmd_with_args, MachineModel};
 
+/// Sparse alltoallv send list: `(destination, words, (gid, gid) payload)`.
+type GidPairItems = Vec<(usize, u64, Vec<(u64, u64)>)>;
+
 /// A mesh distributed over `nproc` ranks.
 pub struct DistributedMesh {
     /// One submesh per rank, with local numbering and SPLs.
@@ -89,14 +92,16 @@ pub fn finalize(dm: &DistributedMesh, machine: MachineModel) -> FinalizedMesh {
                     outgoing[q as usize].push((sub.global_vert[v.idx()].0 as u64, new_gid[&v]));
                 }
             }
-            let items: Vec<(u64, Vec<(u64, u64)>)> = outgoing
+            let items: GidPairItems = outgoing
                 .into_iter()
-                .map(|v| ((2 * v.len() as u64).max(1), v))
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(dst, v)| (dst, 2 * v.len() as u64, v))
                 .collect();
-            let incoming = comm.alltoallv(items);
+            let incoming = comm.alltoallv_sparse(items);
             let by_orig: HashMap<VertId, VertId> =
                 sub.local_vert.iter().map(|(&g, &l)| (g, l)).collect();
-            for batch in incoming {
+            for (_src, batch) in incoming {
                 for (orig, gid) in batch {
                     let local = by_orig[&VertId(orig as u32)];
                     let prev = new_gid.insert(local, gid);

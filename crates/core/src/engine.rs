@@ -209,6 +209,26 @@ fn balance_on_session(
         !p.sfc_keys.is_empty(),
         prev.is_some(),
     );
+    // The SFC paths run replicated arithmetic on replicated inputs; compute
+    // the partition once host-side and hand it to every rank instead of
+    // recomputing it P times (virtual charges are unaffected — see
+    // `resolve_replicated` in plum-partition).
+    let sfc_hoist: Option<Vec<u32>> = match method {
+        BalanceMethod::Sfc => Some(plum_partition::sfc_partition(
+            &p.sfc_keys,
+            &p.dual.wcomp,
+            pcfg.nparts,
+            &part_caps,
+        )),
+        BalanceMethod::SfcDiffusion => Some(plum_partition::sfc_diffuse(
+            &p.sfc_keys,
+            &p.dual.wcomp,
+            prev.expect("selection guarantees a seed for diffusion"),
+            pcfg.nparts,
+            &part_caps,
+        )),
+        _ => None,
+    };
     let t0 = session.now();
     let results = {
         let graph = plum_partition::Graph::view(&p.dual.xadj, &p.dual.adjncy, &p.dual.wcomp);
@@ -216,6 +236,7 @@ fn balance_on_session(
         let part_caps = &part_caps;
         let keys = &p.sfc_keys;
         let vwgt = &p.dual.wcomp;
+        let sfc_hoist = sfc_hoist.as_deref();
         session.run(vec![(); cfg.nproc], move |comm, ()| {
             comm.phase("partition", |c| match method {
                 BalanceMethod::Multilevel => plum_partition::repartition_body(
@@ -236,6 +257,7 @@ fn balance_on_session(
                     pcfg.nparts,
                     part_caps,
                     vertex_units,
+                    sfc_hoist,
                 ),
                 BalanceMethod::Sfc => plum_partition::sfc_body(
                     c,
@@ -245,6 +267,7 @@ fn balance_on_session(
                     pcfg.nparts,
                     part_caps,
                     vertex_units,
+                    sfc_hoist,
                 ),
                 BalanceMethod::Knapsack => plum_partition::knapsack_body(
                     c,

@@ -236,13 +236,15 @@ pub(crate) fn mark_body(
                 }
             }
         }
-        let items: Vec<(u64, Vec<u32>)> = outgoing
+        let items: Vec<(usize, u64, Vec<u32>)> = outgoing
             .into_iter()
-            .map(|v| ((v.len() as u64).max(1), v))
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(dst, v)| (dst, v.len() as u64, v))
             .collect();
-        let incoming = comm.alltoallv(items);
+        let incoming = comm.alltoallv_sparse(items);
         let mut received_new = false;
-        for batch in incoming {
+        for (_src, batch) in incoming {
             for id in batch {
                 if marks.mark(EdgeId(id)) {
                     received_new = true;

@@ -76,26 +76,25 @@ pub(crate) fn migrate_body(
         }
 
         let mut msgs = 0u64;
-        let items: Vec<(u64, Vec<u8>)> = packers
+        let items: Vec<(usize, u64, Vec<u8>)> = packers
             .into_iter()
-            .map(|p| {
+            .enumerate()
+            .filter_map(|(dst, p)| {
                 let words = p.words().max(1);
                 let buf = p.finish();
-                if !buf.is_empty() {
-                    msgs += 1;
+                if buf.is_empty() {
+                    return None;
                 }
-                (words, buf)
+                msgs += 1;
+                Some((dst, words, buf))
             })
             .collect();
-        let incoming = comm.alltoallv(items);
+        let incoming = comm.alltoallv_sparse(items);
 
         // Unpack and validate every received record.
         let mut received = 0u64;
         let mut received_roots: HashMap<u32, u64> = HashMap::new();
-        for (src, buf) in incoming.into_iter().enumerate() {
-            if src == rank as usize {
-                continue;
-            }
+        for (_src, buf) in incoming {
             let mut u = Unpacker::new(&buf);
             while !u.is_exhausted() {
                 let root = u.get_u32();

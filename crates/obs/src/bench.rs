@@ -7,10 +7,12 @@
 //! so a committed report is an exact baseline.
 //!
 //! Metrics are cost-like by convention: **lower is better**, and
-//! [`compare`] flags `current > baseline · (1 + tol%)`. Values that are
-//! informational or higher-is-better (growth, gain, wall-clock host times)
-//! must be prefixed [`INFO_PREFIX`] — they are carried in the file but
-//! never gate.
+//! [`compare`] flags `current > baseline · (1 + tol%)`. Two prefixes
+//! change that reading: [`RATE_PREFIX`] metrics are throughput-like
+//! (**higher is better** — the gate flags
+//! `current < baseline · (1 − tol%)`), and [`INFO_PREFIX`] values are
+//! informational (growth, gain, anything merely descriptive) — carried in
+//! the file but never compared.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -24,6 +26,11 @@ pub const BENCH_SCHEMA: &str = "plum-bench/v1";
 /// Metrics with this prefix are informational: emitted, shown, never
 /// compared.
 pub const INFO_PREFIX: &str = "info.";
+
+/// Metrics with this prefix are throughput-like — **higher is better** —
+/// and gate in the inverted direction: a regression is
+/// `current < baseline · (1 − tol%)`. Example: `rate.sim.cycles_per_sec`.
+pub const RATE_PREFIX: &str = "rate.";
 
 /// One metadata value.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,9 +324,11 @@ impl CompareReport {
     }
 }
 
-/// Diff two reports. Only tracked metrics (no [`INFO_PREFIX`]) gate;
-/// lower is better; a tracked metric regresses when
-/// `current > baseline · (1 + tolerance_pct/100) + 1e-12`.
+/// Diff two reports. Only tracked metrics (no [`INFO_PREFIX`]) gate.
+/// Cost-like metrics (the default) regress when
+/// `current > baseline · (1 + tolerance_pct/100) + 1e-12`; throughput-like
+/// [`RATE_PREFIX`] metrics regress in the inverted direction, when
+/// `current < baseline · (1 − tolerance_pct/100) − 1e-12`.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64) -> CompareReport {
     let tol = tolerance_pct / 100.0;
     let mut report = CompareReport {
@@ -354,9 +363,21 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64
             current: cur,
             ratio,
         };
-        if cur > base * (1.0 + tol) + 1e-12 {
+        // rate. metrics are higher-is-better: shrinking is the regression.
+        let (worse, better) = if name.starts_with(RATE_PREFIX) {
+            (
+                cur < base * (1.0 - tol) - 1e-12,
+                cur > base * (1.0 + tol) + 1e-12,
+            )
+        } else {
+            (
+                cur > base * (1.0 + tol) + 1e-12,
+                cur < base * (1.0 - tol) - 1e-12,
+            )
+        };
+        if worse {
             report.regressions.push(delta);
-        } else if cur < base * (1.0 - tol) - 1e-12 {
+        } else if better {
             report.improvements.push(delta);
         } else {
             report.unchanged += 1;
@@ -500,6 +521,37 @@ mod tests {
         let mut cmp2 = compare(&base, &cur2, 5.0);
         cmp2.strict_new = true;
         assert!(cmp2.passed(), "info. metrics never gate");
+    }
+
+    #[test]
+    fn rate_metrics_gate_in_the_higher_is_better_direction() {
+        let mut base = BenchReport::new("weakscale");
+        base.set("rate.sim.cycles_per_sec", 100.0)
+            .set("sim.wall_seconds_per_cycle", 0.01);
+        // Throughput drop beyond tolerance fails the gate...
+        let mut cur = base.clone();
+        cur.set("rate.sim.cycles_per_sec", 80.0);
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].name, "rate.sim.cycles_per_sec");
+        assert!((cmp.regressions[0].ratio - 0.8).abs() < 1e-9);
+        // ...a throughput drop within tolerance passes...
+        let mut cur = base.clone();
+        cur.set("rate.sim.cycles_per_sec", 96.0);
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.unchanged, 2);
+        // ...and a throughput gain is an improvement, not a regression.
+        let mut cur = base.clone();
+        cur.set("rate.sim.cycles_per_sec", 150.0);
+        let cmp = compare(&base, &cur, 5.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.improvements.len(), 1);
+        // Dropping a rate metric still fails (it is tracked).
+        let mut cur = base.clone();
+        cur.metrics.remove("rate.sim.cycles_per_sec");
+        assert!(!compare(&base, &cur, 5.0).passed());
     }
 
     #[test]

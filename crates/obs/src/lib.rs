@@ -24,7 +24,7 @@ pub mod registry;
 
 pub use bench::{
     compare, BenchError, BenchReport, CompareReport, MetaValue, MetricDelta, BENCH_SCHEMA,
-    INFO_PREFIX,
+    INFO_PREFIX, RATE_PREFIX,
 };
 pub use critpath::{
     critical_path, heaviest_edges, phase_critical_path, render_heaviest_edges, CriticalPath,

@@ -9,7 +9,7 @@
 //!   multiplier 2.0 pays twice the `t_flop` cost for the same work);
 //! * [`Perturbation`]: a profile plus per-link latency jitter, all drawn
 //!   from a seeded splittable RNG ([`ChaosRng`]) so two runs with the same
-//!   seed produce bit-identical virtual times regardless of OS thread
+//!   seed produce bit-identical virtual times regardless of rank
 //!   interleaving;
 //! * [`FaultPlan`]: discrete faults ([`FaultAction`]) that a
 //!   [`Session`](crate::Session) applies at step boundaries — transient

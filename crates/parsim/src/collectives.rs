@@ -1,10 +1,24 @@
 //! Collective operations built on point-to-point messaging.
 //!
 //! All collectives must be called at the same program point by every rank
-//! (standard SPMD discipline). Tree-shaped algorithms are used where the
-//! paper's machine would benefit (broadcast, barrier), so modeled times pick
-//! up the expected `log P` terms; gather/scatter are flat through a single
-//! host rank, exactly like the paper's similarity-matrix gather.
+//! (standard SPMD discipline). Every collective is tree-shaped or
+//! log-round so both the modeled virtual time *and* the per-rank message
+//! count scale as `O(log P)`:
+//!
+//! * `bcast` — binomial tree, `P-1` messages total.
+//! * `gather` / `gatherv` / `reduce` — binomial tree toward the root,
+//!   `P-1` messages total. Reductions carry the raw per-rank values up the
+//!   tree and fold them once at the root in ascending rank order, so the
+//!   floating-point result is independent of the tree shape (and identical
+//!   to the historical flat implementation bit for bit).
+//! * `scatter` — binomial tree away from the root, `P-1` messages total.
+//! * `allgather` / `allreduce` — tree gather to rank 0 plus binomial
+//!   broadcast, `2(P-1)` messages total.
+//! * `barrier` — dissemination, `P·ceil(log2 P)` one-word messages.
+//! * `alltoallv` / `alltoallv_sparse` — Bruck-style store-and-forward in
+//!   `ceil(log2 P)` rounds of one combined message per rank per round,
+//!   `P·ceil(log2 P)` messages total regardless of how dense the traffic
+//!   pattern is.
 
 use crate::comm::{Comm, Tag};
 use crate::trace::CollectiveKind;
@@ -14,6 +28,7 @@ const TAG_BCAST: Tag = (1 << 60) + 1;
 const TAG_GATHER: Tag = (1 << 60) + 2;
 const TAG_SCATTER: Tag = (1 << 60) + 3;
 const TAG_REDUCE: Tag = (1 << 60) + 4;
+// Bruck all-to-all uses one tag per round: TAG_A2A, TAG_A2A+1, ...
 const TAG_A2A: Tag = (1 << 60) + 5;
 
 impl Comm {
@@ -77,8 +92,45 @@ impl Comm {
         out
     }
 
-    /// Flat gather of one value per rank to `root`. Returns `Some(values)`
-    /// (indexed by rank) on the root, `None` elsewhere.
+    /// Binomial-tree gather of `(rank, words, value)` entries toward `root`.
+    ///
+    /// Each interior rank absorbs its subtree's entries and forwards the
+    /// whole batch in one message whose charge is the sum of the carried
+    /// entry sizes, so a rank's `sent_words` is exactly the payload it put
+    /// on the wire. Returns the (unsorted) entries on the root, `None`
+    /// elsewhere. `P-1` messages total.
+    fn tree_gather<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        my_words: u64,
+        value: T,
+        tag: Tag,
+    ) -> Option<Vec<(usize, u64, T)>> {
+        let p = self.nranks();
+        let rank = self.rank();
+        let vrank = (rank + p - root) % p;
+        let mut entries: Vec<(usize, u64, T)> = vec![(rank, my_words, value)];
+        let mut mask = 1;
+        while mask < p {
+            if vrank & mask != 0 {
+                // Lowest set bit of vrank: forward the subtree to the parent.
+                let dst = ((vrank - mask) + root) % p;
+                let words: u64 = entries.iter().map(|e| e.1).sum();
+                self.send(dst, tag, words, entries);
+                return None;
+            }
+            if vrank + mask < p {
+                let src = ((vrank + mask) + root) % p;
+                let mut got: Vec<(usize, u64, T)> = self.recv(src, tag);
+                entries.append(&mut got);
+            }
+            mask <<= 1;
+        }
+        Some(entries)
+    }
+
+    /// Gather of one value per rank to `root` along a binomial tree. Returns
+    /// `Some(values)` (indexed by rank) on the root, `None` elsewhere.
     pub fn gather<T: Send + 'static>(
         &mut self,
         root: usize,
@@ -86,20 +138,14 @@ impl Comm {
         value: T,
     ) -> Option<Vec<T>> {
         self.collective_enter(CollectiveKind::Gather);
-        let out = if self.rank() == root {
-            let p = self.nranks();
-            let mut slot: Vec<Option<T>> = (0..p).map(|_| None).collect();
-            slot[root] = Some(value);
-            for s in 0..p {
-                if s != root {
-                    slot[s] = Some(self.recv::<T>(s, TAG_GATHER));
-                }
-            }
-            Some(slot.into_iter().map(|v| v.unwrap()).collect())
-        } else {
-            self.send(root, TAG_GATHER, words_each, value);
-            None
-        };
+        let p = self.nranks();
+        let out = self
+            .tree_gather(root, words_each, value, TAG_GATHER)
+            .map(|mut entries| {
+                entries.sort_unstable_by_key(|e| e.0);
+                debug_assert_eq!(entries.len(), p, "gather: missing contributions");
+                entries.into_iter().map(|(_, _, v)| v).collect()
+            });
         self.collective_exit(CollectiveKind::Gather);
         out
     }
@@ -108,7 +154,8 @@ impl Comm {
     /// per-rank payload sizes explicit at the call site. Each rank declares
     /// the size of its *own* contribution in `my_words` — CSR rows, owned
     /// vertex blocks, and other irregular payloads charge exactly what they
-    /// ship. Returns `Some(values)` (indexed by rank) on the root.
+    /// ship (interior tree ranks additionally charge for the subtree entries
+    /// they forward). Returns `Some(values)` (indexed by rank) on the root.
     pub fn gatherv<T: Send + 'static>(
         &mut self,
         root: usize,
@@ -118,8 +165,9 @@ impl Comm {
         self.gather(root, my_words, value)
     }
 
-    /// Flat scatter: root supplies one value per rank; every rank receives
-    /// its own.
+    /// Binomial-tree scatter: root supplies one value per rank; every rank
+    /// receives its own. `P-1` messages total; each message carries (and
+    /// charges for) the blocks of the destination's whole subtree.
     pub fn scatter<T: Send + 'static>(
         &mut self,
         root: usize,
@@ -127,27 +175,52 @@ impl Comm {
         values: Option<Vec<T>>,
     ) -> T {
         self.collective_enter(CollectiveKind::Scatter);
-        let out = if self.rank() == root {
-            let p = self.nranks();
+        let p = self.nranks();
+        let rank = self.rank();
+        let vrank = (rank + p - root) % p;
+        // Blocks this rank currently holds, as (vrank, value), sorted by vrank.
+        let mut held: Vec<(usize, T)> = if rank == root {
             let values = values.expect("scatter root must supply values");
             assert_eq!(values.len(), p, "scatter needs one value per rank");
-            let mut own: Option<T> = None;
-            for (d, v) in values.into_iter().enumerate() {
-                if d == root {
-                    own = Some(v);
-                } else {
-                    self.send(d, TAG_SCATTER, words_each, v);
-                }
-            }
-            own.unwrap()
+            let mut blocks: Vec<(usize, T)> = values
+                .into_iter()
+                .enumerate()
+                .map(|(d, v)| ((d + p - root) % p, v))
+                .collect();
+            blocks.sort_unstable_by_key(|b| b.0);
+            blocks
         } else {
-            self.recv::<T>(root, TAG_SCATTER)
+            Vec::new()
         };
+        let mut top = 1;
+        while top < p {
+            top <<= 1;
+        }
+        let mut mask = top >> 1;
+        while mask >= 1 {
+            if vrank.is_multiple_of(2 * mask) {
+                // Holder: hand the upper half of the block range to vrank+mask.
+                let dst_v = vrank + mask;
+                if dst_v < p {
+                    let split = held.partition_point(|b| b.0 < dst_v);
+                    let ship = held.split_off(split);
+                    let dst = (dst_v + root) % p;
+                    self.send(dst, TAG_SCATTER, words_each * ship.len() as u64, ship);
+                }
+            } else if vrank % (2 * mask) == mask {
+                let src = ((vrank - mask) + root) % p;
+                held = self.recv(src, TAG_SCATTER);
+            }
+            mask >>= 1;
+        }
+        debug_assert_eq!(held.len(), 1, "scatter: block range not fully split");
+        let (vr, out) = held.pop().expect("scatter: own block never arrived");
+        debug_assert_eq!(vr, vrank, "scatter: wrong block delivered");
         self.collective_exit(CollectiveKind::Scatter);
         out
     }
 
-    /// Allgather (gather to rank 0, broadcast the vector).
+    /// Allgather (tree gather to rank 0, broadcast the vector).
     pub fn allgather<T: Clone + Send + 'static>(&mut self, words_each: u64, value: T) -> Vec<T> {
         self.collective_enter(CollectiveKind::Allgather);
         let gathered = self.gather(0, words_each, value);
@@ -159,6 +232,10 @@ impl Comm {
 
     /// Generic allreduce: combine one value per rank with `op` (must be
     /// associative and commutative), result available on all ranks.
+    ///
+    /// The raw values ride a binomial tree to rank 0 and are folded there in
+    /// ascending rank order (`((v0 op v1) op v2) op ...`), so floating-point
+    /// results are deterministic and independent of the tree shape.
     pub fn allreduce<T, F>(&mut self, words: u64, value: T, op: F) -> T
     where
         T: Clone + Send + 'static,
@@ -200,28 +277,107 @@ impl Comm {
         self.allreduce(1, value, |a, b| a || b)
     }
 
-    /// Personalized all-to-all: `items[d]` is `(words, value)` destined for
-    /// rank `d` (the entry for this rank itself is returned as-is, free of
-    /// charge). Returns one value per source rank.
+    /// Bruck-style store-and-forward exchange: `ceil(log2 P)` rounds; in
+    /// round `k` every rank ships one combined message (all in-transit items
+    /// whose remaining relative distance has bit `k` set) to rank
+    /// `(rank + 2^k) % P`. A combined message charges one header word plus
+    /// the sum of its items' sizes. Returns the items addressed to this
+    /// rank as `(source, value)` sorted by source.
+    fn bruck_exchange<T: Send + 'static>(
+        &mut self,
+        items: Vec<(usize, u64, T)>,
+    ) -> Vec<(usize, T)> {
+        let p = self.nranks();
+        let rank = self.rank();
+        let mut out: Vec<(usize, T)> = Vec::new();
+        // In-transit items: (destination, source, words, value).
+        let mut transit: Vec<(usize, usize, u64, T)> = Vec::with_capacity(items.len());
+        for (dst, words, v) in items {
+            assert!(dst < p, "alltoallv destination {dst} out of range");
+            if dst == rank {
+                out.push((rank, v));
+            } else {
+                transit.push((dst, rank, words, v));
+            }
+        }
+        let mut round: Tag = 0;
+        let mut step = 1;
+        while step < p {
+            let to = (rank + step) % p;
+            let from = (rank + p - step) % p;
+            let mut keep = Vec::with_capacity(transit.len());
+            let mut ship = Vec::new();
+            for item in transit {
+                let dist = (item.0 + p - rank) % p;
+                if dist & step != 0 {
+                    ship.push(item);
+                } else {
+                    keep.push(item);
+                }
+            }
+            let ship_words: u64 = 1 + ship.iter().map(|i| i.2).sum::<u64>();
+            self.send(to, TAG_A2A + round, ship_words, ship);
+            let arrived: Vec<(usize, usize, u64, T)> = self.recv(from, TAG_A2A + round);
+            transit = keep;
+            for (dst, src, words, v) in arrived {
+                if dst == rank {
+                    out.push((src, v));
+                } else {
+                    transit.push((dst, src, words, v));
+                }
+            }
+            step <<= 1;
+            round += 1;
+        }
+        debug_assert!(transit.is_empty(), "alltoallv internal: undelivered items");
+        out.sort_by_key(|&(src, _)| src);
+        out
+    }
+
+    /// Sparse personalized all-to-all: `items` is any list of
+    /// `(destination, words, value)` triples (zero or more per destination;
+    /// an item addressed to this rank itself is returned as-is, free of
+    /// charge). Returns the items addressed to this rank as
+    /// `(source, value)` pairs sorted by source rank (stable for equal
+    /// sources).
     ///
-    /// Sends are staggered (`rank+1, rank+2, ...`) so no two ranks hammer the
-    /// same destination in the same round.
+    /// Unlike the dense [`Comm::alltoallv`], the message count is
+    /// `ceil(log2 P)` per rank *regardless of the traffic pattern*: items
+    /// are combined and store-and-forwarded along a Bruck exchange, so a
+    /// migration step touching only a few neighbors no longer pays `P-1`
+    /// message startups per rank.
+    pub fn alltoallv_sparse<T: Send + 'static>(
+        &mut self,
+        items: Vec<(usize, u64, T)>,
+    ) -> Vec<(usize, T)> {
+        self.collective_enter(CollectiveKind::Alltoallv);
+        let out = self.bruck_exchange(items);
+        self.collective_exit(CollectiveKind::Alltoallv);
+        out
+    }
+
+    /// Dense personalized all-to-all: `items[d]` is `(words, value)` destined
+    /// for rank `d` (the entry for this rank itself is returned as-is, free
+    /// of charge). Returns one value per source rank.
+    ///
+    /// Implemented on the same Bruck exchange as
+    /// [`Comm::alltoallv_sparse`], so the per-rank message count is
+    /// `ceil(log2 P)` rather than `P-1`.
     pub fn alltoallv<T: Send + 'static>(&mut self, items: Vec<(u64, T)>) -> Vec<T> {
         self.collective_enter(CollectiveKind::Alltoallv);
         let p = self.nranks();
-        let rank = self.rank();
         assert_eq!(items.len(), p, "alltoallv needs one item per rank");
+        let sparse: Vec<(usize, u64, T)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(d, (words, v))| (d, words, v))
+            .collect();
+        let received = self.bruck_exchange(sparse);
+        assert_eq!(received.len(), p, "alltoallv: missing contributions");
         let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        let mut outgoing: Vec<Option<(u64, T)>> = items.into_iter().map(Some).collect();
-        slots[rank] = outgoing[rank].take().map(|(_, v)| v);
-        for i in 1..p {
-            let d = (rank + i) % p;
-            let (words, v) = outgoing[d].take().unwrap();
-            self.send(d, TAG_A2A, words, v);
-        }
-        for i in 1..p {
-            let s = (rank + p - i) % p;
-            slots[s] = Some(self.recv::<T>(s, TAG_A2A));
+        for (src, v) in received {
+            debug_assert!(slots[src].is_none(), "alltoallv: duplicate source {src}");
+            slots[src] = Some(v);
         }
         let out = slots.into_iter().map(|v| v.unwrap()).collect();
         self.collective_exit(CollectiveKind::Alltoallv);
@@ -229,26 +385,33 @@ impl Comm {
     }
 
     /// Reduce to root only (others get `None`).
+    ///
+    /// Raw values ride a binomial tree to the root and are folded there with
+    /// the root's own value first, then ascending rank order — the exact
+    /// fold order of the historical flat implementation, so floating-point
+    /// results are bit-identical to it.
     pub fn reduce<T, F>(&mut self, root: usize, words: u64, value: T, op: F) -> Option<T>
     where
         T: Send + 'static,
         F: Fn(T, T) -> T,
     {
         self.collective_enter(CollectiveKind::Reduce);
-        let out = if self.rank() == root {
-            let p = self.nranks();
-            let mut acc = value;
-            for s in 0..p {
-                if s != root {
-                    let v = self.recv::<T>(s, TAG_REDUCE);
-                    acc = op(acc, v);
+        let p = self.nranks();
+        let out = self
+            .tree_gather(root, words, value, TAG_REDUCE)
+            .map(|mut entries| {
+                entries.sort_unstable_by_key(|e| e.0);
+                debug_assert_eq!(entries.len(), p, "reduce: missing contributions");
+                let mut vals: Vec<Option<T>> =
+                    entries.into_iter().map(|(_, _, v)| Some(v)).collect();
+                let mut acc = vals[root].take().expect("reduce: root value present");
+                for (s, v) in vals.into_iter().enumerate() {
+                    if s != root {
+                        acc = op(acc, v.expect("reduce: rank value present"));
+                    }
                 }
-            }
-            Some(acc)
-        } else {
-            self.send(root, TAG_REDUCE, words, value);
-            None
-        };
+                acc
+            });
         self.collective_exit(CollectiveKind::Reduce);
         out
     }
@@ -256,7 +419,11 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::{spmd, MachineModel};
+    use crate::{spmd, MachineModel, RankResult};
+
+    fn total_msgs<T>(results: &[RankResult<T>]) -> u64 {
+        results.iter().map(|r| r.sent_messages).sum()
+    }
 
     #[test]
     fn gatherv_collects_variable_size_payloads() {
@@ -273,9 +440,172 @@ mod tests {
         for r in &results[1..] {
             assert!(r.value.is_none(), "non-root rank got a gather result");
         }
-        // Senders charge exactly their own payload size.
-        for r in &results[1..] {
-            assert_eq!(r.sent_words, (r.rank + 1) as u64, "rank {}", r.rank);
+        // Leaves charge exactly their own payload; interior tree ranks also
+        // forward their subtree. For P=4, root 0: rank 1 and rank 3 are
+        // leaves (2 and 4 words); rank 2 forwards rank 3's entry on top of
+        // its own (3 + 4 = 7 words).
+        assert_eq!(results[1].sent_words, 2);
+        assert_eq!(results[2].sent_words, 7);
+        assert_eq!(results[3].sent_words, 4);
+    }
+
+    /// Satellite check: every tree collective's *total* message count is
+    /// exact — `P-1` for one-way trees, `2(P-1)` for gather+bcast combos —
+    /// across powers of two, non-powers of two, and non-zero roots.
+    #[test]
+    fn tree_collectives_use_exact_message_counts() {
+        for &p in &[2usize, 3, 5, 7, 8, 64, 100, 256] {
+            for root in [0, p - 1, p / 2] {
+                // bcast: P-1 messages, every rank sees the value.
+                let r = spmd(p, MachineModel::sp2(), move |comm| {
+                    comm.bcast::<u64>(root, 1, (comm.rank() == root).then_some(root as u64))
+                });
+                assert!(
+                    r.iter().all(|x| x.value == root as u64),
+                    "bcast p={p} root={root}"
+                );
+                assert_eq!(r[root].sent_messages > 0, p > 1);
+                assert_eq!(total_msgs(&r), (p - 1) as u64, "bcast p={p} root={root}");
+
+                // reduce: P-1 messages, root-only result.
+                let r = spmd(p, MachineModel::sp2(), move |comm| {
+                    comm.reduce(root, 1, comm.rank() as u64, |a, b| a + b)
+                });
+                let expect: u64 = (0..p as u64).sum();
+                assert_eq!(r[root].value, Some(expect), "reduce p={p} root={root}");
+                assert!(r.iter().all(|x| x.rank == root || x.value.is_none()));
+                assert_eq!(total_msgs(&r), (p - 1) as u64, "reduce p={p} root={root}");
+
+                // gather: P-1 messages, rank-ordered vector on the root.
+                let r = spmd(p, MachineModel::sp2(), move |comm| {
+                    comm.gather(root, 1, comm.rank() as u64)
+                });
+                let gathered = r[root].value.as_ref().unwrap();
+                assert_eq!(gathered, &(0..p as u64).collect::<Vec<_>>());
+                assert_eq!(total_msgs(&r), (p - 1) as u64, "gather p={p} root={root}");
+
+                // scatter: P-1 messages, every rank gets its own block.
+                let r = spmd(p, MachineModel::sp2(), move |comm| {
+                    let blocks = (comm.rank() == root)
+                        .then(|| (0..comm.nranks() as u64).map(|d| 10 * d).collect());
+                    comm.scatter(root, 1, blocks)
+                });
+                assert!(
+                    r.iter().all(|x| x.value == 10 * x.rank as u64),
+                    "scatter p={p}"
+                );
+                assert_eq!(total_msgs(&r), (p - 1) as u64, "scatter p={p} root={root}");
+            }
+
+            // allreduce: gather + bcast = 2(P-1) messages, all ranks agree.
+            let r = spmd(p, MachineModel::sp2(), |comm| {
+                comm.allreduce_sum_u64(comm.rank() as u64)
+            });
+            let expect: u64 = (0..p as u64).sum();
+            assert!(r.iter().all(|x| x.value == expect), "allreduce p={p}");
+            assert_eq!(total_msgs(&r), 2 * (p - 1) as u64, "allreduce p={p}");
+
+            // allgather: same gather + bcast skeleton.
+            let r = spmd(p, MachineModel::sp2(), |comm| {
+                comm.allgather(1, comm.rank() as u64)
+            });
+            assert!(r
+                .iter()
+                .all(|x| x.value == (0..p as u64).collect::<Vec<_>>()));
+            assert_eq!(total_msgs(&r), 2 * (p - 1) as u64, "allgather p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_fold_order_matches_flat_reference() {
+        // Subtraction is neither associative nor commutative, so the result
+        // pins the exact fold order: root's value first, then ascending
+        // rank order skipping the root.
+        for &p in &[4usize, 7] {
+            for root in [0, 2, p - 1] {
+                let r = spmd(p, MachineModel::sp2(), move |comm| {
+                    comm.reduce(root, 1, comm.rank() as i64, |a, b| a - b)
+                });
+                let mut expect = root as i64;
+                for s in 0..p {
+                    if s != root {
+                        expect -= s as i64;
+                    }
+                }
+                assert_eq!(r[root].value, Some(expect), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_alltoallv_is_log_rounds_and_complete() {
+        for &p in &[2usize, 3, 5, 8, 13, 64, 100] {
+            let rounds = p.next_power_of_two().trailing_zeros() as u64;
+            // Dense: every rank sends a distinct value to every rank.
+            let r = spmd(p, MachineModel::sp2(), |comm| {
+                let items = (0..comm.nranks())
+                    .map(|d| (1, (comm.rank() * 1000 + d) as u64))
+                    .collect();
+                comm.alltoallv(items)
+            });
+            for x in &r {
+                let got = &x.value;
+                assert_eq!(got.len(), p);
+                for (s, v) in got.iter().enumerate() {
+                    assert_eq!(
+                        *v,
+                        (s * 1000 + x.rank) as u64,
+                        "p={p} dst={} src={s}",
+                        x.rank
+                    );
+                }
+            }
+            // One combined message per rank per round, even when idle.
+            assert_eq!(total_msgs(&r), p as u64 * rounds, "dense p={p}");
+        }
+    }
+
+    #[test]
+    fn sparse_alltoallv_routes_arbitrary_patterns() {
+        for &p in &[2usize, 5, 8, 100] {
+            let r = spmd(p, MachineModel::sp2(), |comm| {
+                let rank = comm.rank();
+                let p = comm.nranks();
+                // Each rank sends two items to its ring successor (including
+                // possibly itself when p == 1) and one to rank 0.
+                let succ = (rank + 1) % p;
+                let items = vec![
+                    (succ, 2, (rank, 'a')),
+                    (succ, 1, (rank, 'b')),
+                    (0, 1, (rank, 'c')),
+                ];
+                comm.alltoallv_sparse(items)
+            });
+            for x in &r {
+                let pred = (x.rank + p - 1) % p;
+                let from_pred: Vec<_> = x
+                    .value
+                    .iter()
+                    .filter(|(s, _)| *s == pred)
+                    .map(|(_, v)| *v)
+                    .collect();
+                // Stable order: items from one source arrive in send order.
+                // Rank 0's predecessor also routes its 'c' here.
+                let mut expect = vec![(pred, 'a'), (pred, 'b')];
+                if x.rank == 0 {
+                    expect.push((pred, 'c'));
+                    // Rank 0 receives a 'c' from every rank (its own for free).
+                    let cs = x.value.iter().filter(|(_, v)| v.1 == 'c').count();
+                    assert_eq!(cs, p, "rank 0 'c' count, p={p}");
+                }
+                assert_eq!(from_pred, expect, "p={p} rank={}", x.rank);
+                assert!(
+                    x.value.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "sorted by source"
+                );
+            }
+            let rounds = p.next_power_of_two().trailing_zeros() as u64;
+            assert_eq!(total_msgs(&r), p as u64 * rounds, "sparse p={p}");
         }
     }
 }

@@ -1,12 +1,12 @@
 //! Point-to-point communication context handed to each SPMD rank.
 
 use std::any::Any;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use crate::chaos::{jitter_factor, FaultKind};
+use crate::sched::SchedState;
 use crate::trace::{CollectiveKind, TraceEvent};
-use crate::watchdog::{Watchdog, WatchdogAbort, WATCHDOG_TICK};
 use crate::{MachineModel, VirtualClock};
 
 /// Message tag. Matching is FIFO per (source, destination) pair: a receive
@@ -32,10 +32,9 @@ pub struct Comm {
     nranks: usize,
     model: MachineModel,
     pub(crate) clock: VirtualClock,
-    /// `tx[d]` sends to destination rank `d`.
-    tx: Vec<Sender<Envelope>>,
-    /// `rx[s]` receives messages sent by source rank `s`.
-    rx: Vec<Receiver<Envelope>>,
+    /// The shared cooperative scheduler (run queue + mailboxes); sends
+    /// deliver through it and blocking receives suspend into it.
+    sched: Rc<RefCell<SchedState>>,
     sent_messages: u64,
     sent_words: u64,
     /// Structured event stream (see [`crate::trace`]); every clock charge
@@ -43,8 +42,6 @@ pub struct Comm {
     events: Vec<TraceEvent>,
     /// Current collective nesting depth (allgather calls gather + bcast).
     coll_depth: u32,
-    /// Shared deadlock detector (see [`crate::watchdog`]).
-    watchdog: Arc<Watchdog>,
     /// Compute-rate multiplier from the chaos profile (1.0 = nominal);
     /// scales every [`Comm::compute`] charge. Permanent slowdown faults
     /// compound onto it.
@@ -63,22 +60,18 @@ impl Comm {
         rank: usize,
         nranks: usize,
         model: MachineModel,
-        tx: Vec<Sender<Envelope>>,
-        rx: Vec<Receiver<Envelope>>,
-        watchdog: Arc<Watchdog>,
+        sched: Rc<RefCell<SchedState>>,
     ) -> Self {
         Comm {
             rank,
             nranks,
             model,
             clock: VirtualClock::new(),
-            tx,
-            rx,
+            sched,
             sent_messages: 0,
             sent_words: 0,
             events: Vec::new(),
             coll_depth: 0,
-            watchdog,
             flop_mult: 1.0,
             send_delay: 0.0,
             jitter: None,
@@ -194,22 +187,19 @@ impl Comm {
             words,
             arrival,
         });
-        let sent = self.tx[to].send(Envelope {
-            tag,
-            words,
-            arrival,
-            payload: Box::new(value),
-        });
-        self.watchdog.bump_progress();
-        if sent.is_err() {
-            if self.watchdog.declared() {
-                std::panic::resume_unwind(Box::new(WatchdogAbort));
-            }
-            panic!(
-                "rank {}: peer {to} hung up before a tag {tag} send",
-                self.rank
-            );
-        }
+        // Deliver through the scheduler: the envelope lands in the
+        // receiver's mailbox, and a receiver blocked on this source becomes
+        // runnable again.
+        self.sched.borrow_mut().deliver(
+            self.rank,
+            to,
+            Envelope {
+                tag,
+                words,
+                arrival,
+                payload: Box::new(value),
+            },
+        );
     }
 
     /// Receive the next message from rank `from`; it must carry `tag` and
@@ -247,7 +237,6 @@ impl Comm {
         );
         let posted = self.clock.now();
         let env = self.blocking_recv(from, tag);
-        self.watchdog.bump_progress();
         assert_eq!(
             env.tag, tag,
             "rank {}: tag mismatch receiving from {from}: expected {tag}, got {}",
@@ -266,63 +255,27 @@ impl Comm {
         env
     }
 
-    /// The one real-time blocking path in the simulator, watchdog-covered:
-    /// wait for the next envelope from `from` in `WATCHDOG_TICK` slices,
-    /// publishing this rank's blocked state and checking for deadlock on
-    /// every timeout (see [`crate::watchdog`] for the declaration rule).
+    /// The one blocking path in the simulator: take the next envelope from
+    /// `from` out of this rank's mailbox, or publish the blocked state
+    /// (rank, source, tag, clock) and suspend this rank's fiber until the
+    /// scheduler wakes it for an arriving message. Everything is
+    /// cooperative and single-threaded: if no rank can run and someone is
+    /// still blocked, the scheduler reports an exact [`crate::DeadlockError`]
+    /// instead of timing out.
     fn blocking_recv(&mut self, from: usize, tag: Tag) -> Envelope {
-        // Fast path: the message may already be queued.
-        match self.rx[from].try_recv() {
-            Ok(env) => return env,
-            Err(TryRecvError::Disconnected) => self.peer_hangup(from, tag),
-            Err(TryRecvError::Empty) => {}
-        }
-        self.watchdog.set_blocked(self.rank, from, tag);
-        // Global progress count seen at the last quiet tick with a stuck
-        // diagnosis; declaring requires the same count on two consecutive
-        // ticks, so a send anywhere in between resets the fuse.
-        let mut quiet_at: Option<u64> = None;
         loop {
-            match self.rx[from].recv_timeout(WATCHDOG_TICK) {
-                Ok(env) => {
-                    self.watchdog.set_running(self.rank);
+            {
+                let mut sched = self.sched.borrow_mut();
+                if let Some(env) = sched.take_message(self.rank, from) {
+                    sched.mark_running(self.rank);
                     return env;
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    self.watchdog.set_running(self.rank);
-                    self.peer_hangup(from, tag)
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.watchdog.declared() {
-                        std::panic::resume_unwind(Box::new(WatchdogAbort));
-                    }
-                    let progress = self.watchdog.progress();
-                    match self.watchdog.diagnose(self.rank) {
-                        Some(err) if quiet_at == Some(progress) => {
-                            if self.watchdog.declare(err.clone()) {
-                                std::panic::resume_unwind(Box::new(err));
-                            }
-                            std::panic::resume_unwind(Box::new(WatchdogAbort));
-                        }
-                        Some(_) => quiet_at = Some(progress),
-                        None => quiet_at = None,
-                    }
-                }
+                sched.mark_blocked(self.rank, from, tag, self.clock.now());
             }
+            // The borrow is released before suspending: other ranks run and
+            // deliver while this fiber is parked.
+            crate::fiber::suspend();
         }
-    }
-
-    /// The peer's `Comm` was dropped (its thread panicked or the session is
-    /// tearing down). Quiet abort if a deadlock verdict already exists;
-    /// otherwise this is the ordinary cascade panic.
-    fn peer_hangup(&self, from: usize, tag: Tag) -> ! {
-        if self.watchdog.declared() {
-            std::panic::resume_unwind(Box::new(WatchdogAbort));
-        }
-        panic!(
-            "rank {}: peer {from} disconnected while waiting for tag {tag}",
-            self.rank
-        )
     }
 
     // --- chaos hooks (driven by the session at step boundaries) ------------

@@ -1,12 +1,14 @@
-//! The SPMD executor: spawns one thread per virtual rank.
+//! The SPMD executor: cooperatively scheduled fibers, one per virtual rank.
 
-use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use crate::chaos::{Fault, FaultAction, FaultPlan, Perturbation};
-use crate::comm::{Comm, Envelope};
+use crate::comm::Comm;
+use crate::fiber::{Fiber, FiberStack};
+use crate::sched::SchedState;
 use crate::trace::TraceEvent;
-use crate::watchdog::{DeadlockError, Watchdog};
+use crate::watchdog::DeadlockError;
 use crate::MachineModel;
 
 /// Result of one rank's execution: its return value plus communication and
@@ -30,8 +32,8 @@ pub struct RankResult<T> {
 }
 
 /// A persistent SPMD machine: `nranks` communication contexts whose virtual
-/// clocks, channels, and send counters survive across multiple [`Session::run`]
-/// steps.
+/// clocks, mailboxes, and send counters survive across multiple
+/// [`Session::run`] steps.
 ///
 /// This is what lets a whole adaption cycle execute as ONE continuous
 /// parallel program: each phase is a step, and virtual time flows forward
@@ -42,6 +44,15 @@ pub struct RankResult<T> {
 /// still accounts for its full elapsed time exactly.
 ///
 /// [`spmd`] and [`spmd_with_args`] are single-step sessions.
+///
+/// ## Execution model
+///
+/// Each rank body runs as a stackful fiber (see [`crate::fiber`]) on the
+/// calling thread; a central run queue keyed by virtual time (ties broken
+/// by rank id) dispatches whichever rank is runnable next, and a blocking
+/// receive suspends the fiber instead of parking an OS thread. Memory and
+/// scheduling cost are O(ranks + messages), so four-digit rank counts run
+/// on a laptop. Fiber stacks are pooled and reused across steps.
 ///
 /// ## Chaos
 ///
@@ -54,27 +65,33 @@ pub struct RankResult<T> {
 ///
 /// ## Deadlock detection
 ///
-/// Every blocking receive is covered by a watchdog (see
-/// [`crate::watchdog`]); a stuck step returns a structured
-/// [`DeadlockError`] from [`Session::try_run`] within a bounded real-time
-/// delay instead of hanging the process. [`Session::run`] panics with the
-/// same diagnosis. After a deadlock the session is poisoned (rank state
-/// was lost with the panicked threads) and cannot run further steps.
+/// Blocking is cooperative, so detection is exact: when the run queue
+/// empties while unfinished ranks remain, the step is provably stuck and
+/// [`Session::try_run`] returns a structured [`DeadlockError`] naming the
+/// blocked-on cycle — immediately and deterministically, with no timeouts
+/// or heuristics. [`Session::run`] panics with the same diagnosis. After a
+/// deadlock the session is poisoned (rank state is mid-protocol) and
+/// cannot run further steps.
 pub struct Session {
     nranks: usize,
     model: MachineModel,
     /// The per-rank contexts, parked host-side between steps.
     comms: Vec<Comm>,
-    /// Shared deadlock detector (also held by every `Comm`).
-    watchdog: Arc<Watchdog>,
+    /// The cooperative scheduler (also held by every `Comm`).
+    sched: Rc<RefCell<SchedState>>,
+    /// Pooled fiber stacks, reused across steps.
+    stacks: Vec<FiberStack>,
     /// Completed step count == the step index the next `run` /
     /// `modeled_phase` executes at (faults with this step fire first).
     step: u64,
     plan: FaultPlan,
     /// Active delay spikes: `(expires_at_step, rank, extra_seconds)`.
     active_delays: Vec<(u64, usize, f64)>,
-    /// Set after a deadlock: the panicked rank threads took their `Comm`s
-    /// with them, so no further steps can run.
+    /// Reused per-step buffer of summed send delays (avoids an O(P)
+    /// allocation at every step boundary).
+    delay_buf: Vec<f64>,
+    /// Set after a deadlock or a rank panic: rank state is mid-protocol,
+    /// so no further steps can run.
     poisoned: bool,
 }
 
@@ -102,26 +119,10 @@ impl Session {
     ) -> Self {
         assert!(nranks >= 1, "need at least one rank");
         assert_eq!(perturb.profile.nranks(), nranks, "one multiplier per rank");
-        let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Envelope>>>> = (0..nranks)
-            .map(|_| (0..nranks).map(|_| None).collect())
-            .collect();
-        let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> = (0..nranks)
-            .map(|_| (0..nranks).map(|_| None).collect())
-            .collect();
-        for s in 0..nranks {
-            for d in 0..nranks {
-                let (tx, rx) = channel();
-                senders[s][d] = Some(tx);
-                // receivers indexed by destination, then source.
-                receivers[d][s] = Some(rx);
-            }
-        }
-        let watchdog = Arc::new(Watchdog::new(nranks));
+        let sched = Rc::new(RefCell::new(SchedState::new(nranks)));
         let mut comms: Vec<Comm> = Vec::with_capacity(nranks);
-        for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
-            let tx: Vec<_> = tx_row.into_iter().map(|t| t.unwrap()).collect();
-            let rx: Vec<_> = rx_row.into_iter().map(|r| r.unwrap()).collect();
-            let mut comm = Comm::new(rank, nranks, model, tx, rx, watchdog.clone());
+        for rank in 0..nranks {
+            let mut comm = Comm::new(rank, nranks, model, sched.clone());
             let mult = perturb.profile.mult(rank);
             if mult != 1.0 {
                 comm.scale_flop_mult(mult);
@@ -135,10 +136,12 @@ impl Session {
             nranks,
             model,
             comms,
-            watchdog,
+            sched,
+            stacks: Vec::new(),
             step: 0,
             plan,
             active_delays: Vec::new(),
+            delay_buf: vec![0.0; nranks],
             poisoned: false,
         }
     }
@@ -146,7 +149,10 @@ impl Session {
     /// Apply every fault due at the current step boundary, refresh active
     /// delay spikes, and advance the step counter.
     fn apply_step_faults(&mut self) {
-        assert!(!self.poisoned, "session was poisoned by a deadlock");
+        assert!(
+            !self.poisoned,
+            "session was poisoned by a deadlock or rank panic"
+        );
         let step = self.step;
         self.step += 1;
         if self.plan.is_empty() && self.active_delays.is_empty() {
@@ -182,11 +188,12 @@ impl Session {
             }
         }
         self.active_delays.retain(|&(until, _, _)| until > step);
-        let mut delay = vec![0.0; self.nranks];
+        // Reused buffer: no per-step allocation even while faults are live.
+        self.delay_buf.iter_mut().for_each(|d| *d = 0.0);
         for &(_, rank, extra) in &self.active_delays {
-            delay[rank] += extra;
+            self.delay_buf[rank] += extra;
         }
-        for (comm, d) in self.comms.iter_mut().zip(delay) {
+        for (comm, &d) in self.comms.iter_mut().zip(&self.delay_buf) {
             comm.set_send_delay(d);
         }
     }
@@ -266,9 +273,9 @@ impl Session {
         results
     }
 
-    /// Run one step: `body` executes on every rank concurrently (one OS
-    /// thread each), continuing from the clocks/counters left by previous
-    /// steps. Panics in any rank propagate.
+    /// Run one step: `body` executes on every rank (one cooperatively
+    /// scheduled fiber each), continuing from the clocks/counters left by
+    /// previous steps. Panics in any rank propagate.
     ///
     /// On return, all clocks are aligned to the slowest rank, so each
     /// [`RankResult::elapsed`] equals the session's total virtual time so
@@ -285,10 +292,11 @@ impl Session {
     }
 
     /// Like [`Session::run`], but a deadlocked step returns
-    /// `Err(DeadlockError)` (within a bounded real-time delay) instead of
-    /// panicking. Non-deadlock panics in rank bodies still propagate. After
-    /// an `Err` the session is poisoned: the panicked rank threads took
-    /// their state with them, so further steps panic.
+    /// `Err(DeadlockError)` — detected exactly and immediately when the run
+    /// queue empties with blocked ranks remaining — instead of panicking.
+    /// Non-deadlock panics in rank bodies still propagate (first panic in
+    /// rank order). After an `Err` the session is poisoned: rank state is
+    /// mid-protocol, so further steps panic.
     pub fn try_run<A, T, F>(
         &mut self,
         args: Vec<A>,
@@ -301,67 +309,113 @@ impl Session {
     {
         assert_eq!(args.len(), self.nranks, "one argument per rank");
         self.apply_step_faults();
-        self.watchdog.reset();
-        let comms = std::mem::take(&mut self.comms);
-        let body = &body;
-        let mut returned: Vec<Option<std::thread::Result<(T, Comm)>>> =
-            (0..self.nranks).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let watchdog = &self.watchdog;
-            let mut handles = Vec::with_capacity(self.nranks);
-            for (rank, (mut comm, arg)) in comms.into_iter().zip(args).enumerate() {
-                handles.push((
-                    rank,
-                    scope.spawn(move || {
-                        let value = body(&mut comm, arg);
-                        // The body returned: this rank can no longer send
-                        // this step, which the deadlock diagnosis relies on.
-                        watchdog.set_done(rank);
-                        (value, comm)
+        self.sched.borrow_mut().reset_for_step();
+
+        // Per-rank output slots. The vector is sized once and never grows,
+        // so the element addresses handed to the fibers stay stable.
+        let mut values: Vec<Option<T>> = (0..self.nranks).map(|_| None).collect();
+        let start_times: Vec<f64> = self.comms.iter().map(|c| c.now()).collect();
+
+        // Build one fiber per rank. Each fiber body touches exactly its own
+        // `Comm` and its own output slot through raw pointers; the fibers
+        // all finish (normally or by abort-unwind) before this frame
+        // returns, which is what makes the borrow erasure in `Fiber::new`
+        // sound — the same containment argument as `std::thread::scope`.
+        // `fibers` is declared after `values`/`body` so an unwind drops
+        // (and thereby aborts) the fibers first.
+        let body_ref = &body;
+        let mut fibers: Vec<Fiber> = Vec::with_capacity(self.nranks);
+        for (rank, (comm, arg)) in self.comms.iter_mut().zip(args).enumerate() {
+            let comm_ptr: *mut Comm = comm;
+            let out_ptr: *mut Option<T> = &mut values[rank];
+            let stack = self.stacks.pop().unwrap_or_else(FiberStack::new);
+            let fiber = unsafe {
+                Fiber::new(
+                    stack,
+                    Box::new(move || {
+                        // SAFETY: this fiber is the only accessor of its
+                        // rank's `Comm` and output slot while it runs, and
+                        // both outlive the fiber (containment above).
+                        let value = body_ref(&mut *comm_ptr, arg);
+                        *out_ptr = Some(value);
                     }),
-                ));
+                )
+            };
+            fibers.push(fiber);
+        }
+
+        // Seed the run queue with every rank at its current virtual time,
+        // then dispatch until nobody is runnable: either all ranks
+        // finished, or the step is provably stuck.
+        {
+            let mut sched = self.sched.borrow_mut();
+            for (rank, &t) in start_times.iter().enumerate() {
+                sched.push_runnable(rank, t);
             }
-            for (rank, h) in handles {
-                returned[rank] = Some(h.join());
+        }
+        loop {
+            let next = self.sched.borrow_mut().pop_runnable();
+            let Some(rank) = next else { break };
+            if fibers[rank].resume() {
+                // The body returned (or panicked): this rank can no longer
+                // send this step, which the deadlock diagnosis relies on.
+                self.sched.borrow_mut().mark_done(rank);
             }
-        });
-        if let Some(err) = self.watchdog.take_verdict() {
-            // The declaring rank panicked with the verdict and the channel
-            // disconnects cascade-terminated the rest; their `Comm`s are
-            // gone, so the session cannot continue.
-            self.poisoned = true;
-            self.comms = Vec::new();
+        }
+
+        // A real panic beats a deadlock verdict: propagate the first one in
+        // rank order (dropping `fibers` aborts any still-suspended ranks
+        // before the unwind leaves this frame).
+        if let Some(payload) = fibers.iter_mut().find_map(|f| f.take_panic()) {
+            self.poison();
+            drop(fibers);
+            std::panic::resume_unwind(payload);
+        }
+
+        if fibers.iter().any(|f| !f.is_done()) {
+            // Run queue empty + unfinished ranks: an exact deadlock. Build
+            // the report from the activity table, then unwind the stuck
+            // fibers quietly.
+            let err = self.sched.borrow().deadlock_report();
+            self.poison();
+            for f in fibers.iter_mut() {
+                f.abort();
+            }
             return Err(err);
         }
-        let mut pairs: Vec<(T, Comm)> = Vec::with_capacity(self.nranks);
-        for r in returned {
-            match r.unwrap() {
-                Ok(pair) => pairs.push(pair),
-                // No deadlock verdict: propagate the first real panic (in
-                // rank order), exactly as before.
-                Err(e) => std::panic::resume_unwind(e),
-            }
+
+        // All fibers completed: reclaim their stacks for the next step.
+        for f in fibers {
+            self.stacks.push(f.into_stack());
         }
-        let t_max = pairs.iter().map(|(_, c)| c.now()).fold(0.0, f64::max);
+
+        let t_max = self.comms.iter().map(|c| c.now()).fold(0.0, f64::max);
         let mut results = Vec::with_capacity(self.nranks);
-        for (value, mut comm) in pairs {
+        for (comm, value) in self.comms.iter_mut().zip(values) {
             comm.sync_to(t_max);
             results.push(RankResult {
                 rank: comm.rank(),
-                value,
+                value: value.expect("every completed rank wrote its value"),
                 elapsed: comm.now(),
                 sent_messages: comm.sent_messages(),
                 sent_words: comm.sent_words(),
                 events: comm.take_events(),
             });
-            self.comms.push(comm);
         }
         Ok(results)
     }
+
+    /// Mark the session unusable (deadlock or rank panic mid-step) and drop
+    /// undelivered messages.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.sched.borrow_mut().clear_queues();
+    }
 }
 
-/// Run `body` on `nranks` virtual ranks (one OS thread each) under the given
-/// machine model. Returns the per-rank results ordered by rank.
+/// Run `body` on `nranks` virtual ranks (one cooperatively scheduled fiber
+/// each) under the given machine model. Returns the per-rank results
+/// ordered by rank.
 ///
 /// The body receives a [`Comm`] for messaging, collectives, and virtual-time
 /// charging. Panics in any rank propagate. This is a single-step [`Session`]:
@@ -397,7 +451,7 @@ where
 }
 
 /// Like [`spmd`], but a deadlocked program returns `Err(DeadlockError)`
-/// (with per-rank blocked-on diagnosis) within a bounded real-time delay
+/// (with per-rank blocked-on diagnosis) immediately and deterministically
 /// instead of hanging. This is how tests assert that a communication
 /// pattern deadlocks.
 pub fn try_spmd<T, F>(

@@ -2,16 +2,20 @@
 //!
 //! This crate is the parallel-machine substrate for the PLUM reproduction.
 //! The original system ran on a 64-node IBM SP2 under MPI; here every
-//! *virtual rank* runs as a real OS thread and exchanges real messages over
-//! typed channels, while a [`MachineModel`] charges a per-rank
-//! [`VirtualClock`] for computation and communication using the same cost
-//! model the paper uses (message startup time `T_setup` plus per-word
-//! transfer time `T_lat`).
+//! *virtual rank* runs as a cooperatively scheduled fiber (see the
+//! `fiber`/`sched` modules) and exchanges real typed messages through a
+//! central run queue keyed by virtual time, while a [`MachineModel`]
+//! charges a per-rank [`VirtualClock`] for computation and communication
+//! using the same cost model the paper uses (message startup time `T_setup`
+//! plus per-word transfer time `T_lat`).
 //!
-//! The algorithms therefore execute genuinely concurrently — shared-edge
-//! consistency, gathers, and migrations are exercised for real — while the
-//! *reported* times are deterministic virtual times, which is what all of the
-//! paper's speedup/anatomy curves are made of.
+//! The algorithms therefore execute with genuine message-driven
+//! interleaving — shared-edge consistency, gathers, and migrations are
+//! exercised for real — while the *reported* times are deterministic
+//! virtual times, which is what all of the paper's speedup/anatomy curves
+//! are made of. Because a blocked rank costs a suspended fiber rather than
+//! a parked OS thread, sessions scale to thousands of ranks on one
+//! machine.
 //!
 //! ## Quick example
 //!
@@ -32,10 +36,12 @@ mod clock;
 mod collectives;
 mod comm;
 mod executor;
+mod fiber;
 pub mod metrics;
 mod model;
 #[cfg(test)]
 mod proptests;
+mod sched;
 pub mod trace;
 mod watchdog;
 

@@ -22,6 +22,7 @@
 //! Virtual timestamps are deterministic, so two runs of the same program
 //! produce byte-identical exports.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::chaos::FaultKind;
@@ -651,7 +652,6 @@ impl fmt::Display for ProtocolViolation {
 /// 3. **Clock rewinds**: any blocked negative clock charge.
 pub fn check_protocol(log: &TraceLog) -> Vec<ProtocolViolation> {
     let mut out = Vec::new();
-    let p = log.events.len();
 
     // 1. Collective call sequences (all nesting levels, in order).
     let seqs: Vec<Vec<CollectiveKind>> = log
@@ -686,37 +686,46 @@ pub fn check_protocol(log: &TraceLog) -> Vec<ProtocolViolation> {
         }
     }
 
-    // 2. Tag order per channel.
-    for src in 0..p {
-        for dst in 0..p {
-            let sent: Vec<Tag> = log.events[src]
-                .iter()
-                .filter_map(|ev| match ev {
-                    TraceEvent::Send { peer, tag, .. } if *peer == dst => Some(*tag),
-                    _ => None,
-                })
-                .collect();
-            let recd: Vec<Tag> = log.events[dst]
-                .iter()
-                .filter_map(|ev| match ev {
-                    TraceEvent::Recv { peer, tag, .. } if *peer == src => Some(*tag),
-                    _ => None,
-                })
-                .collect();
-            let n = sent.len().max(recd.len());
-            for i in 0..n {
-                let a = sent.get(i).copied();
-                let b = recd.get(i).copied();
-                if a != b {
-                    out.push(ProtocolViolation::TagOrderMismatch {
-                        src,
-                        dst,
-                        index: i,
-                        sent: a,
-                        received: b,
-                    });
-                    break;
+    // 2. Tag order per channel. One pass over each rank's stream builds the
+    // per-(src, dst) tag sequences for both sides; only channels that carried
+    // traffic are materialized, so the cost is O(events), not O(P²) channel
+    // scans over the full streams.
+    let mut sent_tags: HashMap<(usize, usize), Vec<Tag>> = HashMap::new();
+    let mut recd_tags: HashMap<(usize, usize), Vec<Tag>> = HashMap::new();
+    for (rank, stream) in log.events.iter().enumerate() {
+        for ev in stream {
+            match ev {
+                TraceEvent::Send { peer, tag, .. } => {
+                    sent_tags.entry((rank, *peer)).or_default().push(*tag);
                 }
+                TraceEvent::Recv { peer, tag, .. } => {
+                    recd_tags.entry((*peer, rank)).or_default().push(*tag);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut channels: Vec<(usize, usize)> =
+        sent_tags.keys().chain(recd_tags.keys()).copied().collect();
+    channels.sort_unstable();
+    channels.dedup();
+    const NO_TAGS: &[Tag] = &[];
+    for (src, dst) in channels {
+        let sent = sent_tags.get(&(src, dst)).map_or(NO_TAGS, |v| v);
+        let recd = recd_tags.get(&(src, dst)).map_or(NO_TAGS, |v| v);
+        let n = sent.len().max(recd.len());
+        for i in 0..n {
+            let a = sent.get(i).copied();
+            let b = recd.get(i).copied();
+            if a != b {
+                out.push(ProtocolViolation::TagOrderMismatch {
+                    src,
+                    dst,
+                    index: i,
+                    sent: a,
+                    received: b,
+                });
+                break;
             }
         }
     }

@@ -1,45 +1,25 @@
-//! Deadlock detection for the SPMD executor.
+//! Deadlock diagnosis types for the SPMD executor.
 //!
 //! Every blocking operation in the simulator bottoms out in one place —
 //! [`Comm::recv`](crate::Comm::recv)'s envelope loop (all collectives are
-//! built from point-to-point sends and receives) — so a watchdog that
-//! observes that one path observes every way a rank can block. Each rank
-//! publishes its activity ([`RankActivity`]) into a shared table; a rank
-//! that times out waiting for a message walks the blocked-on chain from
-//! itself:
+//! built from point-to-point sends and receives) — and blocking is
+//! cooperative: a rank that cannot make progress suspends its fiber into
+//! the scheduler (see [`crate::sched`]). Detection is therefore *exact*:
+//! when the run queue empties while unfinished ranks remain, every one of
+//! them is blocked on a message that provably cannot arrive, and the
+//! scheduler reports a [`DeadlockError`] immediately and deterministically
+//! — no timeouts, no heuristics, no real-time dependence.
 //!
-//! * the chain reaches a **running** rank → someone can still make
-//!   progress, keep waiting;
-//! * the chain reaches a **finished** rank → that rank can never send
-//!   again this step, so the waiters are stuck;
-//! * the chain **revisits** a rank → a cycle of mutual waits.
-//!
-//! To close the race where a rank has just sent a message and not yet
-//! updated its state, a deadlock is only *declared* after the same stuck
-//! diagnosis holds on two consecutive watchdog ticks with the global
-//! progress counter (bumped on every send and every satisfied receive)
-//! unchanged. A queued-but-unread message always satisfies the waiter's
-//! `recv_timeout` before a second tick can elapse, so a declared deadlock
-//! is a real one.
-//!
-//! The declaring rank panics with the [`DeadlockError`]; the executor
-//! converts it into `Err` from [`Session::try_run`](crate::Session::try_run)
-//! instead of hanging the test process. Other ranks abort silently once the
-//! verdict is posted.
+//! The report carries the full per-rank activity table ([`RankActivity`])
+//! and the blocked-on chain walked from the lowest blocked rank: the chain
+//! either revisits a rank (a cycle of mutual waits) or dead-ends in a
+//! finished rank (which can never send again this step).
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
 
 use crate::comm::Tag;
 
-/// Real-time granularity of the deadlock check. A deadlock is declared
-/// after two consecutive quiet ticks, so detection latency is bounded by
-/// roughly `3 * WATCHDOG_TICK` — far below any CI timeout.
-pub(crate) const WATCHDOG_TICK: Duration = Duration::from_millis(40);
-
-/// What one rank is doing right now, as seen by the watchdog.
+/// What one rank is doing, as seen by the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RankActivity {
     /// Executing its body (or between steps).
@@ -66,8 +46,8 @@ impl fmt::Display for RankActivity {
 pub struct DeadlockError {
     /// `ranks[r]` is what rank `r` was doing when the deadlock was declared.
     pub ranks: Vec<RankActivity>,
-    /// The blocked-on chain walked from the declaring rank; the last entry
-    /// either closes a cycle or is a finished rank.
+    /// The blocked-on chain walked from the lowest blocked rank; the last
+    /// entry either closes a cycle or is a finished rank.
     pub chain: Vec<usize>,
 }
 
@@ -101,123 +81,3 @@ impl fmt::Display for DeadlockError {
 }
 
 impl std::error::Error for DeadlockError {}
-
-/// Panic payload used by non-declaring ranks to unwind quietly once a
-/// verdict has been posted (carries no message; `resume_unwind` skips the
-/// panic hook, so aborting ranks do not spam stderr).
-pub(crate) struct WatchdogAbort;
-
-/// The shared deadlock detector: one per [`Session`](crate::Session),
-/// handed to every `Comm` behind an `Arc`.
-pub(crate) struct Watchdog {
-    /// Per-rank activity table.
-    states: Mutex<Vec<RankActivity>>,
-    /// Bumped on every send and every satisfied receive anywhere in the
-    /// session; two quiet ticks with this unchanged mean nothing moved.
-    progress: AtomicU64,
-    /// Set once a verdict has been posted (fast check for aborting ranks).
-    declared: AtomicBool,
-    verdict: Mutex<Option<DeadlockError>>,
-}
-
-impl Watchdog {
-    pub(crate) fn new(nranks: usize) -> Self {
-        Watchdog {
-            states: Mutex::new(vec![RankActivity::Running; nranks]),
-            progress: AtomicU64::new(0),
-            declared: AtomicBool::new(false),
-            verdict: Mutex::new(None),
-        }
-    }
-
-    fn set(&self, rank: usize, a: RankActivity) {
-        self.states.lock().unwrap()[rank] = a;
-    }
-
-    pub(crate) fn set_running(&self, rank: usize) {
-        self.set(rank, RankActivity::Running);
-    }
-
-    pub(crate) fn set_blocked(&self, rank: usize, on: usize, tag: Tag) {
-        self.set(rank, RankActivity::Blocked { on, tag });
-    }
-
-    pub(crate) fn set_done(&self, rank: usize) {
-        self.set(rank, RankActivity::Done);
-    }
-
-    /// Mark every rank running again (start of a new step).
-    pub(crate) fn reset(&self) {
-        self.states
-            .lock()
-            .unwrap()
-            .iter_mut()
-            .for_each(|a| *a = RankActivity::Running);
-    }
-
-    #[inline]
-    pub(crate) fn bump_progress(&self) {
-        self.progress.fetch_add(1, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn progress(&self) -> u64 {
-        self.progress.load(Ordering::SeqCst)
-    }
-
-    #[inline]
-    pub(crate) fn declared(&self) -> bool {
-        self.declared.load(Ordering::SeqCst)
-    }
-
-    /// Walk the blocked-on chain from `rank`. Returns the deadlock evidence
-    /// if the chain closes a cycle or dead-ends in a finished rank; `None`
-    /// if it reaches a running rank (progress is still possible).
-    pub(crate) fn diagnose(&self, rank: usize) -> Option<DeadlockError> {
-        let states = self.states.lock().unwrap();
-        let mut visited = vec![false; states.len()];
-        let mut chain = vec![rank];
-        visited[rank] = true;
-        let mut cur = rank;
-        loop {
-            let next = match states[cur] {
-                RankActivity::Blocked { on, .. } => on,
-                RankActivity::Running => return None,
-                RankActivity::Done => {
-                    return Some(DeadlockError {
-                        ranks: states.clone(),
-                        chain,
-                    })
-                }
-            };
-            chain.push(next);
-            if visited[next] {
-                // Cycle of mutual waits.
-                return Some(DeadlockError {
-                    ranks: states.clone(),
-                    chain,
-                });
-            }
-            visited[next] = true;
-            cur = next;
-        }
-    }
-
-    /// Post the verdict; returns true for the first (declaring) caller.
-    pub(crate) fn declare(&self, err: DeadlockError) -> bool {
-        let first = self
-            .declared
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok();
-        if first {
-            *self.verdict.lock().unwrap() = Some(err);
-        }
-        first
-    }
-
-    /// Take the posted verdict, if any (called by the executor after all
-    /// rank threads have terminated).
-    pub(crate) fn take_verdict(&self) -> Option<DeadlockError> {
-        self.verdict.lock().unwrap().take()
-    }
-}

@@ -31,6 +31,9 @@ use crate::kway::{
 use crate::repart::{repartition_diffuse, repartition_kway_impl};
 use crate::rng::Rng;
 
+/// Sparse alltoallv send list: `(destination, words, (u32, u32) payload)`.
+type PairItems = Vec<(usize, u64, Vec<(u32, u32)>)>;
+
 /// Multiplier on `vertex_units` for the serial solve of the coarsest graph
 /// on rank 0 (one multilevel pass over a few hundred vertices).
 const HOST_UNITS_PER_VERTEX: f64 = 8.0;
@@ -241,12 +244,14 @@ pub(crate) fn parallel_hem(comm: &mut Comm, dg: &DistGraph, seed: u64, level: us
 
     // Negotiate: proposals out, grants computed at the target's owner.
     #[allow(clippy::type_complexity)]
-    let items: Vec<(u64, Vec<(u32, u32, u32)>)> = props
+    let items: Vec<(usize, u64, Vec<(u32, u32, u32)>)> = props
         .into_iter()
-        .map(|v| (words_for_bytes(12 * v.len()), v))
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(dst, v)| (dst, words_for_bytes(12 * v.len()), v))
         .collect();
-    let incoming = comm.alltoallv(items);
-    let mut all: Vec<(u32, u32, u32)> = incoming.into_iter().flatten().collect();
+    let incoming = comm.alltoallv_sparse(items);
+    let mut all: Vec<(u32, u32, u32)> = incoming.into_iter().flat_map(|(_, v)| v).collect();
     all.sort_unstable_by_key(|&(t, f, w)| (t, std::cmp::Reverse(w), f));
     let mut resp: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p]; // (from, accepted)
     for (t, f, _w) in all {
@@ -262,11 +267,13 @@ pub(crate) fn parallel_hem(comm: &mut Comm, dg: &DistGraph, seed: u64, level: us
         }
         resp[dg.owner_of(f)].push((f, accept as u32));
     }
-    let items: Vec<(u64, Vec<(u32, u32)>)> = resp
+    let items: PairItems = resp
         .into_iter()
-        .map(|v| (words_for_bytes(8 * v.len()), v))
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(dst, v)| (dst, words_for_bytes(8 * v.len()), v))
         .collect();
-    for list in comm.alltoallv(items) {
+    for (_src, list) in comm.alltoallv_sparse(items) {
         for (f, accepted) in list {
             let i = (f - base) as usize;
             if accepted == 1 {
@@ -347,11 +354,13 @@ pub(crate) fn contract_distributed(
         .iter()
         .map(|b| b.iter().map(|&(_, cg)| cg - cbase).collect())
         .collect();
-    let items: Vec<(u64, Vec<(u32, u32)>)> = a_out
+    let items: PairItems = a_out
         .into_iter()
-        .map(|v| (words_for_bytes(8 * v.len()), v))
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(dst, v)| (dst, words_for_bytes(8 * v.len()), v))
         .collect();
-    let a_in = comm.alltoallv(items);
+    let a_in = comm.alltoallv_sparse(items);
 
     // Global coarse gid of every owned fine vertex.
     let mut coarse_of = vec![u32::MAX; nloc];
@@ -361,11 +370,11 @@ pub(crate) fn contract_distributed(
         }
     }
     let mut proj_in: Vec<Vec<u32>> = vec![Vec::new(); p];
-    for (s, list) in a_in.iter().enumerate() {
+    for (s, list) in &a_in {
         for &(gid, cg) in list {
             let i = (gid - base) as usize;
             coarse_of[i] = cg;
-            proj_in[s].push(i as u32);
+            proj_in[*s].push(i as u32);
         }
     }
 
@@ -385,13 +394,15 @@ pub(crate) fn contract_distributed(
             }
         }
     }
-    let items: Vec<(u64, Vec<(u32, u32)>)> = b_out
+    let items: PairItems = b_out
         .into_iter()
-        .map(|v| (words_for_bytes(8 * v.len()), v))
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(dst, v)| (dst, words_for_bytes(8 * v.len()), v))
         .collect();
-    let b_in = comm.alltoallv(items);
+    let b_in = comm.alltoallv_sparse(items);
     let mut ghost: HashMap<u32, u32> = HashMap::new();
-    for list in &b_in {
+    for (_src, list) in &b_in {
         for &(gid, cg) in list {
             ghost.insert(gid, cg);
         }
@@ -425,16 +436,18 @@ pub(crate) fn contract_distributed(
         c_bytes[dest] += 12 + 8 * row.len();
         c_out[dest].push((cg, dg.vwgt[i], row));
     }
-    let items: Vec<(u64, Vec<RowMsg>)> = c_out
+    let items: Vec<(usize, u64, Vec<RowMsg>)> = c_out
         .into_iter()
         .zip(&c_bytes)
-        .map(|(v, &b)| (words_for_bytes(b), v))
+        .enumerate()
+        .filter(|(_, (v, _))| !v.is_empty())
+        .map(|(dst, (v, &b))| (dst, words_for_bytes(b), v))
         .collect();
-    let c_in = comm.alltoallv(items);
+    let c_in = comm.alltoallv_sparse(items);
     let ncoarse = reps.len();
     let mut shipped: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ncoarse];
     let mut shipped_w = vec![0u64; ncoarse];
-    for list in c_in {
+    for (_src, list) in c_in {
         for (cg, vw, row) in list {
             let c = (cg - cbase) as usize;
             shipped_w[c] += vw;
@@ -586,24 +599,26 @@ fn project_parts(
     coarse_part: &[u32],
     fine_nloc: usize,
 ) -> Vec<u32> {
-    let items: Vec<(u64, Vec<u32>)> = link
+    let items: Vec<(usize, u64, Vec<u32>)> = link
         .proj_out
         .iter()
-        .map(|list| {
+        .enumerate()
+        .filter(|(_, list)| !list.is_empty())
+        .map(|(dst, list)| {
             let vals: Vec<u32> = list.iter().map(|&c| coarse_part[c as usize]).collect();
-            (words_for_bytes(4 * vals.len()), vals)
+            (dst, words_for_bytes(4 * vals.len()), vals)
         })
         .collect();
-    let incoming = comm.alltoallv(items);
+    let incoming = comm.alltoallv_sparse(items);
     let mut part = vec![0u32; fine_nloc];
     for (i, &c) in link.cmap_local.iter().enumerate() {
         if c != u32::MAX {
             part[i] = coarse_part[c as usize];
         }
     }
-    for (s, vals) in incoming.iter().enumerate() {
+    for (s, vals) in &incoming {
         for (k, &pv) in vals.iter().enumerate() {
-            part[link.proj_in[s][k] as usize] = pv;
+            part[link.proj_in[*s][k] as usize] = pv;
         }
     }
     part
@@ -670,16 +685,18 @@ fn refine_distributed(
         charge(comm, nloc, vertex_units);
 
         // Ghost part exchange.
-        let items: Vec<(u64, Vec<(u32, u32)>)> = nbr_out
+        let items: PairItems = nbr_out
             .iter()
-            .map(|list| {
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(dst, list)| {
                 let vals: Vec<(u32, u32)> =
                     list.iter().map(|&i| (base + i, part[i as usize])).collect();
-                (words_for_bytes(8 * vals.len()), vals)
+                (dst, words_for_bytes(8 * vals.len()), vals)
             })
             .collect();
         let mut ghost: HashMap<u32, u32> = HashMap::new();
-        for list in comm.alltoallv(items) {
+        for (_src, list) in comm.alltoallv_sparse(items) {
             for (gid, pv) in list {
                 ghost.insert(gid, pv);
             }

@@ -84,11 +84,13 @@ pub fn knapsack_body(
         local_w[part[v] as usize] += vwgt[v];
         counts[part[v] as usize * nranks / nparts] += 1;
     }
-    let items: Vec<(u64, u64)> = counts
+    let items: Vec<(usize, u64, u64)> = counts
         .iter()
-        .map(|&c| (words_for_bytes(PAIR_BYTES * c as usize), c))
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(dst, &c)| (dst, words_for_bytes(PAIR_BYTES * c as usize), c))
         .collect();
-    comm.alltoallv(items);
+    comm.alltoallv_sparse(items);
     let global_w = comm.allreduce(nparts as u64, local_w, |a, b| {
         a.iter().zip(&b).map(|(x, y)| x + y).collect::<Vec<u64>>()
     });

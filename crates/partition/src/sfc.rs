@@ -188,23 +188,22 @@ fn exchange_and_check(
         }
         counts[part_home(part[v] as usize, nparts, nranks)] += 1;
     }
-    let items: Vec<(u64, u64)> = counts
+    let items: Vec<(usize, u64, u64)> = counts
         .iter()
-        .map(|&c| (words_for_bytes(TRIPLE_BYTES * c as usize), c))
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(dst, &c)| (dst, words_for_bytes(TRIPLE_BYTES * c as usize), c))
         .collect();
-    let received = comm.alltoallv(items);
-    let received_total: u64 = received.iter().sum();
+    let received = comm.alltoallv_sparse(items);
+    let received_total: u64 = received.iter().map(|&(_, c)| c).sum();
     let global_w = comm.allreduce(nparts as u64, local_w, |a, b| {
         a.iter().zip(&b).map(|(x, y)| x + y).collect()
     });
-    let expect: Vec<u64> = (0..nparts)
-        .map(|p| {
-            (0..part.len())
-                .filter(|&v| part[v] as usize == p)
-                .map(|v| vwgt[v])
-                .sum()
-        })
-        .collect();
+    // One pass over the vertices (not one per part) builds the reference.
+    let mut expect = vec![0u64; nparts];
+    for v in 0..part.len() {
+        expect[part[v] as usize] += vwgt[v];
+    }
     assert_eq!(global_w, expect, "allreduce'd part weights diverged");
     // Every triple sent somewhere was received by exactly one home rank.
     let sent_here: u64 = comm.allreduce_sum_u64(counts.iter().sum::<u64>());
@@ -212,10 +211,33 @@ fn exchange_and_check(
     assert_eq!(sent_here, recv_all, "key exchange lost triples");
 }
 
+/// Use a host-precomputed replicated partition when one is provided,
+/// falling back to computing it locally. The SPMD partitioner bodies run
+/// *replicated* arithmetic (every rank computes the identical answer from
+/// identical inputs), so callers driving thousands of ranks can compute it
+/// once on the host and pass it in; the *virtual* compute charge is taken
+/// either way, so modeled times do not depend on who did the arithmetic.
+/// Debug builds cross-check the hoisted value against a local recompute.
+fn resolve_replicated(precomputed: Option<&[u32]>, compute: impl FnOnce() -> Vec<u32>) -> Vec<u32> {
+    match precomputed {
+        Some(part) => {
+            debug_assert_eq!(
+                part,
+                &compute()[..],
+                "host-precomputed partition diverges from the replicated arithmetic"
+            );
+            part.to_vec()
+        }
+        None => compute(),
+    }
+}
+
 /// SPMD body of the full SFC partitioner: local key sort, alltoallv triple
 /// exchange to the destination ranks, allreduce'd part weights. Returns the
 /// same partition [`sfc_partition`] computes serially — bit-identical on
-/// every rank and under every machine model.
+/// every rank and under every machine model. Pass the replicated result as
+/// `precomputed` to skip the per-rank recompute (see
+/// [`resolve_replicated`]).
 #[allow(clippy::too_many_arguments)]
 pub fn sfc_body(
     comm: &mut Comm,
@@ -225,9 +247,10 @@ pub fn sfc_body(
     nparts: usize,
     caps: &[f64],
     vertex_units: f64,
+    precomputed: Option<&[u32]>,
 ) -> Vec<u32> {
     let rank = comm.rank();
-    let part = sfc_partition(keys, vwgt, nparts, caps);
+    let part = resolve_replicated(precomputed, || sfc_partition(keys, vwgt, nparts, caps));
     // Local work: key generation + comparison sort of the local block.
     let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
     charge(comm, n_local, vertex_units);
@@ -237,7 +260,8 @@ pub fn sfc_body(
 
 /// SPMD body of the boundary-diffusion repair: only the boundary sweep is
 /// charged and only *moved* vertices cost wire traffic — the reason this is
-/// the cheap path of the portfolio.
+/// the cheap path of the portfolio. `precomputed` works as in
+/// [`sfc_body`].
 #[allow(clippy::too_many_arguments)]
 pub fn sfc_diffuse_body(
     comm: &mut Comm,
@@ -248,9 +272,10 @@ pub fn sfc_diffuse_body(
     nparts: usize,
     caps: &[f64],
     vertex_units: f64,
+    precomputed: Option<&[u32]>,
 ) -> Vec<u32> {
     let rank = comm.rank();
-    let part = sfc_diffuse(keys, vwgt, prev, nparts, caps);
+    let part = resolve_replicated(precomputed, || sfc_diffuse(keys, vwgt, prev, nparts, caps));
     // Boundary sweeps touch each local vertex a handful of times; charge a
     // quarter of the full-sort rate.
     let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
@@ -275,10 +300,35 @@ pub fn sfc_distributed(
     model: MachineModel,
     vertex_units: f64,
 ) -> DistPartition {
-    let results = spmd(nranks, model, |comm| {
+    // The replicated arithmetic runs once here instead of once per rank.
+    let hoisted = match prev {
+        Some(prev) => sfc_diffuse(keys, vwgt, prev, nparts, caps),
+        None => sfc_partition(keys, vwgt, nparts, caps),
+    };
+    let hoisted = &hoisted;
+    let results = spmd(nranks, model, move |comm| {
         comm.phase("partition", |c| match prev {
-            Some(prev) => sfc_diffuse_body(c, keys, vwgt, owner, prev, nparts, caps, vertex_units),
-            None => sfc_body(c, keys, vwgt, owner, nparts, caps, vertex_units),
+            Some(prev) => sfc_diffuse_body(
+                c,
+                keys,
+                vwgt,
+                owner,
+                prev,
+                nparts,
+                caps,
+                vertex_units,
+                Some(hoisted),
+            ),
+            None => sfc_body(
+                c,
+                keys,
+                vwgt,
+                owner,
+                nparts,
+                caps,
+                vertex_units,
+                Some(hoisted),
+            ),
         })
     });
     let part = results[0].value.clone();
