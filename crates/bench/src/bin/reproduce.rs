@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig6_mild`,
-//! `weakscale`, `fig7`, `fig8`, `all`. `--quick` runs at ~6k elements
-//! instead of the paper's ~61k.
+//! `weakscale`, `hotspot`, `dual`, `cascade`, `fig7`, `fig8`, `all`.
+//! `--quick` runs at ~6k elements instead of the paper's ~61k.
 //!
 //! `weakscale` runs one full adaption cycle each at P = 256, 1024, and 4096
 //! (`--quick` skips 4096) on meshes sized to ~16 initial elements per rank,
@@ -40,6 +40,16 @@
 //! last cycle's session trace is written to
 //! `chaos-failure-seed-<seed>.json` and the process exits nonzero — this is
 //! the nightly CI seed matrix.
+//!
+//! `hotspot`, `dual`, and `cascade` are the workload-scenario conformance
+//! experiments (see `plum_bench::scenarios`): measured inhomogeneous cost
+//! vs the unit-cost assumption, dual-constraint (fluid + particle)
+//! balancing vs single-constraint, and the shock-recedes coarsening
+//! cascade at P = 64. Each writes `BENCH_<scenario>.json` for the CI
+//! `scenario-conformance` gate and asserts its acceptance criteria
+//! in-process. `hotspot --chaos <seed>` layers the 40× moving hotspot on
+//! top of the seeded 2× rank slowdown — the hotspot row of the nightly
+//! chaos matrix, with the same failure-trace artifact contract.
 
 use plum_bench::*;
 
@@ -187,6 +197,45 @@ fn main() {
             print!("{analysis}");
             write_bench("BENCH_weakscale.json", &bench);
         }
+        "hotspot" => {
+            if let Some(seed) = chaos_seed {
+                eprintln!("# running the hotspot chaos recovery experiment (seed {seed})…");
+                let run = chaos::hotspot_chaos_recovery(scale, seed);
+                chaos::print_chaos(&run);
+                if !run.recovered {
+                    let artifact = format!("chaos-failure-hotspot-seed-{seed}.json");
+                    std::fs::write(&artifact, &run.trace_json).expect("write failure trace");
+                    eprintln!("# recovery FAILED; wrote session trace to {artifact}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            eprintln!(
+                "# running the measured-cost hotspot scenario at P={}…",
+                scenarios::SCENARIO_NPROC
+            );
+            let (bench, analysis) = scenarios::hotspot_bench(scale);
+            print!("{analysis}");
+            write_bench("BENCH_hotspot.json", &bench);
+        }
+        "dual" => {
+            eprintln!(
+                "# running the dual-constraint scenario at P={}…",
+                scenarios::SCENARIO_NPROC
+            );
+            let (bench, analysis) = scenarios::dual_bench(scale);
+            print!("{analysis}");
+            write_bench("BENCH_dual.json", &bench);
+        }
+        "cascade" => {
+            eprintln!(
+                "# running the coarsening cascade at P={}…",
+                scenarios::CASCADE_NPROC
+            );
+            let (bench, analysis) = scenarios::cascade_bench(scale);
+            print!("{analysis}");
+            write_bench("BENCH_cascade.json", &bench);
+        }
         "fig7" => {
             print_fig7(&paper_growths());
         }
@@ -257,7 +306,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|weakscale|fig7|fig8|ablation|baseline|multicycle|all"
+                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|weakscale|hotspot|dual|cascade|fig7|fig8|ablation|baseline|multicycle|all"
             );
             std::process::exit(2);
         }

@@ -11,6 +11,7 @@ pub mod baseline;
 pub mod chaos;
 pub mod multicycle;
 pub mod report;
+pub mod scenarios;
 
 use std::time::Instant;
 

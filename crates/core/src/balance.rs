@@ -6,8 +6,9 @@ use std::time::Instant;
 use plum_mesh::DualGraph;
 use plum_parsim::TraceLog;
 use plum_partition::{
-    imbalance_weighted, knapsack_partition, partition_kway, repartition_kway_weighted, sfc_diffuse,
-    sfc_partition, Graph,
+    dual_uniform, imbalance_weighted, knapsack_partition, knapsack_partition_dual, partition_kway,
+    partition_kway_dual, repartition_kway_dual, repartition_kway_weighted, sfc_diffuse,
+    sfc_diffuse_dual, sfc_partition, sfc_partition_dual, Graph,
 };
 use plum_reassign::{
     greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats, SimilarityMatrix,
@@ -74,6 +75,11 @@ pub struct BalanceDecision {
     pub imbalance_old: f64,
     /// Imbalance under the proposed assignment.
     pub imbalance_new: f64,
+    /// Second-constraint (e.g. particle) imbalance under the old
+    /// assignment, when the balancer ran with a second weight vector.
+    pub imbalance_old2: Option<f64>,
+    /// Second-constraint imbalance under the adopted assignment.
+    pub imbalance_new2: Option<f64>,
     /// Max per-processor `W_comp` before/after (Fig. 8's ratio).
     pub wmax_old: u64,
     pub wmax_new: u64,
@@ -169,6 +175,7 @@ pub(crate) fn evaluate_balance(
     old_proc: &[u32],
     cfg: &PlumConfig,
     caps: &[f64],
+    w2: Option<&[u64]>,
 ) -> (BalanceDecision, bool) {
     let nproc = cfg.nproc;
     assert_eq!(caps.len(), nproc, "one capacity per processor");
@@ -182,6 +189,15 @@ pub(crate) fn evaluate_balance(
             *effective_weights(&w_old, caps).iter().max().unwrap(),
         )
     };
+    // Second constraint: its own max/avg imbalance under the same caps.
+    let imb_old2 = w2.map(|w2| {
+        let w2_old = per_proc_wcomp(w2, old_proc, nproc);
+        if uniform {
+            imbalance(&w2_old)
+        } else {
+            imbalance_weighted(&w2_old, caps)
+        }
+    });
 
     let mut decision = BalanceDecision {
         repartitioned: false,
@@ -189,6 +205,8 @@ pub(crate) fn evaluate_balance(
         new_proc: old_proc.to_vec(),
         imbalance_old: imb_old,
         imbalance_new: imb_old,
+        imbalance_old2: imb_old2,
+        imbalance_new2: imb_old2,
         wmax_old,
         wmax_new: wmax_old,
         method: None,
@@ -204,8 +222,11 @@ pub(crate) fn evaluate_balance(
     };
 
     // Evaluation step: keep the current partitions if they remain adequately
-    // balanced.
-    if imb_old <= cfg.imbalance_trigger || nproc == 1 {
+    // balanced. Under two constraints the trigger fires on the binding one —
+    // a perfectly count-balanced mesh whose particles are piled on one rank
+    // still repartitions.
+    let imb_binding = imb_old2.map_or(imb_old, |i2| imb_old.max(i2));
+    if imb_binding <= cfg.imbalance_trigger || nproc == 1 {
         return (decision, false);
     }
     decision.repartitioned = true;
@@ -343,6 +364,40 @@ pub fn select_method(
     best.0
 }
 
+/// [`select_method`] under dual-constraint balancing: the gain/cost scores
+/// run on the *binding* constraint — whichever weight vector is further from
+/// balance is the one a repartition must fix, so its per-vertex weights
+/// drive the method choice. `None` or a uniform second vector reduces to
+/// [`select_method`] bit-exactly.
+pub fn select_method_dual(
+    wcomp: &[u64],
+    w2: Option<&[u64]>,
+    old_proc: &[u32],
+    cfg: &PlumConfig,
+    caps: &[f64],
+    has_keys: bool,
+    seeded: bool,
+) -> BalanceMethod {
+    let Some(w2) = w2.filter(|w| !dual_uniform(w)) else {
+        return select_method(wcomp, old_proc, cfg, caps, has_keys, seeded);
+    };
+    let nproc = cfg.nproc;
+    let uniform = caps_uniform(caps);
+    let imb_of = |w: &[u64]| -> f64 {
+        let per = per_proc_wcomp(w, old_proc, nproc);
+        if uniform {
+            imbalance(&per)
+        } else {
+            imbalance_weighted(&per, caps)
+        }
+    };
+    if imb_of(w2) > imb_of(wcomp) {
+        select_method(w2, old_proc, cfg, caps, has_keys, seeded)
+    } else {
+        select_method(wcomp, old_proc, cfg, caps, has_keys, seeded)
+    }
+}
+
 /// The [`WorkModel`] prediction matching a portfolio method.
 pub(crate) fn predicted_time(method: BalanceMethod, work: &WorkModel, n: usize, p: usize) -> f64 {
     match method {
@@ -366,8 +421,9 @@ pub(crate) fn evaluate_and_repartition(
     work: &WorkModel,
     caps: &[f64],
     keys: Option<&[u64]>,
+    w2: Option<&[u64]>,
 ) -> (BalanceDecision, Option<Vec<u32>>) {
-    let (mut decision, go) = evaluate_balance(dual, old_proc, cfg, caps);
+    let (mut decision, go) = evaluate_balance(dual, old_proc, cfg, caps, w2);
     if !go {
         return (decision, None);
     }
@@ -375,8 +431,9 @@ pub(crate) fn evaluate_and_repartition(
     let mut pcfg = cfg.partition;
     pcfg.nparts = cfg.nparts();
     let (prev, part_caps) = partition_mode(cfg, old_proc, caps);
-    let method = select_method(
+    let method = select_method_dual(
         &dual.wcomp,
+        w2,
         old_proc,
         cfg,
         caps,
@@ -386,8 +443,10 @@ pub(crate) fn evaluate_and_repartition(
     if let Some(keys) = keys {
         assert_eq!(keys.len(), dual.n(), "one SFC key per dual vertex");
     }
-    let new_part = match method {
-        BalanceMethod::Multilevel => {
+    // The dual kernels delegate bit-exactly when the second vector is
+    // uniform, so `Some(uniform)` and `None` produce the same partition.
+    let new_part = match (method, w2) {
+        (BalanceMethod::Multilevel, None) => {
             // Serial repartitioning on the dual graph with the new W_comp.
             let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
             match prev {
@@ -397,12 +456,38 @@ pub(crate) fn evaluate_and_repartition(
                 None => partition_kway(&graph, &pcfg),
             }
         }
-        BalanceMethod::SfcDiffusion => {
+        (BalanceMethod::Multilevel, Some(w2)) => {
+            let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
+            match prev {
+                Some(prev) => repartition_kway_dual(&graph, w2, &pcfg, prev, &part_caps),
+                None => partition_kway_dual(&graph, w2, &pcfg, &part_caps),
+            }
+        }
+        (BalanceMethod::SfcDiffusion, None) => {
             let prev = prev.expect("selection guarantees a seed for diffusion");
             sfc_diffuse(keys.unwrap(), &dual.wcomp, prev, pcfg.nparts, &part_caps)
         }
-        BalanceMethod::Sfc => sfc_partition(keys.unwrap(), &dual.wcomp, pcfg.nparts, &part_caps),
-        BalanceMethod::Knapsack => knapsack_partition(&dual.wcomp, pcfg.nparts, &part_caps),
+        (BalanceMethod::SfcDiffusion, Some(w2)) => {
+            let prev = prev.expect("selection guarantees a seed for diffusion");
+            sfc_diffuse_dual(
+                keys.unwrap(),
+                &dual.wcomp,
+                w2,
+                prev,
+                pcfg.nparts,
+                &part_caps,
+            )
+        }
+        (BalanceMethod::Sfc, None) => {
+            sfc_partition(keys.unwrap(), &dual.wcomp, pcfg.nparts, &part_caps)
+        }
+        (BalanceMethod::Sfc, Some(w2)) => {
+            sfc_partition_dual(keys.unwrap(), &dual.wcomp, w2, pcfg.nparts, &part_caps)
+        }
+        (BalanceMethod::Knapsack, None) => knapsack_partition(&dual.wcomp, pcfg.nparts, &part_caps),
+        (BalanceMethod::Knapsack, Some(w2)) => {
+            knapsack_partition_dual(&dual.wcomp, w2, pcfg.nparts, &part_caps)
+        }
     };
     decision.method = Some(method);
     decision.predicted_partition_time = predicted_time(method, work, dual.n(), cfg.nproc);
@@ -424,6 +509,7 @@ pub(crate) fn apply_reassignment(
     sm: &SimilarityMatrix,
     assignment: &Assignment,
     caps: &[f64],
+    w2: Option<&[u64]>,
 ) {
     let nproc = cfg.nproc;
     let uniform = caps_uniform(caps);
@@ -457,6 +543,14 @@ pub(crate) fn apply_reassignment(
         decision.imbalance_new = imbalance_weighted(&w_new, caps);
         decision.wmax_new = *effective_weights(&w_new, caps).iter().max().unwrap();
     }
+    decision.imbalance_new2 = w2.map(|w2| {
+        let w2_new = per_proc_wcomp(w2, &new_proc, nproc);
+        if uniform {
+            imbalance(&w2_new)
+        } else {
+            imbalance_weighted(&w2_new, caps)
+        }
+    });
 
     let stats = remap_stats(sm, assignment);
 
@@ -487,6 +581,7 @@ pub(crate) fn apply_reassignment(
     } else {
         // "Otherwise, the new partitioning is discarded."
         decision.imbalance_new = decision.imbalance_old;
+        decision.imbalance_new2 = decision.imbalance_old2;
         decision.wmax_new = decision.wmax_old;
     }
 }
@@ -519,8 +614,28 @@ pub fn balance_step_keyed(
     work: &WorkModel,
     keys: Option<&[u64]>,
 ) -> BalanceDecision {
+    balance_step_dual(dual, old_proc, refine_work, cfg, work, keys, None)
+}
+
+/// [`balance_step_keyed`] under dual-constraint balancing: `w2` carries a
+/// second per-dual-vertex weight vector (e.g. particle counts) and the
+/// balancer holds *both* imbalances down (max-of-imbalances objective),
+/// reporting the second constraint in
+/// [`BalanceDecision::imbalance_old2`]/[`BalanceDecision::imbalance_new2`].
+/// `None` (or a uniform `w2`) reduces to the single-constraint step
+/// bit-exactly.
+pub fn balance_step_dual(
+    dual: &DualGraph,
+    old_proc: &[u32],
+    refine_work: &[u64],
+    cfg: &PlumConfig,
+    work: &WorkModel,
+    keys: Option<&[u64]>,
+    w2: Option<&[u64]>,
+) -> BalanceDecision {
     let caps = vec![1.0; cfg.nproc];
-    let (mut decision, new_part) = evaluate_and_repartition(dual, old_proc, cfg, work, &caps, keys);
+    let (mut decision, new_part) =
+        evaluate_and_repartition(dual, old_proc, cfg, work, &caps, keys, w2);
     let Some(new_part) = new_part else {
         return decision;
     };
@@ -551,6 +666,7 @@ pub fn balance_step_keyed(
         &par.matrix,
         &par.assignment,
         &caps,
+        w2,
     );
     decision
 }

@@ -1,0 +1,157 @@
+//! EWMA per-element cost estimation from observed solver times.
+//!
+//! PLUM's `Wcomp` assumes every leaf element costs the same. When the real
+//! per-element cost is inhomogeneous (hotspot chemistry, embedded
+//! particles), balancing the *count* leaves the expensive region's owner
+//! overloaded. The estimator closes the loop: after each solve, the driver
+//! reports an observed cost multiplier per dual vertex (root element) and
+//! the partitioner weights `Wcomp` by the smoothed estimate — so the
+//! balancer moves *measured* load, not assumed load.
+//!
+//! Determinism contract: both drivers (reference and session engine) feed
+//! the estimator identical observation vectors in identical order, and the
+//! estimate is quantized to 1e-6 after each update, so the resulting
+//! integer weights are bit-identical across drivers. With `alpha = 0.0`
+//! the estimate stays frozen at 1.0 — the "unit-cost assumption" arm used
+//! as the baseline in the hotspot benchmark.
+
+/// Exponentially-weighted moving average of per-root cost multipliers.
+#[derive(Debug, Clone)]
+pub struct CostEstimator {
+    est: Vec<f64>,
+    alpha: f64,
+}
+
+impl CostEstimator {
+    /// Fresh estimator over `n` roots, starting from the unit-cost
+    /// assumption with smoothing factor 0.5.
+    pub fn new(n: usize) -> Self {
+        Self::with_alpha(n, 0.5)
+    }
+
+    /// Estimator with an explicit smoothing factor. `alpha = 0.0` never
+    /// updates (unit-cost assumption); `alpha = 1.0` trusts the latest
+    /// observation entirely.
+    pub fn with_alpha(n: usize, alpha: f64) -> Self {
+        CostEstimator {
+            est: vec![1.0; n],
+            alpha,
+        }
+    }
+
+    /// Number of roots tracked.
+    pub fn len(&self) -> usize {
+        self.est.len()
+    }
+
+    /// True when no roots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.est.is_empty()
+    }
+
+    /// Current per-root estimates.
+    pub fn estimates(&self) -> &[f64] {
+        &self.est
+    }
+
+    /// True while every estimate is exactly the unit cost — the fast path
+    /// that keeps uniform scenarios bit-identical to the historical
+    /// unweighted `Wcomp`.
+    pub fn is_unit(&self) -> bool {
+        self.est.iter().all(|&e| e == 1.0)
+    }
+
+    /// Fold one round of observed cost multipliers into the estimate.
+    /// Non-finite or non-positive observations (a rank that reported a
+    /// zero or NaN solver time) fall back to the unit cost instead of
+    /// poisoning the estimate — the measured-cost analogue of the
+    /// `imbalance_weighted` zero-capacity guards.
+    pub fn observe(&mut self, obs: &[f64]) {
+        assert_eq!(obs.len(), self.est.len(), "one observation per root");
+        if self.alpha == 0.0 {
+            return;
+        }
+        for (e, &o) in self.est.iter_mut().zip(obs) {
+            let o = if o.is_finite() && o > 0.0 { o } else { 1.0 };
+            // Quantize so that uniform observations keep the estimate at
+            // exactly 1.0 and cross-driver sums stay reproducible.
+            *e = ((self.alpha * o + (1.0 - self.alpha) * *e) * 1e6).round() / 1e6;
+        }
+    }
+
+    /// Weight `wcomp` by the current estimates, rounding to integer
+    /// weights for the partitioner (minimum 1 so no vertex vanishes).
+    /// Under the unit estimate this returns `wcomp` unchanged.
+    pub fn weights(&self, wcomp: &[u64]) -> Vec<u64> {
+        assert_eq!(wcomp.len(), self.est.len(), "one weight per root");
+        if self.is_unit() {
+            return wcomp.to_vec();
+        }
+        wcomp
+            .iter()
+            .zip(&self.est)
+            .map(|(&w, &e)| ((w as f64 * e).round() as u64).max(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unit_and_passes_weights_through() {
+        let est = CostEstimator::new(4);
+        assert!(est.is_unit());
+        assert_eq!(est.weights(&[3, 7, 1, 9]), vec![3, 7, 1, 9]);
+    }
+
+    #[test]
+    fn uniform_observations_keep_the_unit_estimate_exact() {
+        let mut est = CostEstimator::new(3);
+        for _ in 0..5 {
+            est.observe(&[1.0, 1.0, 1.0]);
+        }
+        assert!(est.is_unit(), "estimates {:?}", est.estimates());
+    }
+
+    #[test]
+    fn converges_toward_a_hotspot_profile() {
+        let mut est = CostEstimator::new(2);
+        for _ in 0..12 {
+            est.observe(&[10.0, 1.0]);
+        }
+        let e = est.estimates();
+        assert!(e[0] > 9.9, "hotspot estimate {e:?}");
+        assert_eq!(e[1], 1.0);
+        let w = est.weights(&[4, 4]);
+        assert!(w[0] >= 39 && w[0] <= 40, "weighted {w:?}");
+        assert_eq!(w[1], 4);
+    }
+
+    #[test]
+    fn zero_and_nan_observations_fall_back_to_unit_cost() {
+        let mut est = CostEstimator::new(4);
+        est.observe(&[0.0, f64::NAN, f64::INFINITY, -3.0]);
+        assert!(est.is_unit(), "estimates {:?}", est.estimates());
+        // A later valid observation still works.
+        est.observe(&[2.0, 2.0, 2.0, 2.0]);
+        assert!(est.estimates().iter().all(|&e| e == 1.5));
+        assert!(est.estimates().iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn alpha_zero_freezes_the_unit_cost_assumption() {
+        let mut est = CostEstimator::with_alpha(3, 0.0);
+        est.observe(&[50.0, 1.0, 0.0]);
+        assert!(est.is_unit());
+        assert_eq!(est.weights(&[2, 2, 2]), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn weights_never_drop_to_zero() {
+        let mut est = CostEstimator::with_alpha(2, 1.0);
+        est.observe(&[0.001, 1.0]);
+        assert_eq!(est.weights(&[1, 1]), vec![1, 1]);
+    }
+}

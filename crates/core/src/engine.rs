@@ -19,11 +19,11 @@
 //! the bottom of this file pin that equivalence at several processor counts.
 
 use plum_adapt::{AdaptiveMesh, RefineDelta};
-use plum_parsim::{RankResult, Session, TraceLog};
+use plum_parsim::{Comm, RankResult, Session, TraceLog};
 use plum_solver::{edge_error_indicator, solve};
 
 use crate::balance::{
-    apply_reassignment, evaluate_balance, partition_mode, predicted_time, select_method,
+    apply_reassignment, evaluate_balance, partition_mode, predicted_time, select_method_dual,
     BalanceDecision, BalanceMethod,
 };
 use crate::config::{PlumConfig, RemapPolicy};
@@ -116,23 +116,27 @@ fn absorb<T>(slog: &mut TraceLog, results: &[RankResult<T>]) {
 }
 
 /// Observed per-rank solver rates and the capacity weights derived from
-/// them. `rate[r] = load_r / (solver compute seconds of r)` — on a slowed
-/// rank the modeled compute seconds stretch by its chaos multiplier, so the
-/// observed rate drops proportionally. Capacities are the rates normalized
-/// to mean 1.0 and quantized to 1e-6, so a homogeneous machine observes
-/// *exactly* `[1.0; P]` and the balancer stays on its bit-exact unweighted
-/// path. Ranks with no load (no work to observe) inherit the mean rate.
+/// them. `per` holds each rank's solver load in element *units* (leaf count
+/// weighted by the true cost multiplier under a measured-cost scenario) and
+/// `rate[r] = units_r / (solver compute seconds of r)` — on a slowed rank
+/// the modeled compute seconds stretch by its chaos multiplier, so the
+/// observed rate drops proportionally, while an expensive-element hotspot
+/// stretches seconds *and* units and cancels out (a hotspot is not a slow
+/// processor). Capacities are the rates normalized to mean 1.0 and
+/// quantized to 1e-6, so a homogeneous machine observes *exactly*
+/// `[1.0; P]` and the balancer stays on its bit-exact unweighted path.
+/// Ranks with no load (no work to observe) inherit the mean rate.
 pub(crate) fn observe_capacity(
-    per: &[u64],
+    per: &[f64],
     work: &crate::timing::WorkModel,
     profile: &[f64],
 ) -> (Vec<f64>, Vec<f64>) {
     let nproc = per.len();
     let mut rates: Vec<f64> = (0..nproc)
         .map(|r| {
-            let secs = work.solver_compute_time(per[r]) * profile[r];
+            let secs = work.solver_compute_units_time(per[r]) * profile[r];
             if secs > 0.0 {
-                per[r] as f64 / secs
+                per[r] / secs
             } else {
                 0.0
             }
@@ -183,7 +187,8 @@ fn balance_on_session(
     refine_work: &[u64],
 ) -> BalanceDecision {
     let cfg: &PlumConfig = &p.cfg;
-    let (mut decision, go) = evaluate_balance(&p.dual, &p.proc_of_root, cfg, &p.capacity);
+    let w2 = p.wcomp2.as_deref();
+    let (mut decision, go) = evaluate_balance(&p.dual, &p.proc_of_root, cfg, &p.capacity, w2);
     if !go {
         return decision;
     }
@@ -201,8 +206,9 @@ fn balance_on_session(
     // Portfolio selection runs host-side on replicated inputs — the same
     // call the serial reference makes, so both paths pick the same method
     // and stay bit-identical.
-    let method = select_method(
+    let method = select_method_dual(
         &p.dual.wcomp,
+        w2,
         &p.proc_of_root,
         cfg,
         &p.capacity,
@@ -212,21 +218,42 @@ fn balance_on_session(
     // The SFC paths run replicated arithmetic on replicated inputs; compute
     // the partition once host-side and hand it to every rank instead of
     // recomputing it P times (virtual charges are unaffected — see
-    // `resolve_replicated` in plum-partition).
+    // `resolve_replicated` in plum-partition). The dual kernels delegate
+    // bit-exactly on a uniform second vector, so the hoist covers both
+    // regimes with one call.
     let sfc_hoist: Option<Vec<u32>> = match method {
-        BalanceMethod::Sfc => Some(plum_partition::sfc_partition(
-            &p.sfc_keys,
-            &p.dual.wcomp,
-            pcfg.nparts,
-            &part_caps,
-        )),
-        BalanceMethod::SfcDiffusion => Some(plum_partition::sfc_diffuse(
-            &p.sfc_keys,
-            &p.dual.wcomp,
-            prev.expect("selection guarantees a seed for diffusion"),
-            pcfg.nparts,
-            &part_caps,
-        )),
+        BalanceMethod::Sfc => Some(match w2 {
+            None => {
+                plum_partition::sfc_partition(&p.sfc_keys, &p.dual.wcomp, pcfg.nparts, &part_caps)
+            }
+            Some(w2) => plum_partition::sfc_partition_dual(
+                &p.sfc_keys,
+                &p.dual.wcomp,
+                w2,
+                pcfg.nparts,
+                &part_caps,
+            ),
+        }),
+        BalanceMethod::SfcDiffusion => {
+            let prev = prev.expect("selection guarantees a seed for diffusion");
+            Some(match w2 {
+                None => plum_partition::sfc_diffuse(
+                    &p.sfc_keys,
+                    &p.dual.wcomp,
+                    prev,
+                    pcfg.nparts,
+                    &part_caps,
+                ),
+                Some(w2) => plum_partition::sfc_diffuse_dual(
+                    &p.sfc_keys,
+                    &p.dual.wcomp,
+                    w2,
+                    prev,
+                    pcfg.nparts,
+                    &part_caps,
+                ),
+            })
+        }
         _ => None,
     };
     let t0 = session.now();
@@ -238,8 +265,8 @@ fn balance_on_session(
         let vwgt = &p.dual.wcomp;
         let sfc_hoist = sfc_hoist.as_deref();
         session.run(vec![(); cfg.nproc], move |comm, ()| {
-            comm.phase("partition", |c| match method {
-                BalanceMethod::Multilevel => plum_partition::repartition_body(
+            comm.phase("partition", |c| match (method, w2) {
+                (BalanceMethod::Multilevel, None) => plum_partition::repartition_body(
                     c,
                     &graph,
                     owner,
@@ -248,7 +275,17 @@ fn balance_on_session(
                     part_caps,
                     vertex_units,
                 ),
-                BalanceMethod::SfcDiffusion => plum_partition::sfc_diffuse_body(
+                (BalanceMethod::Multilevel, Some(w2)) => plum_partition::repartition_body_dual(
+                    c,
+                    &graph,
+                    w2,
+                    owner,
+                    prev,
+                    &pcfg,
+                    part_caps,
+                    vertex_units,
+                ),
+                (BalanceMethod::SfcDiffusion, None) => plum_partition::sfc_diffuse_body(
                     c,
                     keys,
                     vwgt,
@@ -259,7 +296,19 @@ fn balance_on_session(
                     vertex_units,
                     sfc_hoist,
                 ),
-                BalanceMethod::Sfc => plum_partition::sfc_body(
+                (BalanceMethod::SfcDiffusion, Some(w2)) => plum_partition::sfc_diffuse_body_dual(
+                    c,
+                    keys,
+                    vwgt,
+                    w2,
+                    owner,
+                    prev.expect("selection guarantees a seed for diffusion"),
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                    sfc_hoist,
+                ),
+                (BalanceMethod::Sfc, None) => plum_partition::sfc_body(
                     c,
                     keys,
                     vwgt,
@@ -269,9 +318,29 @@ fn balance_on_session(
                     vertex_units,
                     sfc_hoist,
                 ),
-                BalanceMethod::Knapsack => plum_partition::knapsack_body(
+                (BalanceMethod::Sfc, Some(w2)) => plum_partition::sfc_body_dual(
+                    c,
+                    keys,
+                    vwgt,
+                    w2,
+                    owner,
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                    sfc_hoist,
+                ),
+                (BalanceMethod::Knapsack, None) => plum_partition::knapsack_body(
                     c,
                     vwgt,
+                    owner,
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                ),
+                (BalanceMethod::Knapsack, Some(w2)) => plum_partition::knapsack_body_dual(
+                    c,
+                    vwgt,
+                    w2,
                     owner,
                     pcfg.nparts,
                     part_caps,
@@ -324,6 +393,7 @@ fn balance_on_session(
         &sm,
         &assignment,
         &p.capacity,
+        w2,
     );
     decision
 }
@@ -383,11 +453,14 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
 
     // Modeled phases charge host-computed seconds (`advance`), so the chaos
     // multiplier is applied here, to the compute share only — the halo
-    // exchange is wire time, which slow processors do not stretch.
-    let per = p.engine.per_rank_load(&wcomp_now);
+    // exchange is wire time, which slow processors do not stretch. Loads
+    // are element units: leaf counts weighted by the true cost field, via
+    // the v-ordered accumulator shared with the reference driver.
+    let mult = p.true_cost();
+    let units = Plum::solver_units(&wcomp_now, &p.proc_of_root, nproc, mult.as_deref());
     let solver_secs: Vec<f64> = (0..nproc)
         .map(|r| {
-            let iter = p.work.solver_compute_time(per[r]) * p.chaos.profile[r]
+            let iter = p.work.solver_compute_units_time(units[r]) * p.chaos.profile[r]
                 + p.work
                     .solver_halo_time(p.engine.own.shared_edges_of_rank(r as u32), &p.cfg.machine);
             iter * p.cfg.cost.n_adapt as f64
@@ -399,9 +472,12 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
     times.solver = session.now() - t0;
 
     // Observe this cycle's per-rank rates; the derived capacity weights
-    // feed the balancer below (and the report).
-    let (rate, capacity) = observe_capacity(&per, &p.work, &p.chaos.profile);
+    // feed the balancer below (and the report). The cost multiplier
+    // stretches units and seconds alike, so a hotspot does not masquerade
+    // as a slow processor — only genuine rank slowdowns move the capacity.
+    let (rate, capacity) = observe_capacity(&units, &p.work, &p.chaos.profile);
     p.capacity = capacity.clone();
+    p.observe_costs(mult.as_deref());
 
     // --- MESH ADAPTOR: edge marking (executed, with propagation) -----------
     let error = edge_error_indicator(&p.am.mesh, &p.field);
@@ -430,9 +506,10 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
 
     let (decision, migration) = match p.cfg.policy {
         RemapPolicy::BeforeRefinement => {
-            // Weights as though subdivision already happened; the data that
-            // moves is still the small, unrefined grid.
-            p.dual.wcomp = pred.wcomp.clone();
+            // Weights as though subdivision already happened — scaled by the
+            // estimated per-root cost, so the partitioner balances measured
+            // load; the data that moves is still the small, unrefined grid.
+            p.dual.wcomp = p.cost_est.weights(&pred.wcomp);
             p.dual.wremap = wremap_now.clone();
             let decision = balance_on_session(&mut session, &mut slog, p, &children_per_root);
             times.partition = decision.partition_time;
@@ -474,7 +551,7 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
             times.subdivide = session.now() - t0;
 
             let (wcomp_after, wremap_after) = p.am.weights();
-            p.dual.wcomp = wcomp_after;
+            p.dual.wcomp = p.cost_est.weights(&wcomp_after);
             p.dual.wremap = wremap_after;
             let refine_work = vec![0; p.dual.n()];
             let decision = balance_on_session(&mut session, &mut slog, p, &refine_work);
@@ -557,13 +634,183 @@ pub fn run_cycle(p: &mut Plum, refine_frac: f64, dt: f64) -> CycleReport {
     }
 }
 
+/// The coarse-marking phase body, shared by the session engine and the
+/// reference driver: one sweep over the rank's owned elements to test their
+/// edges against the (replicated) coarse threshold, then one reduction to
+/// agree on the global marked count. Unlike refinement marking there is no
+/// propagation loop — coarse marks never force remote refinement; family
+/// eligibility is resolved by the adaptor's host-side walk.
+pub(crate) fn coarsen_mark_body(
+    comm: &mut Comm,
+    work: &crate::timing::WorkModel,
+    owned_elems: u64,
+    marked: u64,
+) -> u64 {
+    comm.phase("coarsen_mark", |c| {
+        c.advance(owned_elems as f64 * work.t_mark_elem);
+        c.allreduce_max_u64(marked)
+    })
+}
+
+/// Run one *coarsening* cycle on the rank-resident engine: solve, mark the
+/// lowest-error edges, de-refine eligible families host-side, charge the
+/// modeled `coarsen` phase, then rebalance the shrunken mesh and remap —
+/// all on one continuous session timeline. Equivalent to
+/// [`Plum::coarsen_cycle_reference`] up to floating-point rounding of the
+/// virtual times.
+pub fn run_coarsen_cycle(p: &mut Plum, coarse_frac: f64, dt: f64) -> CycleReport {
+    let nproc = p.cfg.nproc;
+    let mut times = PhaseTimes::default();
+    p.time += dt;
+
+    // --- FLOW SOLVER (identical to the refinement cycle) -------------------
+    solve(&p.am.mesh, &mut p.field, &p.wave, p.time, &p.solver_cfg);
+    let (wcomp_now, _wremap_now) = p.am.weights();
+
+    let perturb = p.chaos.perturbation();
+    let plan = p.chaos.plan_for_cycle(p.cycles_run);
+    p.cycles_run += 1;
+    let mut session = Session::with_chaos(nproc, p.cfg.machine, &perturb, plan);
+    let mut slog = TraceLog {
+        events: vec![Vec::new(); nproc],
+    };
+
+    let mult = p.true_cost();
+    let units = Plum::solver_units(&wcomp_now, &p.proc_of_root, nproc, mult.as_deref());
+    let solver_secs: Vec<f64> = (0..nproc)
+        .map(|r| {
+            let iter = p.work.solver_compute_units_time(units[r]) * p.chaos.profile[r]
+                + p.work
+                    .solver_halo_time(p.engine.own.shared_edges_of_rank(r as u32), &p.cfg.machine);
+            iter * p.cfg.cost.n_adapt as f64
+        })
+        .collect();
+    let t0 = session.now();
+    let results = session.modeled_phase("solver", &solver_secs);
+    absorb(&mut slog, &results);
+    times.solver = session.now() - t0;
+
+    let (rate, capacity) = observe_capacity(&units, &p.work, &p.chaos.profile);
+    p.capacity = capacity.clone();
+    p.observe_costs(mult.as_deref());
+
+    // --- COARSE MARKING (executed) -----------------------------------------
+    let error = edge_error_indicator(&p.am.mesh, &p.field);
+    let cmarks = crate::framework::coarse_marks(&p.am, &error, coarse_frac);
+    let marked = cmarks.count() as u64;
+    let elems_before = p.am.mesh.n_elems();
+    let sweep = p.engine.per_rank_load(&wcomp_now);
+    let t0 = session.now();
+    let results = {
+        let work = &p.work;
+        let sweep = &sweep;
+        session.run(vec![(); nproc], move |comm, ()| {
+            coarsen_mark_body(comm, work, sweep[comm.rank()], marked)
+        })
+    };
+    times.marking = session.now() - t0;
+    let mark_trace = TraceLog::from_results(&results);
+    absorb(&mut slog, &results);
+
+    // --- host-side de-refinement + modeled coarsen phase -------------------
+    let _stats = p.am.coarsen(&cmarks, std::slice::from_mut(&mut p.field));
+    let (wcomp_after, wremap_after) = p.am.weights();
+    let removed: Vec<u64> = wcomp_now
+        .iter()
+        .zip(&wcomp_after)
+        .map(|(&b, &a)| b.saturating_sub(a))
+        .collect();
+    // Coarsening returns no change log (unlike `refine_with_delta`), so the
+    // resident ownership state is rebuilt rather than patched.
+    p.engine = CycleEngine::new(&p.am, &p.proc_of_root, nproc);
+    let rem = p.engine.per_rank_load(&removed);
+    let secs: Vec<f64> = (0..nproc)
+        .map(|r| p.work.subdivision_time(rem[r], sweep[r]) * p.chaos.profile[r])
+        .collect();
+    let t0 = session.now();
+    let results = session.modeled_phase("coarsen", &secs);
+    absorb(&mut slog, &results);
+    times.coarsen = session.now() - t0;
+
+    // --- rebalance the shrunken mesh, remap --------------------------------
+    p.dual.wcomp = p.cost_est.weights(&wcomp_after);
+    p.dual.wremap = wremap_after;
+    let refine_work = vec![0; p.dual.n()];
+    let decision = balance_on_session(&mut session, &mut slog, p, &refine_work);
+    times.partition = decision.partition_time;
+    times.reassign = decision.reassign_seconds;
+    let migration = decision.accepted.then(|| {
+        let out = migrate_on_session(&mut session, &mut slog, p, &decision.new_proc);
+        times.remap = out.time;
+        out
+    });
+
+    let (wcomp_final, _) = p.am.weights();
+    let wmax_balanced = *p.engine.per_rank_load(&wcomp_final).iter().max().unwrap();
+
+    #[cfg(debug_assertions)]
+    {
+        let violations = plum_parsim::check_protocol(&slog);
+        assert!(
+            violations.is_empty(),
+            "coarsen-cycle session trace violates the SPMD protocol: {violations:?}"
+        );
+    }
+
+    let phase_comm: Vec<(String, CommBreakdown)> = slog
+        .phase_breakdowns()
+        .iter()
+        .map(|agg| (agg.name.clone(), CommBreakdown::from_agg(agg)))
+        .collect();
+    let comm_of = |name: &str| {
+        phase_comm
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    };
+
+    let traces = CycleTraces {
+        marking_comm: comm_of("coarsen_mark"),
+        marking: mark_trace,
+        partition_comm: decision
+            .partition_trace
+            .is_some()
+            .then(|| comm_of("partition")),
+        partition: decision.partition_trace.clone(),
+        reassign_comm: decision
+            .reassign_trace
+            .is_some()
+            .then(|| comm_of("reassignment")),
+        reassign: decision.reassign_trace.clone(),
+        remap_comm: migration.is_some().then(|| comm_of("remap")),
+        remap: migration.as_ref().map(|m| m.trace.clone()),
+        session: slog,
+        phase_comm,
+    };
+
+    CycleReport {
+        traces,
+        counts: p.am.mesh.counts(),
+        growth: p.am.mesh.n_elems() as f64 / elems_before as f64,
+        marking_sweeps: 1,
+        wmax_unbalanced: decision.wmax_old,
+        wmax_balanced,
+        migration,
+        decision,
+        times,
+        rate,
+        capacity,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::chaos::ChaosConfig;
     use plum_mesh::generate::unit_box_mesh;
     use plum_parsim::{Fault, FaultAction, TraceEvent};
-    use plum_solver::WaveField;
+    use plum_solver::{CostField, WaveField};
 
     const TOL: f64 = 1e-9;
 
@@ -585,6 +832,7 @@ mod tests {
             ("marking", e.times.marking, r.times.marking),
             ("remap", e.times.remap, r.times.remap),
             ("subdivide", e.times.subdivide, r.times.subdivide),
+            ("coarsen", e.times.coarsen, r.times.coarsen),
             (
                 "reassign_comm",
                 e.decision.reassign_comm_time,
@@ -608,6 +856,27 @@ mod tests {
                 (a - b).abs() < TOL,
                 "{what}: {name} diverged: engine {a} vs reference {b}"
             );
+        }
+        for (name, a, b) in [
+            (
+                "imb_old2",
+                e.decision.imbalance_old2,
+                r.decision.imbalance_old2,
+            ),
+            (
+                "imb_new2",
+                e.decision.imbalance_new2,
+                r.decision.imbalance_new2,
+            ),
+        ] {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(
+                    (a - b).abs() < TOL,
+                    "{what}: {name} diverged: engine {a} vs reference {b}"
+                ),
+                _ => panic!("{what}: {name} presence diverged: {a:?} vs {b:?}"),
+            }
         }
         assert_eq!(e.counts, r.counts, "{what}: mesh counts");
         assert_eq!(e.marking_sweeps, r.marking_sweeps, "{what}: sweeps");
@@ -1022,6 +1291,245 @@ mod tests {
         assert!(
             (end - total).abs() < TOL,
             "timeline ends at {end}, phases sum to {total}"
+        );
+    }
+
+    /// Shock-passes-and-recedes cascade: refinement cycles grow the mesh,
+    /// then coarsening cycles shrink it — engine ≡ reference throughout,
+    /// coarsen phase time included.
+    fn cascade_golden(nproc: usize, n: usize, force_exact: bool) {
+        let mut engine = plum(nproc, n, RemapPolicy::BeforeRefinement);
+        let mut reference = plum(nproc, n, RemapPolicy::BeforeRefinement);
+        if force_exact {
+            engine.cfg.partition.coarsen_to = engine.dual.n();
+            reference.cfg.partition.coarsen_to = reference.dual.n();
+        }
+        for cycle in 0..2 {
+            let e = engine.adaption_cycle(0.3, 0.1);
+            let r = reference.adaption_cycle_reference(0.3, 0.1);
+            assert_equivalent(&e, &r, &format!("cascade P={nproc} refine {cycle}"));
+        }
+        let mut removed_any = false;
+        for cycle in 0..2 {
+            let e = engine.coarsen_cycle(0.6, 0.3);
+            let r = reference.coarsen_cycle_reference(0.6, 0.3);
+            assert_equivalent(&e, &r, &format!("cascade P={nproc} coarsen {cycle}"));
+            assert!(e.growth <= 1.0, "coarsen cycle must not grow: {}", e.growth);
+            assert_eq!(e.times.subdivide, 0.0, "no subdivision in a coarsen cycle");
+            removed_any |= e.growth < 1.0;
+        }
+        assert!(removed_any, "the cascade never de-refined anything");
+        engine.am.validate();
+    }
+
+    #[test]
+    fn cascade_golden_equivalence_uniprocessor() {
+        cascade_golden(1, 3, false);
+    }
+
+    #[test]
+    fn cascade_golden_equivalence_p8() {
+        cascade_golden(8, 4, true);
+    }
+
+    #[test]
+    fn cascade_golden_equivalence_p64() {
+        cascade_golden(64, 5, false);
+    }
+
+    /// The coarsen cycle's session timeline opens with
+    /// solver → coarsen_mark → coarsen on every rank and obeys the SPMD
+    /// protocol end to end.
+    #[test]
+    fn coarsen_cycle_timeline_orders_phases() {
+        let mut p = plum(6, 4, RemapPolicy::BeforeRefinement);
+        p.adaption_cycle(0.33, 0.1);
+        let report = p.coarsen_cycle(0.6, 0.3);
+        for stream in &report.traces.session.events {
+            let phases: Vec<&str> = stream
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::PhaseBegin { name, .. } => Some(name.as_str()),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                phases.len() >= 3 && phases[..3] == ["solver", "coarsen_mark", "coarsen"],
+                "coarsen-cycle phases: {phases:?}"
+            );
+        }
+        assert!(plum_parsim::check_protocol(&report.traces.session).is_empty());
+        assert!(report.times.coarsen > 0.0, "coarsening must take time");
+    }
+
+    /// Measured-cost scenario golden: an order-of-magnitude moving hotspot
+    /// rides the blade tip; engine ≡ reference, and the zero-chaos capacity
+    /// stays exactly uniform (asserted inside `assert_equivalent`) because
+    /// an expensive element is not a slow processor.
+    fn hotspot_golden(nproc: usize, n: usize, force_exact: bool) {
+        let mk = || {
+            let mut p = plum(nproc, n, RemapPolicy::BeforeRefinement);
+            p.cost_field = CostField::MovingHotspot {
+                radius: 0.35,
+                amplitude: 40.0,
+            };
+            p
+        };
+        let mut engine = mk();
+        let mut reference = mk();
+        if force_exact {
+            engine.cfg.partition.coarsen_to = engine.dual.n();
+            reference.cfg.partition.coarsen_to = reference.dual.n();
+        }
+        for cycle in 0..2 {
+            let e = engine.adaption_cycle(0.3, 0.1);
+            let r = reference.adaption_cycle_reference(0.3, 0.1);
+            assert_equivalent(&e, &r, &format!("hotspot P={nproc} cycle {cycle}"));
+        }
+        assert!(
+            !engine.cost_est.is_unit(),
+            "the estimator must have observed the hotspot"
+        );
+        engine.am.validate();
+    }
+
+    #[test]
+    fn hotspot_golden_equivalence_uniprocessor() {
+        hotspot_golden(1, 3, false);
+    }
+
+    #[test]
+    fn hotspot_golden_equivalence_p8() {
+        hotspot_golden(8, 4, true);
+    }
+
+    #[test]
+    fn hotspot_golden_equivalence_p64() {
+        hotspot_golden(64, 5, false);
+    }
+
+    /// Dual-constraint scenario golden: a second weight vector (a particle
+    /// band near the x = 0 face) rides every cycle. The dual repartition
+    /// body is exact-serial at any P, so no force-exact switch is needed.
+    fn dual_golden(nproc: usize, n: usize) {
+        let mk = || {
+            let mut p = plum(nproc, n, RemapPolicy::BeforeRefinement);
+            let w2: Vec<u64> = p
+                .root_centroid
+                .iter()
+                .map(|c| if c[0] < 0.3 { 200 } else { 1 })
+                .collect();
+            p.wcomp2 = Some(w2);
+            p
+        };
+        let mut engine = mk();
+        let mut reference = mk();
+        let mut saw_second = false;
+        for cycle in 0..2 {
+            let e = engine.adaption_cycle(0.3, 0.1);
+            let r = reference.adaption_cycle_reference(0.3, 0.1);
+            assert_equivalent(&e, &r, &format!("dual P={nproc} cycle {cycle}"));
+            saw_second |= e.decision.imbalance_old2.is_some();
+        }
+        assert!(
+            saw_second || nproc == 1,
+            "dual cycles must track the second constraint"
+        );
+        engine.am.validate();
+    }
+
+    #[test]
+    fn dual_golden_equivalence_uniprocessor() {
+        dual_golden(1, 3);
+    }
+
+    #[test]
+    fn dual_golden_equivalence_p8() {
+        dual_golden(8, 4);
+    }
+
+    #[test]
+    fn dual_golden_equivalence_p64() {
+        dual_golden(64, 5);
+    }
+
+    /// Satellite fix: a rank whose observed per-element solver times come
+    /// back zero or NaN (dead clock) must not poison the cost estimate —
+    /// invalid observations fall back to unit cost, the estimate stays
+    /// finite, and the cycle's imbalances stay finite.
+    #[test]
+    fn zero_and_nan_observed_times_fall_back_to_unit_cost() {
+        let mut p = plum(8, 4, RemapPolicy::BeforeRefinement);
+        p.cost_field = CostField::StaticHotspot {
+            center: [0.5; 3],
+            radius: 0.4,
+            amplitude: 20.0,
+        };
+        let mut garbage = vec![0.0; p.dual.n()];
+        for o in garbage.iter_mut().skip(1).step_by(2) {
+            *o = f64::NAN;
+        }
+        p.observed_cost_override = Some(garbage);
+        let r = p.adaption_cycle(0.3, 0.1);
+        assert!(p
+            .cost_est
+            .estimates()
+            .iter()
+            .all(|e| e.is_finite() && *e > 0.0));
+        assert!(
+            p.cost_est.is_unit(),
+            "garbage observations must leave the estimate at unit"
+        );
+        assert!(r.decision.imbalance_old.is_finite());
+        assert!(r.decision.imbalance_new.is_finite());
+        // The next cycle observes real costs and moves off the unit estimate.
+        p.adaption_cycle(0.3, 0.1);
+        assert!(!p.cost_est.is_unit());
+    }
+
+    /// Acceptance criterion: when the hotspot's intensity doubles, the
+    /// measured-cost balancer recovers within 3 cycles — the true-cost
+    /// per-rank imbalance returns to the settled regime.
+    #[test]
+    fn hotspot_2x_shift_recovers_within_3_cycles() {
+        fn units_imbalance(p: &Plum) -> f64 {
+            let (wcomp, _) = p.am.weights();
+            let mult = p.true_cost();
+            let per = Plum::solver_units(&wcomp, &p.proc_of_root, p.cfg.nproc, mult.as_deref());
+            let total: f64 = per.iter().sum();
+            let max = per.iter().copied().fold(0.0, f64::max);
+            max / (total / p.cfg.nproc as f64)
+        }
+        let hotspot = |amplitude| CostField::StaticHotspot {
+            center: [0.35; 3],
+            radius: 0.35,
+            amplitude,
+        };
+        let mut p = plum(8, 4, RemapPolicy::BeforeRefinement);
+        p.cost_field = hotspot(10.0);
+        for _ in 0..4 {
+            p.adaption_cycle(0.2, 0.05);
+        }
+        let settled = units_imbalance(&p);
+        p.cost_field = hotspot(20.0);
+        let jumped = units_imbalance(&p);
+        assert!(
+            jumped > settled + 0.05,
+            "the 2× shift must unbalance the settled mapping: {settled} -> {jumped}"
+        );
+        let target = (settled * 1.05).max(1.25);
+        let mut recovered = f64::INFINITY;
+        for _ in 0..3 {
+            p.adaption_cycle(0.2, 0.05);
+            recovered = units_imbalance(&p);
+            if recovered <= target {
+                break;
+            }
+        }
+        assert!(
+            recovered <= target,
+            "not recovered within 3 cycles: settled {settled}, jumped {jumped}, \
+             after {recovered} (target {target})"
         );
     }
 

@@ -1,18 +1,19 @@
 //! The top-level PLUM driver: the solution → adaption → load-balancing
 //! cycle of Fig. 1.
 
-use plum_adapt::AdaptiveMesh;
+use plum_adapt::{AdaptiveMesh, EdgeMarks};
 use plum_mesh::{DualGraph, MeshCounts, TetMesh, VertexField};
 use plum_partition::{partition_kway, Graph};
 use plum_solver::{
-    edge_error_indicator, initialize_solution, solve, SolverConfig, WaveField, NCOMP,
+    edge_error_indicator, initialize_solution, solve, CostField, SolverConfig, WaveField, NCOMP,
 };
 
-use plum_parsim::TraceLog;
+use plum_parsim::{makespan, spmd, TraceLog};
 
-use crate::balance::{balance_step_keyed, BalanceDecision};
+use crate::balance::{balance_step_dual, BalanceDecision};
 use crate::chaos::ChaosConfig;
 use crate::config::{PlumConfig, RemapPolicy};
+use crate::costs::CostEstimator;
 use crate::engine::CycleEngine;
 use crate::marking::{parallel_mark, Ownership};
 use crate::migrate::{parallel_migrate, MigrationOutcome};
@@ -35,17 +36,27 @@ pub struct PhaseTimes {
     pub remap: f64,
     /// Mesh subdivision (modeled from per-rank children created).
     pub subdivide: f64,
+    /// Mesh coarsening (modeled from per-rank elements removed; only
+    /// coarsening cycles spend time here).
+    pub coarsen: f64,
 }
 
 impl PhaseTimes {
-    /// Adaption time: marking + subdivision (what Fig. 4's speedup measures).
+    /// Adaption time: marking + subdivision/coarsening (what Fig. 4's
+    /// speedup measures).
     pub fn adaption(&self) -> f64 {
-        self.marking + self.subdivide
+        self.marking + self.subdivide + self.coarsen
     }
 
     /// Total cycle time.
     pub fn total(&self) -> f64 {
-        self.solver + self.marking + self.partition + self.reassign + self.remap + self.subdivide
+        self.solver
+            + self.marking
+            + self.partition
+            + self.reassign
+            + self.remap
+            + self.subdivide
+            + self.coarsen
     }
 }
 
@@ -233,6 +244,25 @@ pub struct Plum {
     pub capacity: Vec<f64>,
     /// Engine cycles run so far (indexes [`ChaosConfig::cycle_faults`]).
     pub cycles_run: u64,
+    /// True per-element cost profile of the scenario — what the
+    /// pseudo-solver's per-element times actually follow. The balancer
+    /// never reads it; it only sees [`Plum::cost_est`]'s smoothed estimate
+    /// of the observations.
+    pub cost_field: CostField,
+    /// EWMA estimate of per-root cost multipliers from observed solver
+    /// times; its [`CostEstimator::weights`] output is what reaches the
+    /// partitioner as `W_comp`.
+    pub cost_est: CostEstimator,
+    /// Centroid of each root element (roots never move; computed once).
+    pub root_centroid: Vec<[f64; 3]>,
+    /// One-shot injected per-root cost observation for the next cycle
+    /// (tests: a rank reporting zero/NaN solver times), consumed by
+    /// [`Plum::observe_costs`].
+    pub observed_cost_override: Option<Vec<f64>>,
+    /// Optional second per-root weight vector (e.g. particle counts). When
+    /// present the balancer holds *both* constraint imbalances down
+    /// simultaneously (max-of-imbalances objective).
+    pub wcomp2: Option<Vec<u64>>,
     pub(crate) solver_cfg: SolverConfig,
 }
 
@@ -250,6 +280,11 @@ impl Plum {
             vec![0; dual.n()]
         };
         let sfc_keys = plum_mesh::sfc::element_keys(&mesh, &dual.elem_of, cfg.sfc_curve);
+        let root_centroid: Vec<[f64; 3]> = dual
+            .elem_of
+            .iter()
+            .map(|&e| plum_mesh::geometry::elem_centroid(&mesh, e))
+            .collect();
         let am = AdaptiveMesh::new(mesh);
         let mut field = VertexField::new(NCOMP, am.mesh.vert_slots());
         initialize_solution(&am.mesh, &mut field, &wave, 0.0);
@@ -258,6 +293,11 @@ impl Plum {
             chaos: ChaosConfig::none(cfg.nproc),
             capacity: vec![1.0; cfg.nproc],
             cycles_run: 0,
+            cost_field: CostField::Uniform,
+            cost_est: CostEstimator::new(dual.n()),
+            root_centroid,
+            observed_cost_override: None,
+            wcomp2: None,
             cfg,
             work: WorkModel::default(),
             am,
@@ -286,16 +326,75 @@ impl Plum {
         out
     }
 
-    /// Modeled solver phase time for N_adapt iterations under `proc`.
-    fn solver_time(&self, wcomp: &[u64], proc: &[u32], own: &Ownership) -> f64 {
-        let per = self.per_proc(wcomp, proc);
+    /// True per-root cost multipliers at the current physical time, `None`
+    /// under the uniform field (the fast path every historical scenario
+    /// takes — no f64 weighting enters the cycle at all).
+    pub fn true_cost(&self) -> Option<Vec<f64>> {
+        if self.cost_field.is_uniform() {
+            return None;
+        }
+        Some(
+            self.root_centroid
+                .iter()
+                .map(|&c| self.cost_field.multiplier(&self.wave, c, self.time))
+                .collect(),
+        )
+    }
+
+    /// Per-rank solver load in element *units* under `proc`: leaf counts,
+    /// weighted by the true per-root cost multiplier when one is present.
+    /// Shared by the session engine and the reference driver, and it
+    /// iterates `v = 0..n` in both — f64 sums are order-sensitive, so one
+    /// shared accumulation order is what keeps the two drivers
+    /// bit-identical. The unit-cost arm accumulates in u64 (order-free) and
+    /// converts at the end, preserving the historical integer path exactly.
+    pub fn solver_units(
+        wcomp: &[u64],
+        proc: &[u32],
+        nproc: usize,
+        mult: Option<&[f64]>,
+    ) -> Vec<f64> {
+        match mult {
+            None => {
+                let mut per = vec![0u64; nproc];
+                for v in 0..wcomp.len() {
+                    per[proc[v] as usize] += wcomp[v];
+                }
+                per.into_iter().map(|w| w as f64).collect()
+            }
+            Some(m) => {
+                let mut per = vec![0f64; nproc];
+                for v in 0..wcomp.len() {
+                    per[proc[v] as usize] += wcomp[v] as f64 * m[v];
+                }
+                per
+            }
+        }
+    }
+
+    /// Feed this cycle's observed per-root cost multipliers into the EWMA
+    /// estimator. An injected override (tests: zero/NaN solver times) wins
+    /// and is consumed; otherwise the modeled observation is the true
+    /// multiplier itself; a uniform field observes nothing, so the
+    /// estimator stays exactly unit and the goldens stay bit-identical.
+    pub fn observe_costs(&mut self, mult: Option<&[f64]>) {
+        if let Some(obs) = self.observed_cost_override.take() {
+            self.cost_est.observe(&obs);
+        } else if let Some(m) = mult {
+            self.cost_est.observe(m);
+        }
+    }
+
+    /// Modeled solver phase time for N_adapt iterations from per-rank
+    /// element units.
+    fn solver_time_units(&self, units: &[f64], own: &Ownership) -> f64 {
         (0..self.cfg.nproc)
             .map(|r| {
-                self.work.solver_iteration_time(
-                    per[r],
-                    own.shared_edges_of_rank(r as u32),
-                    &self.cfg.machine,
-                ) * self.cfg.cost.n_adapt as f64
+                (self.work.solver_compute_units_time(units[r])
+                    + self
+                        .work
+                        .solver_halo_time(own.shared_edges_of_rank(r as u32), &self.cfg.machine))
+                    * self.cfg.cost.n_adapt as f64
             })
             .fold(0.0, f64::max)
     }
@@ -322,6 +421,155 @@ impl Plum {
         crate::engine::run_cycle(self, refine_frac, dt)
     }
 
+    /// Run one *coarsening* cycle: solve, mark the lowest-error edges,
+    /// de-refine the families whose children carry only coarse marks,
+    /// rebalance the shrunken mesh, and remap. The dual of
+    /// [`Plum::adaption_cycle`] for the receding phase of a shock — the
+    /// mesh shrinks (`growth < 1.0`) instead of growing. `coarse_frac` is
+    /// the fraction of live edges targeted for de-refinement.
+    pub fn coarsen_cycle(&mut self, coarse_frac: f64, dt: f64) -> CycleReport {
+        crate::engine::run_coarsen_cycle(self, coarse_frac, dt)
+    }
+
+    /// The per-phase golden reference for [`Plum::coarsen_cycle`], mirroring
+    /// [`Plum::adaption_cycle_reference`]: isolated `spmd` phases with fresh
+    /// clocks, from-scratch ownership, and a final engine resync.
+    pub fn coarsen_cycle_reference(&mut self, coarse_frac: f64, dt: f64) -> CycleReport {
+        let mut times = PhaseTimes::default();
+        self.time += dt;
+
+        // --- FLOW SOLVER (same modeled charge as the refinement cycle) -----
+        solve(
+            &self.am.mesh,
+            &mut self.field,
+            &self.wave,
+            self.time,
+            &self.solver_cfg,
+        );
+        let (wcomp_now, _wremap_now) = self.am.weights();
+        let own = Ownership::build(&self.am, &self.proc_of_root, self.cfg.nproc);
+        let mult = self.true_cost();
+        let units = Self::solver_units(
+            &wcomp_now,
+            &self.proc_of_root,
+            self.cfg.nproc,
+            mult.as_deref(),
+        );
+        times.solver = self.solver_time_units(&units, &own);
+        let nominal = vec![1.0; self.cfg.nproc];
+        let (rate, capacity) = crate::engine::observe_capacity(&units, &self.work, &nominal);
+        self.observe_costs(mult.as_deref());
+
+        // --- coarse marking: one sweep over owned elements + one reduction -
+        let error = edge_error_indicator(&self.am.mesh, &self.field);
+        let cmarks = coarse_marks(&self.am, &error, coarse_frac);
+        let marked = cmarks.count() as u64;
+        let elems_before = self.am.mesh.n_elems();
+        let sweep = self.per_proc(&wcomp_now, &self.proc_of_root);
+        let results = {
+            let work = &self.work;
+            let sweep = &sweep;
+            spmd(self.cfg.nproc, self.cfg.machine, move |comm| {
+                crate::engine::coarsen_mark_body(comm, work, sweep[comm.rank()], marked)
+            })
+        };
+        times.marking = makespan(&results);
+        let mark_trace = TraceLog::from_results(&results);
+
+        // --- host-side de-refinement -------------------------------------
+        let _stats = self
+            .am
+            .coarsen(&cmarks, std::slice::from_mut(&mut self.field));
+        let (wcomp_after, wremap_after) = self.am.weights();
+        let removed: Vec<u64> = wcomp_now
+            .iter()
+            .zip(&wcomp_after)
+            .map(|(&b, &a)| b.saturating_sub(a))
+            .collect();
+        times.coarsen = self.subdivide_time(&removed, &wcomp_now, &self.proc_of_root);
+
+        // --- rebalance the shrunken mesh, remap --------------------------
+        self.dual.wcomp = self.cost_est.weights(&wcomp_after);
+        self.dual.wremap = wremap_after;
+        let decision = balance_step_dual(
+            &self.dual,
+            &self.proc_of_root,
+            &vec![0; self.dual.n()],
+            &self.cfg,
+            &self.work,
+            Some(&self.sfc_keys),
+            self.wcomp2.as_deref(),
+        );
+        times.partition = decision.partition_time;
+        times.reassign = decision.reassign_seconds;
+        let migration = if decision.accepted {
+            let out = parallel_migrate(
+                &self.am,
+                &self.field,
+                &self.proc_of_root,
+                &decision.new_proc,
+                self.cfg.nproc,
+                self.cfg.machine,
+            );
+            times.remap = out.time;
+            self.proc_of_root = decision.new_proc.clone();
+            Some(out)
+        } else {
+            None
+        };
+
+        let (wcomp_final, _) = self.am.weights();
+        let wmax_balanced = *self
+            .per_proc(&wcomp_final, &self.proc_of_root)
+            .iter()
+            .max()
+            .unwrap();
+
+        let marking_comm = CommBreakdown::from_trace(&mark_trace);
+        let reassign_comm = decision
+            .reassign_trace
+            .as_ref()
+            .map(CommBreakdown::from_trace);
+        let remap_comm = migration
+            .as_ref()
+            .map(|m| CommBreakdown::from_trace(&m.trace));
+        let mut phase_comm = vec![("coarsen_mark".to_string(), marking_comm)];
+        if let Some(c) = reassign_comm {
+            phase_comm.push(("reassignment".to_string(), c));
+        }
+        if let Some(c) = remap_comm {
+            phase_comm.push(("remap".to_string(), c));
+        }
+        let traces = CycleTraces {
+            marking_comm,
+            marking: mark_trace,
+            partition: None,
+            partition_comm: None,
+            reassign_comm,
+            reassign: decision.reassign_trace.clone(),
+            remap_comm,
+            remap: migration.as_ref().map(|m| m.trace.clone()),
+            session: TraceLog::default(),
+            phase_comm,
+        };
+
+        self.engine = CycleEngine::new(&self.am, &self.proc_of_root, self.cfg.nproc);
+
+        CycleReport {
+            traces,
+            counts: self.am.mesh.counts(),
+            growth: self.am.mesh.n_elems() as f64 / elems_before as f64,
+            marking_sweeps: 1,
+            wmax_unbalanced: decision.wmax_old,
+            wmax_balanced,
+            migration,
+            decision,
+            times,
+            rate,
+            capacity,
+        }
+    }
+
     /// The original per-phase driver, kept as the golden reference for the
     /// engine: every parallel phase is its own `spmd` program with fresh
     /// clocks, and ownership is rebuilt from scratch. Produces the same
@@ -343,13 +591,17 @@ impl Plum {
         );
         let (wcomp_now, wremap_now) = self.am.weights();
         let own = Ownership::build(&self.am, &self.proc_of_root, self.cfg.nproc);
-        times.solver = self.solver_time(&wcomp_now, &self.proc_of_root, &own);
-        let nominal = vec![1.0; self.cfg.nproc];
-        let (rate, capacity) = crate::engine::observe_capacity(
-            &self.per_proc(&wcomp_now, &self.proc_of_root),
-            &self.work,
-            &nominal,
+        let mult = self.true_cost();
+        let units = Self::solver_units(
+            &wcomp_now,
+            &self.proc_of_root,
+            self.cfg.nproc,
+            mult.as_deref(),
         );
+        times.solver = self.solver_time_units(&units, &own);
+        let nominal = vec![1.0; self.cfg.nproc];
+        let (rate, capacity) = crate::engine::observe_capacity(&units, &self.work, &nominal);
+        self.observe_costs(mult.as_deref());
 
         // --- MESH ADAPTOR: edge marking (parallel, with propagation) -------
         let error = edge_error_indicator(&self.am.mesh, &self.field);
@@ -373,17 +625,20 @@ impl Plum {
 
         let (decision, migration) = match self.cfg.policy {
             RemapPolicy::BeforeRefinement => {
-                // Weights as though subdivision already happened; the data
-                // that moves is still the small, unrefined grid.
-                self.dual.wcomp = pred.wcomp.clone();
+                // Weights as though subdivision already happened — scaled by
+                // the estimated per-root cost, so the partitioner balances
+                // measured load; the data that moves is still the small,
+                // unrefined grid.
+                self.dual.wcomp = self.cost_est.weights(&pred.wcomp);
                 self.dual.wremap = wremap_now.clone();
-                let decision = balance_step_keyed(
+                let decision = balance_step_dual(
                     &self.dual,
                     &self.proc_of_root,
                     &children_per_root,
                     &self.cfg,
                     &self.work,
                     Some(&self.sfc_keys),
+                    self.wcomp2.as_deref(),
                 );
                 times.partition = decision.partition_time;
                 times.reassign = decision.reassign_seconds;
@@ -417,15 +672,16 @@ impl Plum {
                 times.subdivide =
                     self.subdivide_time(&children_per_root, &wcomp_now, &self.proc_of_root);
                 let (wcomp_after, wremap_after) = self.am.weights();
-                self.dual.wcomp = wcomp_after;
+                self.dual.wcomp = self.cost_est.weights(&wcomp_after);
                 self.dual.wremap = wremap_after;
-                let decision = balance_step_keyed(
+                let decision = balance_step_dual(
                     &self.dual,
                     &self.proc_of_root,
                     &vec![0; self.dual.n()],
                     &self.cfg,
                     &self.work,
                     Some(&self.sfc_keys),
+                    self.wcomp2.as_deref(),
                 );
                 times.partition = decision.partition_time;
                 times.reassign = decision.reassign_seconds;
@@ -529,6 +785,33 @@ pub fn fraction_threshold(am: &AdaptiveMesh, error: &[f64], frac: f64) -> f64 {
     }
 }
 
+/// Coarse marks: the roughly `frac` lowest-error live edges, marked for
+/// de-refinement. The threshold is inclusive (`error <= th`), and no
+/// fixpoint upgrade applies — illegal coarse marks are resolved by the
+/// adaptor's family-eligibility walk, not by propagation.
+pub fn coarse_marks(am: &AdaptiveMesh, error: &[f64], frac: f64) -> EdgeMarks {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut marks = EdgeMarks::new(&am.mesh);
+    let mut vals: Vec<f64> = am
+        .mesh
+        .edges()
+        .map(|e| error.get(e.idx()).copied().unwrap_or(0.0))
+        .collect();
+    let n = vals.len();
+    let k = ((n as f64) * frac).round() as usize;
+    if k == 0 {
+        return marks;
+    }
+    vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let th = vals[(k - 1).min(n - 1)];
+    for e in am.mesh.edges() {
+        if error.get(e.idx()).copied().unwrap_or(0.0) <= th {
+            marks.mark(e);
+        }
+    }
+    marks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,9 +834,10 @@ mod tests {
             reassign: 0.125,
             remap: 0.0625,
             subdivide: 2.0,
+            coarsen: 4.0,
         };
-        assert!((t.adaption() - 2.5).abs() < 1e-15);
-        assert!((t.total() - 3.9375).abs() < 1e-15);
+        assert!((t.adaption() - 6.5).abs() < 1e-15);
+        assert!((t.total() - 7.9375).abs() < 1e-15);
     }
 
     #[test]

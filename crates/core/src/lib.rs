@@ -33,6 +33,7 @@
 mod balance;
 mod chaos;
 mod config;
+mod costs;
 mod dmesh;
 mod engine;
 mod framework;
@@ -45,13 +46,15 @@ mod snapshot;
 mod timing;
 
 pub use balance::{
-    balance_step, balance_step_keyed, run_mapper, select_method, BalanceDecision, BalanceMethod,
+    balance_step, balance_step_dual, balance_step_keyed, run_mapper, select_method,
+    select_method_dual, BalanceDecision, BalanceMethod,
 };
 pub use chaos::ChaosConfig;
 pub use config::{Mapper, PlumConfig, RemapPolicy};
+pub use costs::CostEstimator;
 pub use dmesh::{distribute, finalize, DistributedMesh, FinalizedMesh};
-pub use engine::{run_cycle, CycleEngine, RankState};
-pub use framework::{fraction_threshold, CycleReport, CycleTraces, PhaseTimes, Plum};
+pub use engine::{run_coarsen_cycle, run_cycle, CycleEngine, RankState};
+pub use framework::{coarse_marks, fraction_threshold, CycleReport, CycleTraces, PhaseTimes, Plum};
 pub use marking::{parallel_mark, MarkResult, Ownership};
 pub use migrate::{parallel_migrate, MigrationOutcome};
 pub use reassign_par::{parallel_reassign, ParallelReassign};

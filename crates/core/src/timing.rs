@@ -114,7 +114,16 @@ impl WorkModel {
     /// This is the part a slow processor stretches — chaos profiles multiply
     /// it, and observed per-rank rates (capacity weights) divide by it.
     pub fn solver_compute_time(&self, wcomp: u64) -> f64 {
-        let edges = wcomp as f64 * 1.2;
+        self.solver_compute_units_time(wcomp as f64)
+    }
+
+    /// Compute share for a fractional element-unit count. Measured-cost
+    /// scenarios weight each element by its cost multiplier, so per-rank
+    /// loads become f64 "element units"; with a unit cost field
+    /// `units == wcomp as f64` and this is bit-identical to
+    /// [`Self::solver_compute_time`].
+    pub fn solver_compute_units_time(&self, units: f64) -> f64 {
+        let edges = units * 1.2;
         edges * self.t_edge_visit
     }
 

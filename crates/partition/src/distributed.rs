@@ -26,9 +26,11 @@ use plum_parsim::{makespan, spmd, words_for_bytes, Comm, MachineModel, TraceLog}
 
 use crate::graph::Graph;
 use crate::kway::{
-    capacity_fractions, part_ceilings, partition_kway_impl, rel_lt, PartitionConfig,
+    capacity_fractions, part_ceilings, partition_kway_dual, partition_kway_impl, rel_lt,
+    PartitionConfig,
 };
-use crate::repart::{repartition_diffuse, repartition_kway_impl};
+use crate::metrics::dual_uniform;
+use crate::repart::{repartition_diffuse, repartition_kway_dual, repartition_kway_impl};
 use crate::rng::Rng;
 
 /// Sparse alltoallv send list: `(destination, words, (u32, u32) payload)`.
@@ -921,6 +923,80 @@ fn exact_serial(
         Some(match prev_full {
             Some(pf) => repartition_kway_impl(&host, cfg, &pf, frac),
             None => partition_kway_impl(&host, cfg, frac),
+        })
+    } else {
+        None
+    };
+    comm.bcast(0, words_for_bytes(4 * n), full)
+}
+
+/// Dual-constraint SPMD body: gather the owned `(w1, w2, prev)` rows to
+/// rank 0, run the serial dual multilevel kernel there on the original
+/// numbering, and broadcast — the exact-serial pattern applied to the whole
+/// dual path. The dual graph the engine balances is the root-element graph,
+/// which is at the scale the exact-serial path already serves; the gather
+/// and broadcast cost real collective traffic either way. A uniform second
+/// weight vector delegates to [`repartition_body`], keeping the
+/// single-constraint traffic (and virtual times) untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn repartition_body_dual(
+    comm: &mut Comm,
+    g: &Graph,
+    w2: &[u64],
+    owner: &[u32],
+    prev: Option<&[u32]>,
+    cfg: &PartitionConfig,
+    caps: &[f64],
+    vertex_units: f64,
+) -> Vec<u32> {
+    let n = g.n();
+    assert_eq!(w2.len(), n, "one second weight per vertex");
+    if cfg.nparts == 1 {
+        return vec![0; n];
+    }
+    if dual_uniform(w2) {
+        return repartition_body(comm, g, owner, prev, cfg, caps, vertex_units);
+    }
+    let rank = comm.rank();
+    let p = comm.nranks();
+    let mut vw: Vec<u64> = Vec::new();
+    let mut v2: Vec<u64> = Vec::new();
+    let mut pv: Vec<u32> = Vec::new();
+    for v in 0..n {
+        if owner[v] as usize == rank {
+            vw.push(g.vwgt[v]);
+            v2.push(w2[v]);
+            if let Some(pp) = prev {
+                pv.push(pp[v]);
+            }
+        }
+    }
+    charge(comm, vw.len(), vertex_units);
+    let bytes = 16 * vw.len() + 4 * pv.len();
+    let pieces = comm.gatherv(0, words_for_bytes(bytes), (vw, v2, pv));
+    let full = if rank == 0 {
+        let pieces = pieces.unwrap();
+        let mut vwgt = vec![0u64; n];
+        let mut w2_full = vec![0u64; n];
+        let mut prev_full = prev.map(|_| vec![0u32; n]);
+        let mut idx = vec![0usize; p];
+        for v in 0..n {
+            let r = owner[v] as usize;
+            vwgt[v] = pieces[r].0[idx[r]];
+            w2_full[v] = pieces[r].1[idx[r]];
+            if let Some(pf) = &mut prev_full {
+                pf[v] = pieces[r].2[idx[r]];
+            }
+            idx[r] += 1;
+        }
+        debug_assert_eq!(&vwgt[..], &g.vwgt[..], "gathered weights must round-trip");
+        debug_assert_eq!(&w2_full[..], w2, "gathered second weights must round-trip");
+        let mut host = g.clone();
+        host.vwgt = Cow::Owned(vwgt);
+        charge(comm, HOST_UNITS_PER_VERTEX as usize * n, vertex_units);
+        Some(match prev_full {
+            Some(pf) => repartition_kway_dual(&host, &w2_full, cfg, &pf, caps),
+            None => partition_kway_dual(&host, &w2_full, cfg, caps),
         })
     } else {
         None

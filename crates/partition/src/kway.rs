@@ -2,10 +2,15 @@
 //! initial partitioning of the coarsest graph, and boundary-greedy k-way
 //! refinement during uncoarsening (the structure of MeTiS [15]).
 
+use std::borrow::Cow;
+
 use crate::bisect::bisect;
 use crate::coarsen::coarsen_once;
 use crate::graph::Graph;
-use crate::metrics::{part_weights, partition_imbalance};
+use crate::knapsack::knapsack_partition_dual;
+use crate::metrics::{
+    combine_dual, dual_uniform, imbalance_dual, part_weights, partition_imbalance, weights_of,
+};
 use crate::rng::Rng;
 
 /// Relative-load comparison under per-part ceilings in exact integer
@@ -280,6 +285,252 @@ pub(crate) fn kway_balance(
     moves
 }
 
+/// Relative dual load of a part against its per-constraint ceilings: the
+/// binding (worse) constraint's fill fraction. The dual paths never feed
+/// the bit-exact single-constraint goldens — those delegate before reaching
+/// this code — so f64 comparison is fine here.
+#[inline]
+fn dual_rel(w1: u64, m1: u64, w2: u64, m2: u64) -> f64 {
+    (w1 as f64 / m1 as f64).max(w2 as f64 / m2 as f64)
+}
+
+/// Dual-constraint boundary drain: like [`kway_balance`], but a part is
+/// overweight when *either* constraint exceeds its ceiling, and relative
+/// comparisons use the binding constraint's fill fraction.
+pub(crate) fn kway_balance_dual(
+    g: &Graph,
+    w2: &[u64],
+    part: &mut [u32],
+    wt1: &mut [u64],
+    wt2: &mut [u64],
+    max1: &[u64],
+    max2: &[u64],
+) -> usize {
+    let nparts = wt1.len();
+    let mut moves = 0;
+    for _sweep in 0..64 {
+        if (0..nparts).all(|p| wt1[p] <= max1[p] && wt2[p] <= max2[p]) {
+            break;
+        }
+        let mut moved_this_sweep = 0;
+        for v in 0..g.n() {
+            let s = part[v] as usize;
+            if wt1[s] <= max1[s] && wt2[s] <= max2[s] {
+                continue;
+            }
+            let v1 = g.vwgt[v];
+            let v2 = w2[v];
+            let src = dual_rel(wt1[s], max1[s], wt2[s], max2[s]);
+            // Best adjacent part that would still be relatively lighter.
+            let mut best: Option<(i64, usize)> = None;
+            for (u, w) in g.edges(v) {
+                let p = part[u as usize] as usize;
+                if p != s && dual_rel(wt1[p] + v1, max1[p], wt2[p] + v2, max2[p]) < src {
+                    let gain = w as i64;
+                    if best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, p));
+                    }
+                }
+            }
+            let to = match best {
+                Some((_, p)) => p,
+                None => {
+                    // Interior vertex of an overweight region: fall back to
+                    // the relatively lightest part if that still helps.
+                    let mut lightest = 0;
+                    for p in 1..nparts {
+                        if dual_rel(wt1[p], max1[p], wt2[p], max2[p])
+                            < dual_rel(wt1[lightest], max1[lightest], wt2[lightest], max2[lightest])
+                        {
+                            lightest = p;
+                        }
+                    }
+                    if dual_rel(
+                        wt1[lightest] + v1,
+                        max1[lightest],
+                        wt2[lightest] + v2,
+                        max2[lightest],
+                    ) >= src
+                    {
+                        continue;
+                    }
+                    lightest
+                }
+            };
+            wt1[s] -= v1;
+            wt2[s] -= v2;
+            wt1[to] += v1;
+            wt2[to] += v2;
+            part[v] = to as u32;
+            moved_this_sweep += 1;
+        }
+        if moved_this_sweep == 0 {
+            break;
+        }
+        moves += moved_this_sweep;
+    }
+    moves
+}
+
+/// One dual-constraint refinement pass: connectivity-gain moves that keep
+/// *both* per-constraint ceilings (or strictly improve the binding fill of
+/// an overweight source part).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kway_refine_pass_dual(
+    g: &Graph,
+    w2: &[u64],
+    part: &mut [u32],
+    wt1: &mut [u64],
+    wt2: &mut [u64],
+    max1: &[u64],
+    max2: &[u64],
+    rng: &mut Rng,
+) -> usize {
+    let nparts = wt1.len();
+    let mut order: Vec<u32> = (0..g.n() as u32).collect();
+    rng.shuffle(&mut order);
+    let mut conn = vec![0i64; nparts];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut moves = 0;
+    for &v in &order {
+        let v = v as usize;
+        let cur = part[v] as usize;
+        touched.clear();
+        let mut is_boundary = false;
+        for (u, w) in g.edges(v) {
+            let p = part[u as usize] as usize;
+            if conn[p] == 0 {
+                touched.push(p as u32);
+            }
+            conn[p] += w as i64;
+            if p != cur {
+                is_boundary = true;
+            }
+        }
+        if is_boundary {
+            let cur_conn = conn[cur];
+            let overweight_here = wt1[cur] > max1[cur] || wt2[cur] > max2[cur];
+            let v1 = g.vwgt[v];
+            let v2 = w2[v];
+            let mut best: Option<(i64, usize)> = None;
+            for &p in &touched {
+                let p = p as usize;
+                if p == cur {
+                    continue;
+                }
+                let gain = conn[p] - cur_conn;
+                let fits = wt1[p] + v1 <= max1[p] && wt2[p] + v2 <= max2[p];
+                let acceptable = (gain > 0 && fits)
+                    || (gain >= 0
+                        && overweight_here
+                        && dual_rel(wt1[p] + v1, max1[p], wt2[p] + v2, max2[p])
+                            < dual_rel(wt1[cur], max1[cur], wt2[cur], max2[cur]));
+                if acceptable && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, p));
+                }
+            }
+            if let Some((_, p)) = best {
+                part[v] = p as u32;
+                wt1[cur] -= v1;
+                wt2[cur] -= v2;
+                wt1[p] += v1;
+                wt2[p] += v2;
+                moves += 1;
+            }
+        }
+        for &p in &touched {
+            conn[p as usize] = 0;
+        }
+    }
+    moves
+}
+
+/// Shared tail of the dual multilevel entry points: balance/refine rounds
+/// on the true weight pair, then — when the graph moves alone cannot bring
+/// the binding constraint near tolerance — fall back to the dual LPT
+/// packing if that packing is strictly better. Balance beats locality at
+/// that point, the same tradeoff as the repartitioner's fresh-partition
+/// fallback; the fallback also gives the dual path an unconditional
+/// per-constraint imbalance ceiling (the dual LPT greedy bound).
+pub(crate) fn dual_repair(
+    g: &Graph,
+    w2: &[u64],
+    cfg: &PartitionConfig,
+    frac: Option<&[f64]>,
+    caps: &[f64],
+    mut part: Vec<u32>,
+) -> Vec<u32> {
+    let t2: u64 = w2.iter().sum();
+    let max1: Vec<u64> = part_ceilings(g.total_vwgt(), cfg, frac)
+        .iter()
+        .map(|&m| m.max(1))
+        .collect();
+    let max2: Vec<u64> = part_ceilings(t2, cfg, frac)
+        .iter()
+        .map(|&m| m.max(1))
+        .collect();
+    let mut wt1 = part_weights(g, &part, cfg.nparts);
+    let mut wt2 = weights_of(w2, &part, cfg.nparts);
+    let mut rng = Rng::new(cfg.seed ^ 0x4475_616c); // "Dual"
+    for _ in 0..4 {
+        kway_balance_dual(g, w2, &mut part, &mut wt1, &mut wt2, &max1, &max2);
+        for _ in 0..cfg.refine_passes {
+            if kway_refine_pass_dual(g, w2, &mut part, &mut wt1, &mut wt2, &max1, &max2, &mut rng)
+                == 0
+            {
+                break;
+            }
+        }
+        if wt1.iter().zip(&max1).all(|(&w, &m)| w <= m)
+            && wt2.iter().zip(&max2).all(|(&w, &m)| w <= m)
+        {
+            break;
+        }
+    }
+    let achieved = imbalance_dual(&wt1, &wt2, caps);
+    if achieved > cfg.imbalance_tol * 1.10 {
+        let knap = knapsack_partition_dual(&g.vwgt, w2, cfg.nparts, caps);
+        let kimb = imbalance_dual(
+            &weights_of(&g.vwgt, &knap, cfg.nparts),
+            &weights_of(w2, &knap, cfg.nparts),
+            caps,
+        );
+        if kimb < achieved {
+            return knap;
+        }
+    }
+    part
+}
+
+/// Borrow `g`'s topology with the combined (totals-normalized) dual weight
+/// as the vertex weight — the seed graph for the dual multilevel paths.
+pub(crate) fn combined_view<'a>(g: &'a Graph, w2: &[u64]) -> Graph<'a> {
+    Graph {
+        xadj: Cow::Borrowed(g.xadj.as_ref()),
+        adjncy: Cow::Borrowed(g.adjncy.as_ref()),
+        adjwgt: Cow::Borrowed(g.adjwgt.as_ref()),
+        vwgt: Cow::Owned(combine_dual(&g.vwgt, w2)),
+    }
+}
+
+/// Dual-constraint multilevel k-way partition: the multilevel kernel runs
+/// on the combined totals-normalized weight (so the cut-aware machinery
+/// sees one scalar field), then [`dual_repair`] balances the true weight
+/// pair under the max-of-imbalances objective. A uniform second weight
+/// vector delegates to [`partition_kway_weighted`] bit-exactly.
+pub fn partition_kway_dual(g: &Graph, w2: &[u64], cfg: &PartitionConfig, caps: &[f64]) -> Vec<u32> {
+    assert_eq!(w2.len(), g.n(), "one second weight per vertex");
+    if dual_uniform(w2) {
+        return partition_kway_weighted(g, cfg, caps);
+    }
+    if cfg.nparts == 1 {
+        return vec![0; g.n()];
+    }
+    let frac = capacity_fractions(caps, cfg.nparts);
+    let part = partition_kway_impl(&combined_view(g, w2), cfg, frac.as_deref());
+    dual_repair(g, w2, cfg, frac.as_deref(), caps, part)
+}
+
 /// Multilevel k-way partition of `g`. Returns the part assignment
 /// (`0..nparts` per vertex).
 pub fn partition_kway(g: &Graph, cfg: &PartitionConfig) -> Vec<u32> {
@@ -510,6 +761,49 @@ pub(crate) mod tests {
         for c in [1.0, 2.5] {
             let caps = vec![c; 4];
             assert_eq!(partition_kway_weighted(&g, &cfg, &caps), plain);
+        }
+    }
+
+    #[test]
+    fn dual_partition_balances_both_constraints() {
+        use crate::metrics::imbalance_weighted;
+        let g = grid3d(10, 10, 1);
+        // Second constraint (e.g. particles) packed into one corner, at a
+        // granularity fine enough that a balanced split exists.
+        let w2: Vec<u64> = (0..g.n() as u64)
+            .map(|v| {
+                let (x, y) = (v % 10, v / 10);
+                if x < 5 && y < 5 {
+                    8
+                } else {
+                    1
+                }
+            })
+            .collect();
+        let k = 4;
+        let cfg = PartitionConfig::new(k);
+        let caps = vec![1.0; k];
+        // Single-constraint partitioning on w1 leaves w2 badly imbalanced.
+        let single = partition_kway(&g, &cfg);
+        let w2_single = imbalance_weighted(&weights_of(&w2, &single, k), &caps);
+        assert!(w2_single > 1.5, "corner load should skew w2: {w2_single}");
+        let dual = partition_kway_dual(&g, &w2, &cfg, &caps);
+        let i1 = imbalance_weighted(&part_weights(&g, &dual, k), &caps);
+        let i2 = imbalance_weighted(&weights_of(&w2, &dual, k), &caps);
+        assert!(i1 <= 1.15, "dual w1 imbalance {i1}");
+        assert!(i2 <= 1.15, "dual w2 imbalance {i2}");
+    }
+
+    #[test]
+    fn dual_partition_reduces_to_weighted_when_uniform() {
+        let g = grid3d(8, 8, 2);
+        let cfg = PartitionConfig::new(4);
+        for caps in [vec![1.0; 4], vec![2.0, 1.0, 1.0, 1.0]] {
+            let single = partition_kway_weighted(&g, &cfg, &caps);
+            for c in [1u64, 5] {
+                let w2 = vec![c; g.n()];
+                assert_eq!(partition_kway_dual(&g, &w2, &cfg, &caps), single);
+            }
         }
     }
 

@@ -36,18 +36,26 @@ mod sfc;
 pub use bisect::{bisect, grow_bisection, refine_bisection};
 pub use coarsen::{coarsen_once, contract, heavy_edge_matching};
 pub use diffusion::{diffuse, DiffusionConfig, DiffusionResult};
-pub use distributed::{repartition_body, repartition_distributed, DistPartition};
+pub use distributed::{
+    repartition_body, repartition_body_dual, repartition_distributed, DistPartition,
+};
 pub use graph::{Graph, GraphView};
-pub use knapsack::{knapsack_body, knapsack_distributed, knapsack_partition};
+pub use knapsack::{
+    knapsack_body, knapsack_body_dual, knapsack_distributed, knapsack_partition,
+    knapsack_partition_dual,
+};
 pub use kway::{
-    partition_kway, partition_kway_weighted, quality, PartitionConfig, PartitionQuality,
+    partition_kway, partition_kway_dual, partition_kway_weighted, quality, PartitionConfig,
+    PartitionQuality,
 };
 pub use metrics::{
-    edge_cut, imbalance, imbalance_weighted, migration, part_weights, partition_imbalance,
+    dual_uniform, edge_cut, imbalance, imbalance_dual, imbalance_weighted, migration, part_weights,
+    partition_imbalance, weights_of,
 };
-pub use repart::{repartition_kway, repartition_kway_weighted};
+pub use repart::{repartition_kway, repartition_kway_dual, repartition_kway_weighted};
 pub use rng::Rng;
 pub use sfc::{
-    sfc_body, sfc_diffuse, sfc_diffuse_body, sfc_distributed, sfc_effective_imbalance, sfc_order,
-    sfc_partition, sfc_split,
+    sfc_body, sfc_body_dual, sfc_diffuse, sfc_diffuse_body, sfc_diffuse_body_dual,
+    sfc_diffuse_dual, sfc_distributed, sfc_effective_imbalance, sfc_effective_imbalance_dual,
+    sfc_order, sfc_partition, sfc_partition_dual, sfc_split, sfc_split_dual,
 };

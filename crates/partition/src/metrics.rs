@@ -68,6 +68,51 @@ pub fn imbalance_weighted(weights: &[u64], caps: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Per-part totals of a free-standing weight vector (no graph needed) —
+/// the dual-constraint kernels carry their second weight field outside the
+/// graph structure.
+pub fn weights_of(vwgt: &[u64], part: &[u32], nparts: usize) -> Vec<u64> {
+    let mut w = vec![0u64; nparts];
+    for v in 0..part.len() {
+        w[part[v] as usize] += vwgt[v];
+    }
+    w
+}
+
+/// `true` when every entry of a second weight vector is identical — the
+/// degenerate case in which every dual-constraint kernel must delegate
+/// bit-exactly to its single-constraint counterpart (the same contract as
+/// uniform capacities taking the unweighted integer path).
+pub fn dual_uniform(w2: &[u64]) -> bool {
+    w2.iter().all(|&w| w == w2[0])
+}
+
+/// Dual-constraint effective imbalance: the worse of the two per-constraint
+/// capacity-weighted imbalances — the max-of-imbalances objective the dual
+/// kernels minimize. Inherits [`imbalance_weighted`]'s degenerate-input
+/// guards, so it is defined (never NaN) for any capacity vector.
+pub fn imbalance_dual(w1: &[u64], w2: &[u64], caps: &[f64]) -> f64 {
+    imbalance_weighted(w1, caps).max(imbalance_weighted(w2, caps))
+}
+
+/// Combined integer weight for seeding dual-constraint kernels: each
+/// vertex's two weights are normalized by their respective totals and
+/// recombined at a fixed integer scale. Balancing the combined weight
+/// balances the *sum* of the normalized constraints; the dual repair passes
+/// then chase the max.
+pub(crate) fn combine_dual(w1: &[u64], w2: &[u64]) -> Vec<u64> {
+    assert_eq!(w1.len(), w2.len(), "one second weight per vertex");
+    let scale = (1u64 << 20) as f64;
+    let t1: u64 = w1.iter().sum();
+    let t2: u64 = w2.iter().sum();
+    let n1 = if t1 == 0 { 1.0 } else { t1 as f64 };
+    let n2 = if t2 == 0 { 1.0 } else { t2 as f64 };
+    w1.iter()
+        .zip(w2)
+        .map(|(&a, &b)| ((a as f64 / n1 + b as f64 / n2) * scale).round() as u64)
+        .collect()
+}
+
 /// Number of vertices whose assignment differs between two partitions, and
 /// the vertex weight that would have to move.
 pub fn migration(g: &Graph, from: &[u32], to: &[u32]) -> (usize, u64) {
@@ -120,6 +165,26 @@ mod tests {
         assert_eq!(imbalance_weighted(&[3, 5], &[0.0, 0.0]), 1.0);
         assert_eq!(imbalance_weighted(&[3, 5], &[f64::NAN, 1.0]), 1.0);
         assert_eq!(imbalance_weighted(&[3, 5], &[-1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn dual_imbalance_takes_the_binding_constraint() {
+        let caps = [1.0, 1.0];
+        // Constraint 1 balanced, constraint 2 badly skewed.
+        let imb = imbalance_dual(&[5, 5], &[9, 1], &caps);
+        assert!((imb - 1.8).abs() < 1e-12, "got {imb}");
+        // Symmetric case.
+        let imb = imbalance_dual(&[9, 1], &[5, 5], &caps);
+        assert!((imb - 1.8).abs() < 1e-12, "got {imb}");
+        // Degenerate capacities stay defined.
+        assert_eq!(imbalance_dual(&[3, 5], &[1, 1], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn dual_uniform_detects_constant_vectors() {
+        assert!(dual_uniform(&[]));
+        assert!(dual_uniform(&[4, 4, 4]));
+        assert!(!dual_uniform(&[4, 4, 5]));
     }
 
     #[test]

@@ -308,6 +308,159 @@ proptest! {
         );
     }
 
+    /// (g) Dual-constraint LPT packing: exact cover, and *both*
+    /// per-constraint capacity-weighted imbalances stay under the dual
+    /// greedy bound `2 + s_max·Σc/min(c)`, where `s_max` is the largest
+    /// combined totals-normalized vertex size. (Each placement minimizes
+    /// the post-assignment max-of-constraints effective load, so at the
+    /// end every bin was within one vertex of the minimum when it last
+    /// grew; summing over bins gives the ceiling for each constraint.)
+    #[test]
+    fn dual_knapsack_respects_the_dual_greedy_bound(
+        w1seed in proptest::collection::vec(1u64..50, 160),
+        w2seed in proptest::collection::vec(1u64..50, 160),
+        n in 30usize..160,
+        p in 2usize..9,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        use crate::metrics::{imbalance_weighted, weights_of};
+        let w1 = &w1seed[..n];
+        let w2 = &w2seed[..n];
+        let part = crate::knapsack::knapsack_partition_dual(w1, w2, p, &caps[..p]);
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|&q| (q as usize) < p));
+        let t1: u64 = w1.iter().sum();
+        let t2: u64 = w2.iter().sum();
+        let s_max = (0..n)
+            .map(|v| w1[v] as f64 / t1 as f64 + w2[v] as f64 / t2 as f64)
+            .fold(0.0, f64::max);
+        let csum: f64 = caps[..p].iter().sum();
+        let cmin = caps[..p].iter().cloned().fold(f64::INFINITY, f64::min);
+        let bound = 2.0 + s_max * csum / cmin + 1e-6;
+        let i1 = imbalance_weighted(&weights_of(w1, &part, p), &caps[..p]);
+        let i2 = imbalance_weighted(&weights_of(w2, &part, p), &caps[..p]);
+        prop_assert!(i1 <= bound, "constraint 1 imbalance {} beyond dual bound {}", i1, bound);
+        prop_assert!(i2 <= bound, "constraint 2 imbalance {} beyond dual bound {}", i2, bound);
+    }
+
+    /// (h) The dual multilevel and repartitioning entry points inherit the
+    /// dual greedy ceiling unconditionally: every exit branch of
+    /// `dual_repair` returns either a pair within `tol·1.10` or the better
+    /// of the graph result and the dual LPT packing, so both constraints
+    /// stay under `max(tol·1.10, 2 + s_max·Σc/min(c))` for random weight
+    /// pairs, random capacities, and an arbitrary previous labelling.
+    #[test]
+    fn dual_partitioners_respect_the_dual_ceiling(
+        n in 40usize..120,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 32),
+        w2seed in proptest::collection::vec(1u64..50, 120),
+        prevseed in proptest::collection::vec(0u32..8, 120),
+        p in 2usize..6,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+        reseed in any::<bool>(),
+    ) {
+        use crate::metrics::{imbalance_weighted, weights_of};
+        let g = random_graph(n, &extra);
+        let w2 = &w2seed[..n];
+        let mut cfg = PartitionConfig::new(p);
+        cfg.coarsen_to = 24;
+        let part = if reseed {
+            let prev: Vec<u32> = (0..n).map(|v| prevseed[v] % p as u32).collect();
+            crate::repart::repartition_kway_dual(&g, w2, &cfg, &prev, &caps[..p])
+        } else {
+            crate::kway::partition_kway_dual(&g, w2, &cfg, &caps[..p])
+        };
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|&q| (q as usize) < p));
+        let t1 = g.total_vwgt();
+        let t2: u64 = w2.iter().sum();
+        let s_max = (0..n)
+            .map(|v| g.vwgt[v] as f64 / t1 as f64 + w2[v] as f64 / t2 as f64)
+            .fold(0.0, f64::max);
+        let csum: f64 = caps[..p].iter().sum();
+        let cmin = caps[..p].iter().cloned().fold(f64::INFINITY, f64::min);
+        let bound = (cfg.imbalance_tol * 1.10).max(2.0 + s_max * csum / cmin) + 1e-6;
+        let i1 = imbalance_weighted(&part_weights(&g, &part, p), &caps[..p]);
+        let i2 = imbalance_weighted(&weights_of(w2, &part, p), &caps[..p]);
+        prop_assert!(i1 <= bound, "constraint 1 imbalance {} beyond ceiling {}", i1, bound);
+        prop_assert!(i2 <= bound, "constraint 2 imbalance {} beyond ceiling {}", i2, bound);
+    }
+
+    /// (i) Every dual kernel reduces *bit-exactly* to its single-constraint
+    /// counterpart when the second weight vector is uniform — the session
+    /// engine can therefore route everything through the dual entry points
+    /// without perturbing single-constraint goldens.
+    #[test]
+    fn dual_kernels_reduce_bit_exactly_when_uniform(
+        n in 30usize..100,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 24),
+        keyseed in proptest::collection::vec(any::<u64>(), 100),
+        prevseed in proptest::collection::vec(0u32..8, 100),
+        c in 1u64..9,
+        p in 2usize..6,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        let g = random_graph(n, &extra);
+        let w2 = vec![c; n];
+        let keys = &keyseed[..n];
+        let prev: Vec<u32> = (0..n).map(|v| prevseed[v] % p as u32).collect();
+        let mut cfg = PartitionConfig::new(p);
+        cfg.coarsen_to = 24;
+        prop_assert_eq!(
+            crate::knapsack::knapsack_partition_dual(&g.vwgt, &w2, p, &caps[..p]),
+            crate::knapsack::knapsack_partition(&g.vwgt, p, &caps[..p])
+        );
+        prop_assert_eq!(
+            crate::sfc::sfc_split_dual(keys, &g.vwgt, &w2, p, &caps[..p]),
+            crate::sfc::sfc_split(keys, &g.vwgt, p, &caps[..p])
+        );
+        prop_assert_eq!(
+            crate::sfc::sfc_diffuse_dual(keys, &g.vwgt, &w2, &prev, p, &caps[..p]),
+            crate::sfc::sfc_diffuse(keys, &g.vwgt, &prev, p, &caps[..p])
+        );
+        prop_assert_eq!(
+            crate::sfc::sfc_partition_dual(keys, &g.vwgt, &w2, p, &caps[..p]),
+            crate::sfc::sfc_partition(keys, &g.vwgt, p, &caps[..p])
+        );
+        prop_assert_eq!(
+            crate::kway::partition_kway_dual(&g, &w2, &cfg, &caps[..p]),
+            crate::kway::partition_kway_weighted(&g, &cfg, &caps[..p])
+        );
+        prop_assert_eq!(
+            crate::repart::repartition_kway_dual(&g, &w2, &cfg, &prev, &caps[..p]),
+            crate::repart::repartition_kway_weighted(&g, &cfg, &prev, &caps[..p])
+        );
+    }
+
+    /// (j) Dual boundary diffusion is monotone in the *binding* constraint:
+    /// from an arbitrary previous labelling it never increases the
+    /// max-of-imbalances objective and never invents part ids.
+    #[test]
+    fn dual_sfc_diffusion_never_increases_the_binding_imbalance(
+        keyseed in proptest::collection::vec(any::<u64>(), 160),
+        w1seed in proptest::collection::vec(1u64..9, 160),
+        w2seed in proptest::collection::vec(1u64..9, 160),
+        prevseed in proptest::collection::vec(0u32..8, 160),
+        n in 30usize..160,
+        p in 2usize..9,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        let keys = &keyseed[..n];
+        let w1 = &w1seed[..n];
+        let w2 = &w2seed[..n];
+        let prev: Vec<u32> = (0..n).map(|v| prevseed[v] % p as u32).collect();
+        let out = crate::sfc::sfc_diffuse_dual(keys, w1, w2, &prev, p, &caps[..p]);
+        prop_assert_eq!(out.len(), n);
+        prop_assert!(out.iter().all(|&q| (q as usize) < p));
+        let before = crate::sfc::sfc_effective_imbalance_dual(w1, w2, &prev, p, &caps[..p]);
+        let after = crate::sfc::sfc_effective_imbalance_dual(w1, w2, &out, p, &caps[..p]);
+        prop_assert!(
+            after <= before + 1e-9,
+            "dual diffusion worsened the binding imbalance: {} -> {}",
+            before, after
+        );
+    }
+
     /// (f) LPT knapsack packing: exact cover, and the heaviest effective
     /// (capacity-scaled) bin load stays under the ideal `Σw/Σc` plus the
     /// greedy bound's one-job slack `max(w)/min(c)`.

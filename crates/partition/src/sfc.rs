@@ -22,7 +22,7 @@
 use plum_parsim::{makespan, spmd, words_for_bytes, Comm, MachineModel, TraceLog};
 
 use crate::distributed::DistPartition;
-use crate::metrics::imbalance_weighted;
+use crate::metrics::{combine_dual, dual_uniform, imbalance_dual, imbalance_weighted, weights_of};
 
 /// Boundary-shift sweeps in the diffusion repair. Each sweep walks the curve
 /// once; loads converge geometrically, so a handful suffices.
@@ -30,6 +30,10 @@ const DIFFUSE_PASSES: usize = 8;
 
 /// Bytes per (key, id, weight) triple in the distributed key exchange.
 const TRIPLE_BYTES: usize = 20;
+
+/// Bytes per (key, id, weight, weight2) quad in the dual-constraint
+/// exchange.
+const DUAL_TRIPLE_BYTES: usize = 28;
 
 /// Charge `vertices` visits of local partitioning work.
 fn charge(comm: &mut Comm, vertices: usize, vertex_units: f64) {
@@ -155,6 +159,117 @@ pub fn sfc_partition(keys: &[u64], vwgt: &[u64], nparts: usize, caps: &[f64]) ->
     sfc_diffuse(keys, vwgt, &split, nparts, caps)
 }
 
+/// Dual-constraint contiguous split: the curve is cut at the cumulative
+/// capacity targets of the *combined* totals-normalized weight, so the sum
+/// of the two normalized constraints tracks the capacity shares; the dual
+/// diffusion then chases the max. A uniform second weight vector delegates
+/// to [`sfc_split`] bit-exactly.
+pub fn sfc_split_dual(
+    keys: &[u64],
+    w1: &[u64],
+    w2: &[u64],
+    nparts: usize,
+    caps: &[f64],
+) -> Vec<u32> {
+    if dual_uniform(w2) {
+        return sfc_split(keys, w1, nparts, caps);
+    }
+    let combined = combine_dual(w1, w2);
+    sfc_split(keys, &combined, nparts, caps)
+}
+
+/// Dual-constraint boundary diffusion: identical sweep structure to
+/// [`sfc_diffuse`], but the load a move is judged by is the *binding*
+/// constraint — the worse of the two totals-normalized loads over the
+/// part's capacity fraction. Each accepted move strictly lowers the pair's
+/// binding load, so the global max-of-imbalances objective is monotonically
+/// non-increasing. A uniform second weight vector delegates to
+/// [`sfc_diffuse`] bit-exactly.
+pub fn sfc_diffuse_dual(
+    keys: &[u64],
+    w1: &[u64],
+    w2: &[u64],
+    prev: &[u32],
+    nparts: usize,
+    caps: &[f64],
+) -> Vec<u32> {
+    if dual_uniform(w2) {
+        return sfc_diffuse(keys, w1, prev, nparts, caps);
+    }
+    assert_eq!(keys.len(), w1.len(), "one weight per vertex");
+    assert_eq!(keys.len(), w2.len(), "one second weight per vertex");
+    assert_eq!(keys.len(), prev.len(), "one previous part per vertex");
+    let frac = cap_fractions(caps, nparts);
+    let order = sfc_order(keys);
+    let mut part = prev.to_vec();
+    let mut a1 = vec![0u64; nparts];
+    let mut a2 = vec![0u64; nparts];
+    for v in 0..part.len() {
+        a1[part[v] as usize] += w1[v];
+        a2[part[v] as usize] += w2[v];
+    }
+    let t1: u64 = w1.iter().sum();
+    let t2: u64 = w2.iter().sum();
+    let n1 = if t1 == 0 { 1.0 } else { t1 as f64 };
+    let n2 = if t2 == 0 { 1.0 } else { t2 as f64 };
+    let load = |x1: u64, x2: u64, p: usize| (x1 as f64 / n1).max(x2 as f64 / n2) / frac[p];
+    for pass in 0..DIFFUSE_PASSES {
+        let mut moved = false;
+        let idx: Box<dyn Iterator<Item = usize>> = if pass % 2 == 0 {
+            Box::new(0..order.len().saturating_sub(1))
+        } else {
+            Box::new((0..order.len().saturating_sub(1)).rev())
+        };
+        for i in idx {
+            let v = order[i] as usize;
+            let u = order[i + 1] as usize;
+            let (a, b) = (part[v] as usize, part[u] as usize);
+            if a == b {
+                continue;
+            }
+            let old = load(a1[a], a2[a], a).max(load(a1[b], a2[b], b));
+            // Candidate 1: pull v across the boundary into b.
+            let fwd =
+                load(a1[a] - w1[v], a2[a] - w2[v], a).max(load(a1[b] + w1[v], a2[b] + w2[v], b));
+            // Candidate 2: pull u back across into a.
+            let back =
+                load(a1[a] + w1[u], a2[a] + w2[u], a).max(load(a1[b] - w1[u], a2[b] - w2[u], b));
+            if fwd <= back && fwd < old {
+                a1[a] -= w1[v];
+                a2[a] -= w2[v];
+                a1[b] += w1[v];
+                a2[b] += w2[v];
+                part[v] = b as u32;
+                moved = true;
+            } else if back < fwd && back < old {
+                a1[a] += w1[u];
+                a2[a] += w2[u];
+                a1[b] -= w1[u];
+                a2[b] -= w2[u];
+                part[u] = a as u32;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    part
+}
+
+/// Full dual-constraint SFC partition: combined-weight contiguous split,
+/// then binding-constraint boundary diffusion.
+pub fn sfc_partition_dual(
+    keys: &[u64],
+    w1: &[u64],
+    w2: &[u64],
+    nparts: usize,
+    caps: &[f64],
+) -> Vec<u32> {
+    let split = sfc_split_dual(keys, w1, w2, nparts, caps);
+    sfc_diffuse_dual(keys, w1, w2, &split, nparts, caps)
+}
+
 /// Rank that owns part `p` when `nparts` parts are folded onto `nranks`
 /// ranks (block mapping, the same fold the engine uses).
 fn part_home(p: usize, nparts: usize, nranks: usize) -> usize {
@@ -163,14 +278,21 @@ fn part_home(p: usize, nparts: usize, nranks: usize) -> usize {
 
 /// Shared tail of the SPMD bodies: exchange locally-owned triples to each
 /// destination part's home rank, then cross-check allreduce'd part weights
-/// against the replicated result.
+/// against the replicated result. Dual-constraint bodies pass their second
+/// weight vector (cross-checked by its own allreduce) and the wider
+/// per-item payload; single-constraint callers pass `None` +
+/// [`TRIPLE_BYTES`], which leaves their traffic — and thus their virtual
+/// times — untouched.
+#[allow(clippy::too_many_arguments)]
 fn exchange_and_check(
     comm: &mut Comm,
     vwgt: &[u64],
+    vwgt2: Option<&[u64]>,
     owner: &[u32],
     part: &[u32],
     moved_only: Option<&[u32]>,
     nparts: usize,
+    item_bytes: usize,
 ) {
     let rank = comm.rank();
     let nranks = comm.nranks();
@@ -192,7 +314,7 @@ fn exchange_and_check(
         .iter()
         .enumerate()
         .filter(|&(_, &c)| c > 0)
-        .map(|(dst, &c)| (dst, words_for_bytes(TRIPLE_BYTES * c as usize), c))
+        .map(|(dst, &c)| (dst, words_for_bytes(item_bytes * c as usize), c))
         .collect();
     let received = comm.alltoallv_sparse(items);
     let received_total: u64 = received.iter().map(|&(_, c)| c).sum();
@@ -205,6 +327,22 @@ fn exchange_and_check(
         expect[part[v] as usize] += vwgt[v];
     }
     assert_eq!(global_w, expect, "allreduce'd part weights diverged");
+    if let Some(w2) = vwgt2 {
+        let mut local_w2 = vec![0u64; nparts];
+        for v in 0..part.len() {
+            if owner[v] as usize == rank {
+                local_w2[part[v] as usize] += w2[v];
+            }
+        }
+        let global_w2 = comm.allreduce(nparts as u64, local_w2, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        });
+        assert_eq!(
+            global_w2,
+            weights_of(w2, part, nparts),
+            "allreduce'd second-constraint part weights diverged"
+        );
+    }
     // Every triple sent somewhere was received by exactly one home rank.
     let sent_here: u64 = comm.allreduce_sum_u64(counts.iter().sum::<u64>());
     let recv_all: u64 = comm.allreduce_sum_u64(received_total);
@@ -254,7 +392,54 @@ pub fn sfc_body(
     // Local work: key generation + comparison sort of the local block.
     let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
     charge(comm, n_local, vertex_units);
-    exchange_and_check(comm, vwgt, owner, &part, None, nparts);
+    exchange_and_check(comm, vwgt, None, owner, &part, None, nparts, TRIPLE_BYTES);
+    part
+}
+
+/// Dual-constraint SPMD body of the full SFC partitioner: the same
+/// structure as [`sfc_body`] with the wider (key, id, w1, w2) payload and a
+/// second cross-checked weight allreduce. A uniform second weight vector
+/// delegates to [`sfc_body`], leaving its traffic untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn sfc_body_dual(
+    comm: &mut Comm,
+    keys: &[u64],
+    w1: &[u64],
+    w2: &[u64],
+    owner: &[u32],
+    nparts: usize,
+    caps: &[f64],
+    vertex_units: f64,
+    precomputed: Option<&[u32]>,
+) -> Vec<u32> {
+    if dual_uniform(w2) {
+        return sfc_body(
+            comm,
+            keys,
+            w1,
+            owner,
+            nparts,
+            caps,
+            vertex_units,
+            precomputed,
+        );
+    }
+    let rank = comm.rank();
+    let part = resolve_replicated(precomputed, || {
+        sfc_partition_dual(keys, w1, w2, nparts, caps)
+    });
+    let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
+    charge(comm, n_local, vertex_units);
+    exchange_and_check(
+        comm,
+        w1,
+        Some(w2),
+        owner,
+        &part,
+        None,
+        nparts,
+        DUAL_TRIPLE_BYTES,
+    );
     part
 }
 
@@ -280,7 +465,64 @@ pub fn sfc_diffuse_body(
     // quarter of the full-sort rate.
     let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
     charge(comm, n_local.div_ceil(4), vertex_units);
-    exchange_and_check(comm, vwgt, owner, &part, Some(prev), nparts);
+    exchange_and_check(
+        comm,
+        vwgt,
+        None,
+        owner,
+        &part,
+        Some(prev),
+        nparts,
+        TRIPLE_BYTES,
+    );
+    part
+}
+
+/// Dual-constraint SPMD body of the boundary-diffusion repair: only moved
+/// vertices cost (wider) wire traffic, as in [`sfc_diffuse_body`]. A
+/// uniform second weight vector delegates to the single-constraint body.
+#[allow(clippy::too_many_arguments)]
+pub fn sfc_diffuse_body_dual(
+    comm: &mut Comm,
+    keys: &[u64],
+    w1: &[u64],
+    w2: &[u64],
+    owner: &[u32],
+    prev: &[u32],
+    nparts: usize,
+    caps: &[f64],
+    vertex_units: f64,
+    precomputed: Option<&[u32]>,
+) -> Vec<u32> {
+    if dual_uniform(w2) {
+        return sfc_diffuse_body(
+            comm,
+            keys,
+            w1,
+            owner,
+            prev,
+            nparts,
+            caps,
+            vertex_units,
+            precomputed,
+        );
+    }
+    let rank = comm.rank();
+    let part = resolve_replicated(precomputed, || {
+        sfc_diffuse_dual(keys, w1, w2, prev, nparts, caps)
+    });
+    let n_local = owner.iter().filter(|&&o| o as usize == rank).count();
+    charge(comm, n_local.div_ceil(4), vertex_units);
+    exchange_and_check(
+        comm,
+        w1,
+        Some(w2),
+        owner,
+        &part,
+        Some(prev),
+        nparts,
+        DUAL_TRIPLE_BYTES,
+    );
     part
 }
 
@@ -352,6 +594,23 @@ pub fn sfc_effective_imbalance(vwgt: &[u64], part: &[u32], nparts: usize, caps: 
     imbalance_weighted(&w, caps)
 }
 
+/// Dual-constraint effective imbalance of a partition: the worse of the two
+/// per-constraint capacity-weighted imbalances — the quantity
+/// [`sfc_diffuse_dual`] is contracted never to increase.
+pub fn sfc_effective_imbalance_dual(
+    w1: &[u64],
+    w2: &[u64],
+    part: &[u32],
+    nparts: usize,
+    caps: &[f64],
+) -> f64 {
+    imbalance_dual(
+        &weights_of(w1, part, nparts),
+        &weights_of(w2, part, nparts),
+        caps,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +673,87 @@ mod tests {
             (after - 1.0).abs() < 1e-9,
             "perfectly splittable: got {after}"
         );
+    }
+
+    #[test]
+    fn dual_diffusion_repairs_the_binding_constraint() {
+        let keys = line_keys(60);
+        let w1 = vec![1u64; 60];
+        // Second constraint interleaved along the curve (every 6th vertex),
+        // so a contiguous split balancing both constraints exists.
+        let w2: Vec<u64> = (0..60u64)
+            .map(|v| if v % 6 == 0 { 20 } else { 1 })
+            .collect();
+        let caps = [1.0, 1.0];
+        // Badly cut seed: 40/20 instead of 30/30 — both constraints skewed.
+        let prev: Vec<u32> = (0..60).map(|v| u32::from(v >= 40)).collect();
+        let before = sfc_effective_imbalance_dual(&w1, &w2, &prev, 2, &caps);
+        assert!(before > 1.3, "seed should be imbalanced: {before}");
+        let part = sfc_diffuse_dual(&keys, &w1, &w2, &prev, 2, &caps);
+        let after = sfc_effective_imbalance_dual(&w1, &w2, &part, 2, &caps);
+        assert!(after < before, "dual diffusion failed: {before} -> {after}");
+        assert!(after < 1.1, "binding constraint still loose: {after}");
+    }
+
+    #[test]
+    fn dual_kernels_reduce_to_single_when_uniform() {
+        let keys: Vec<u64> = (0..80u64).map(|v| v.wrapping_mul(0x2545) % 4096).collect();
+        let w1: Vec<u64> = (0..80u64).map(|v| 1 + v % 5).collect();
+        let caps = [1.0, 2.0, 1.0];
+        let prev = sfc_split(&keys, &w1, 3, &caps);
+        for c in [1u64, 9] {
+            let w2 = vec![c; 80];
+            assert_eq!(
+                sfc_split_dual(&keys, &w1, &w2, 3, &caps),
+                sfc_split(&keys, &w1, 3, &caps)
+            );
+            assert_eq!(
+                sfc_diffuse_dual(&keys, &w1, &w2, &prev, 3, &caps),
+                sfc_diffuse(&keys, &w1, &prev, 3, &caps)
+            );
+            assert_eq!(
+                sfc_partition_dual(&keys, &w1, &w2, 3, &caps),
+                sfc_partition(&keys, &w1, 3, &caps)
+            );
+        }
+    }
+
+    #[test]
+    fn dual_bodies_match_serial_and_are_model_invariant() {
+        let n = 240;
+        let keys = line_keys(n);
+        let w1: Vec<u64> = (0..n as u64).map(|v| 1 + v % 4).collect();
+        let w2: Vec<u64> = (0..n as u64)
+            .map(|v| if v % 29 == 0 { 40 } else { 1 })
+            .collect();
+        let caps = vec![1.0; 4];
+        let owner: Vec<u32> = (0..n).map(|v| (v * 4 / n) as u32).collect();
+        let serial = sfc_partition_dual(&keys, &w1, &w2, 4, &caps);
+        let prev = sfc_split_dual(&keys, &w1, &w2, 4, &[2.0, 1.0, 1.0, 1.0]);
+        let serial_diff = sfc_diffuse_dual(&keys, &w1, &w2, &prev, 4, &caps);
+        for model in [MachineModel::sp2(), MachineModel::zero()] {
+            let results = spmd(4, model, |comm| {
+                comm.phase("partition", |c| {
+                    let full = sfc_body_dual(c, &keys, &w1, &w2, &owner, 4, &caps, 16.0, None);
+                    let diff = sfc_diffuse_body_dual(
+                        c, &keys, &w1, &w2, &owner, &prev, 4, &caps, 16.0, None,
+                    );
+                    (full, diff)
+                })
+            });
+            for r in &results {
+                assert_eq!(
+                    r.value.0, serial,
+                    "full dual body diverged on rank {}",
+                    r.rank
+                );
+                assert_eq!(
+                    r.value.1, serial_diff,
+                    "dual diffusion body diverged on rank {}",
+                    r.rank
+                );
+            }
+        }
     }
 
     #[test]

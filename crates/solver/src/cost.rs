@@ -1,0 +1,129 @@
+//! Per-element computational cost fields.
+//!
+//! Real flow solvers are not unit-cost per element: chemistry source terms,
+//! limiter activations, or embedded particles make some elements orders of
+//! magnitude more expensive than others — and the hotspot can move with the
+//! solution. The cost field is the *truth* the pseudo-solver's per-element
+//! times follow; the load balancer never reads it directly. It only sees
+//! the observed times and must recover the profile through the EWMA cost
+//! estimator in `plum-core`, which is the whole point of the measured-cost
+//! scenarios.
+//!
+//! The falloff is a piecewise quadratic, not a Gaussian: both drivers (the
+//! reference and the session engine) must reproduce multipliers
+//! bit-identically, and `+ - * /` keep that guarantee across libm versions
+//! where `exp` would not.
+
+use crate::field::WaveField;
+
+/// Spatial per-element cost multiplier profile (1.0 = nominal cost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostField {
+    /// Every element costs the same — the classical PLUM assumption. All
+    /// measured-cost machinery reduces bit-exactly to the historical path.
+    Uniform,
+    /// A fixed region around `center` costs up to `amplitude`× nominal,
+    /// falling off quadratically to 1.0 at `radius`.
+    StaticHotspot {
+        center: [f64; 3],
+        radius: f64,
+        amplitude: f64,
+    },
+    /// The hotspot rides the wave field's blade tip ([`WaveField::
+    /// tip_position`]), so the expensive region rotates through the domain
+    /// and the estimator must keep chasing it.
+    MovingHotspot { radius: f64, amplitude: f64 },
+}
+
+impl CostField {
+    /// True when the field is the uniform profile (the multiplier is
+    /// exactly 1.0 everywhere, at any time).
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, CostField::Uniform)
+    }
+
+    /// Cost multiplier at position `p` and time `t`. Exactly 1.0 outside
+    /// the hotspot; peaks at `amplitude` in its centre with a quadratic
+    /// falloff: `1 + (amplitude−1)·(1 − d²/r²)` for `d < r`.
+    pub fn multiplier(&self, wave: &WaveField, p: [f64; 3], t: f64) -> f64 {
+        let (center, radius, amplitude) = match *self {
+            CostField::Uniform => return 1.0,
+            CostField::StaticHotspot {
+                center,
+                radius,
+                amplitude,
+            } => (center, radius, amplitude),
+            CostField::MovingHotspot { radius, amplitude } => {
+                (wave.tip_position(t), radius, amplitude)
+            }
+        };
+        let d2 = (p[0] - center[0]) * (p[0] - center[0])
+            + (p[1] - center[1]) * (p[1] - center[1])
+            + (p[2] - center[2]) * (p[2] - center[2]);
+        let r2 = radius * radius;
+        if d2 >= r2 {
+            1.0
+        } else {
+            1.0 + (amplitude - 1.0) * (1.0 - d2 / r2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_one_everywhere() {
+        let w = WaveField::unit_box();
+        let f = CostField::Uniform;
+        assert!(f.is_uniform());
+        for p in [[0.0, 0.0, 0.0], [0.5, 0.5, 0.5], [1.0, 0.2, 0.9]] {
+            assert_eq!(f.multiplier(&w, p, 0.7), 1.0);
+        }
+    }
+
+    #[test]
+    fn static_hotspot_peaks_at_center_and_vanishes_outside() {
+        let w = WaveField::unit_box();
+        let f = CostField::StaticHotspot {
+            center: [0.5, 0.5, 0.5],
+            radius: 0.2,
+            amplitude: 100.0,
+        };
+        assert!(!f.is_uniform());
+        assert_eq!(f.multiplier(&w, [0.5, 0.5, 0.5], 0.0), 100.0);
+        assert_eq!(f.multiplier(&w, [0.9, 0.5, 0.5], 0.0), 1.0);
+        let mid = f.multiplier(&w, [0.6, 0.5, 0.5], 0.0);
+        assert!(mid > 1.0 && mid < 100.0, "falloff value {mid}");
+    }
+
+    #[test]
+    fn moving_hotspot_follows_the_blade_tip() {
+        let w = WaveField::unit_box();
+        let f = CostField::MovingHotspot {
+            radius: 0.15,
+            amplitude: 50.0,
+        };
+        for t in [0.0, 0.9, 2.3] {
+            let tip = w.tip_position(t);
+            assert_eq!(f.multiplier(&w, tip, t), 50.0);
+        }
+        // The peak at t=0 is nominal-cost after the tip rotates away.
+        let p0 = w.tip_position(0.0);
+        assert_eq!(f.multiplier(&w, p0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn multiplier_is_continuous_at_the_rim() {
+        let w = WaveField::unit_box();
+        let f = CostField::StaticHotspot {
+            center: [0.5, 0.5, 0.5],
+            radius: 0.2,
+            amplitude: 10.0,
+        };
+        let just_in = f.multiplier(&w, [0.5 + 0.2 - 1e-9, 0.5, 0.5], 0.0);
+        let just_out = f.multiplier(&w, [0.5 + 0.2 + 1e-9, 0.5, 0.5], 0.0);
+        assert!((just_in - just_out).abs() < 1e-6);
+    }
+}

@@ -9,9 +9,11 @@
 //! rotor wave field, so repeated adaption steps see a realistic,
 //! spatially-drifting refinement target.
 
+mod cost;
 mod field;
 mod kernel;
 
+pub use cost::CostField;
 pub use field::WaveField;
 pub use kernel::{edge_error_indicator, initialize_solution, solve, SolverConfig, SolverStats};
 
