@@ -1,6 +1,16 @@
-//! Baseline comparison: PLUM's global-view repartition + reassignment
-//! versus classical local diffusion (Cybenko-style), the alternative §1
-//! positions the framework against.
+//! Historical baseline comparison: PLUM's global-view repartition +
+//! reassignment versus classical local diffusion (Cybenko-style), the
+//! alternative §1 positions the framework against.
+//!
+//! **Deprecated as a benchmark**: this comparison runs the diffusion
+//! baseline as one *serial* sweep on a static graph, so it measures only
+//! partition quality, not the cost of actually running either method at
+//! scale. The canonical comparison is now [`crate::rematch`], which
+//! executes every contender's real SPMD body inside the event-driven
+//! simulator across full adaption cycles at P = 64 / 256 / 1024 and gates
+//! the result (`BENCH_rematch.json`). The `reproduce -- baseline`
+//! subcommand forwards there; this module stays as a unit-tested kernel
+//! comparison only.
 
 use plum_partition::{
     diffuse, migration, partition_kway, quality, repartition_kway, DiffusionConfig, Graph,

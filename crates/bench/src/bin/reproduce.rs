@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig6_mild`,
-//! `weakscale`, `hotspot`, `dual`, `cascade`, `fig7`, `fig8`, `all`.
-//! `--quick` runs at ~6k elements instead of the paper's ~61k.
+//! `weakscale`, `rematch`, `hotspot`, `dual`, `cascade`, `fig7`, `fig8`,
+//! `all`. `--quick` runs at ~6k elements instead of the paper's ~61k.
 //!
 //! `weakscale` runs one full adaption cycle each at P = 256, 1024, and 4096
 //! (`--quick` skips 4096) on meshes sized to ~16 initial elements per rank,
@@ -40,6 +40,20 @@
 //! last cycle's session trace is written to
 //! `chaos-failure-seed-<seed>.json` and the process exits nonzero — this is
 //! the nightly CI seed matrix.
+//!
+//! `rematch` is the global-vs-local balancer comparison at P = 64 / 256 /
+//! 1024 (see `plum_bench::rematch`): multilevel vs SFC diffusion vs
+//! second-order diffusion vs Voronoi, each pinned via `force_method` and
+//! executed as its SPMD body inside the simulator, with and without a 2×
+//! rank slowdown. It writes `BENCH_rematch.json` for the CI
+//! `rematch-conformance` gate and records the column winners in the
+//! report's `verdict` metadata. It always runs the full P grid (no
+//! `--quick` shape change). `rematch --chaos <seed>` runs the recovery
+//! variant of the nightly matrix instead: P = 64, policy-selected method,
+//! effective imbalance must reach ≤ 1.1 within three cycles, with a
+//! `chaos-failure-rematch-seed-<seed>.json` artifact on failure. It
+//! replaces the old serial `baseline` subcommand, which now forwards here
+//! with a deprecation note.
 //!
 //! `hotspot`, `dual`, and `cascade` are the workload-scenario conformance
 //! experiments (see `plum_bench::scenarios`): measured inhomogeneous cost
@@ -197,6 +211,27 @@ fn main() {
             print!("{analysis}");
             write_bench("BENCH_weakscale.json", &bench);
         }
+        "rematch" => {
+            if let Some(seed) = chaos_seed {
+                eprintln!("# running the rematch recovery experiment (seed {seed})…");
+                let run = rematch::rematch_chaos_recovery(seed);
+                rematch::print_rematch_chaos(&run);
+                if !run.recovered {
+                    let artifact = format!("chaos-failure-rematch-seed-{seed}.json");
+                    std::fs::write(&artifact, &run.trace_json).expect("write failure trace");
+                    eprintln!("# recovery FAILED; wrote session trace to {artifact}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            eprintln!(
+                "# running the global-vs-local rematch at P in {:?}…",
+                rematch::REMATCH_PROCS
+            );
+            let (bench, analysis) = rematch::rematch_bench();
+            print!("{analysis}");
+            write_bench("BENCH_rematch.json", &bench);
+        }
         "hotspot" => {
             if let Some(seed) = chaos_seed {
                 eprintln!("# running the hotspot chaos recovery experiment (seed {seed})…");
@@ -246,9 +281,14 @@ fn main() {
             print_multicycle(&multicycle(scale, nproc, if quick { 3 } else { 5 }));
         }
         "baseline" => {
-            use plum_bench::baseline::*;
-            let procs: Vec<usize> = scale.procs().iter().copied().filter(|&p| p > 1).collect();
-            print_baseline(&baseline_comparison(scale, &procs));
+            eprintln!(
+                "# `baseline` is deprecated: the serial diffusion comparison was \
+                 superseded by `rematch` (SPMD bodies in-simulator at P = 64/256/1024); \
+                 running `rematch` instead"
+            );
+            let (bench, analysis) = rematch::rematch_bench();
+            print!("{analysis}");
+            write_bench("BENCH_rematch.json", &bench);
         }
         "ablation" => {
             use plum_bench::ablation::*;
@@ -294,10 +334,6 @@ fn main() {
                 scale, &procs,
             ));
             println!();
-            plum_bench::baseline::print_baseline(&plum_bench::baseline::baseline_comparison(
-                scale, &procs,
-            ));
-            println!();
             plum_bench::multicycle::print_multicycle(&plum_bench::multicycle::multicycle(
                 scale,
                 if quick { 8 } else { 32 },
@@ -306,7 +342,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|weakscale|hotspot|dual|cascade|fig7|fig8|ablation|baseline|multicycle|all"
+                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|weakscale|rematch|hotspot|dual|cascade|fig7|fig8|ablation|multicycle|all"
             );
             std::process::exit(2);
         }

@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod baseline;
 pub mod chaos;
 pub mod multicycle;
+pub mod rematch;
 pub mod report;
 pub mod scenarios;
 

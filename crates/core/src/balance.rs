@@ -6,9 +6,11 @@ use std::time::Instant;
 use plum_mesh::DualGraph;
 use plum_parsim::TraceLog;
 use plum_partition::{
-    dual_uniform, imbalance_weighted, knapsack_partition, knapsack_partition_dual, partition_kway,
-    partition_kway_dual, repartition_kway_dual, repartition_kway_weighted, sfc_diffuse,
-    sfc_diffuse_dual, sfc_partition, sfc_partition_dual, Graph,
+    diffusion2_balance, diffusion2_balance_dual, dual_uniform, imbalance_weighted,
+    knapsack_partition, knapsack_partition_dual, partition_kway, partition_kway_dual,
+    repartition_kway_dual, repartition_kway_weighted, sfc_diffuse, sfc_diffuse_dual, sfc_partition,
+    sfc_partition_dual, voronoi_balance, voronoi_balance_dual, voronoi_partition,
+    voronoi_partition_dual, Graph,
 };
 use plum_reassign::{
     greedy_mwbg, optimal_bmcm, optimal_mwbg, remap_stats, Assignment, RemapStats, SimilarityMatrix,
@@ -24,8 +26,11 @@ use crate::timing::WorkModel;
 /// multilevel diffusive repartitioner for heavy, locality-sensitive
 /// rebalances; a full SFC split when geometry suffices; SFC boundary
 /// diffusion when the imbalance is mild enough that shifting a few range
-/// boundaries repairs it (Cubism's rule); and LPT knapsack packing for the
-/// extreme-imbalance, locality-insensitive regime (AMReX's `makeKnapSack`).
+/// boundaries repairs it (Cubism's rule); LPT knapsack packing for the
+/// extreme-imbalance, locality-insensitive regime (AMReX's `makeKnapSack`);
+/// plus the two classical local schemes the paper rematches against:
+/// second-order diffusion over the rank-adjacency graph and Voronoi
+/// cell-growth on the SFC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BalanceMethod {
     /// Multilevel diffusive graph repartitioning (the paper's §4.2 kernel).
@@ -36,6 +41,11 @@ pub enum BalanceMethod {
     Sfc,
     /// LPT greedy knapsack packing by weight alone.
     Knapsack,
+    /// Second-order (Chebyshev-accelerated) diffusion over the
+    /// rank-adjacency graph, seeded from the previous partition.
+    Diffusion2,
+    /// Voronoi / centroid-shift balancing in SFC key space.
+    Voronoi,
 }
 
 impl BalanceMethod {
@@ -45,6 +55,8 @@ impl BalanceMethod {
             BalanceMethod::SfcDiffusion => "sfc_diffusion",
             BalanceMethod::Sfc => "sfc",
             BalanceMethod::Knapsack => "knapsack",
+            BalanceMethod::Diffusion2 => "diffusion2",
+            BalanceMethod::Voronoi => "voronoi",
         }
     }
 
@@ -56,6 +68,8 @@ impl BalanceMethod {
             BalanceMethod::SfcDiffusion => 2,
             BalanceMethod::Sfc => 3,
             BalanceMethod::Knapsack => 4,
+            BalanceMethod::Diffusion2 => 5,
+            BalanceMethod::Voronoi => 6,
         }
     }
 }
@@ -291,6 +305,8 @@ pub fn select_method(
                 }
             }
             BalanceMethod::Sfc if !has_keys => BalanceMethod::Multilevel,
+            BalanceMethod::Diffusion2 if !seeded => BalanceMethod::Multilevel,
+            BalanceMethod::Voronoi if !has_keys => BalanceMethod::Multilevel,
             m => m,
         };
     }
@@ -332,7 +348,13 @@ pub fn select_method(
     // element of the average; an SFC cut rounds a whole element at each
     // range boundary. With gains this close, the movement term decides —
     // which is exactly the seeded multilevel kernel's edge.
-    let candidates: [(BalanceMethod, f64); 3] = [
+    // The rematch candidates score with deliberately conservative
+    // predictors (boundary-granular wmax, like the SFC cut): each ties or
+    // trails an earlier method on both terms, and ties keep the earlier
+    // entry, so adding them leaves every committed selection baseline
+    // bit-identical. They compete via `force_method` and the `rematch`
+    // experiment, whose verdict decides whether to promote them.
+    let candidates: [(BalanceMethod, f64); 5] = [
         (
             BalanceMethod::Multilevel,
             score(
@@ -351,6 +373,22 @@ pub fn select_method(
         (
             BalanceMethod::Knapsack,
             score(avg + wv_max as f64 / 2.0, reshuffle),
+        ),
+        (
+            BalanceMethod::Diffusion2,
+            if seeded {
+                score(avg + wv_max as f64, overflow)
+            } else {
+                f64::NEG_INFINITY
+            },
+        ),
+        (
+            BalanceMethod::Voronoi,
+            if has_keys {
+                score(avg + wv_max as f64, reshuffle)
+            } else {
+                f64::NEG_INFINITY
+            },
         ),
     ];
     // Strictly-better-wins in preference order: ties keep the earlier
@@ -405,6 +443,8 @@ pub(crate) fn predicted_time(method: BalanceMethod, work: &WorkModel, n: usize, 
         BalanceMethod::SfcDiffusion => work.sfc_diffusion_time(n, p),
         BalanceMethod::Sfc => work.sfc_partition_time(n, p),
         BalanceMethod::Knapsack => work.knapsack_time(n, p),
+        BalanceMethod::Diffusion2 => work.diffusion2_time(n, p),
+        BalanceMethod::Voronoi => work.voronoi_time(n, p),
     }
 }
 
@@ -488,6 +528,33 @@ pub(crate) fn evaluate_and_repartition(
         (BalanceMethod::Knapsack, Some(w2)) => {
             knapsack_partition_dual(&dual.wcomp, w2, pcfg.nparts, &part_caps)
         }
+        (BalanceMethod::Diffusion2, None) => {
+            let prev = prev.expect("selection guarantees a seed for diffusion2");
+            let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
+            diffusion2_balance(&graph, prev, pcfg.nparts, &part_caps)
+        }
+        (BalanceMethod::Diffusion2, Some(w2)) => {
+            let prev = prev.expect("selection guarantees a seed for diffusion2");
+            let graph = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
+            diffusion2_balance_dual(&graph, w2, prev, pcfg.nparts, &part_caps)
+        }
+        (BalanceMethod::Voronoi, None) => match prev {
+            Some(prev) => {
+                voronoi_balance(keys.unwrap(), &dual.wcomp, prev, pcfg.nparts, &part_caps)
+            }
+            None => voronoi_partition(keys.unwrap(), &dual.wcomp, pcfg.nparts, &part_caps),
+        },
+        (BalanceMethod::Voronoi, Some(w2)) => match prev {
+            Some(prev) => voronoi_balance_dual(
+                keys.unwrap(),
+                &dual.wcomp,
+                w2,
+                prev,
+                pcfg.nparts,
+                &part_caps,
+            ),
+            None => voronoi_partition_dual(keys.unwrap(), &dual.wcomp, w2, pcfg.nparts, &part_caps),
+        },
     };
     decision.method = Some(method);
     decision.predicted_partition_time = predicted_time(method, work, dual.n(), cfg.nproc);
@@ -823,6 +890,32 @@ mod tests {
             ),
             (BalanceMethod::Sfc, false, true, BalanceMethod::Multilevel),
             (BalanceMethod::Sfc, true, false, BalanceMethod::Sfc),
+            (
+                BalanceMethod::Diffusion2,
+                true,
+                true,
+                BalanceMethod::Diffusion2,
+            ),
+            (
+                BalanceMethod::Diffusion2,
+                false,
+                true,
+                BalanceMethod::Diffusion2,
+            ),
+            (
+                BalanceMethod::Diffusion2,
+                true,
+                false,
+                BalanceMethod::Multilevel,
+            ),
+            (BalanceMethod::Voronoi, true, false, BalanceMethod::Voronoi),
+            (BalanceMethod::Voronoi, true, true, BalanceMethod::Voronoi),
+            (
+                BalanceMethod::Voronoi,
+                false,
+                true,
+                BalanceMethod::Multilevel,
+            ),
         ] {
             cfg.force_method = Some(forced);
             assert_eq!(
@@ -837,7 +930,12 @@ mod tests {
     fn keyed_balance_with_forced_sfc_produces_valid_accepted_mapping() {
         let (dual, part) = dual_with_hotspot(4, 8);
         let keys: Vec<u64> = (0..dual.n() as u64).collect();
-        for method in [BalanceMethod::Sfc, BalanceMethod::Knapsack] {
+        for method in [
+            BalanceMethod::Sfc,
+            BalanceMethod::Knapsack,
+            BalanceMethod::Diffusion2,
+            BalanceMethod::Voronoi,
+        ] {
             let mut cfg = PlumConfig::new(4);
             cfg.force_method = Some(method);
             let refine_work: Vec<u64> = dual.wcomp.iter().map(|&w| w - 1).collect();
@@ -860,6 +958,37 @@ mod tests {
                 d.imbalance_new
             );
         }
+    }
+
+    /// Zero-load-change fixed point: on a partition whose effective
+    /// imbalance is exactly 1.0 (capacities matched to the actual part
+    /// loads — the post-rebalance steady state) both new local balancers
+    /// return the seed unchanged.
+    #[test]
+    fn new_local_balancers_are_noops_on_balanced_partition() {
+        let mesh = unit_box_mesh(3);
+        let dual = DualGraph::build(&mesh);
+        let graph = Graph::from_csr(dual.xadj.clone(), dual.adjncy.clone(), dual.wcomp.clone());
+        let part = partition_kway(&graph, &plum_partition::PartitionConfig::new(4));
+        let keys: Vec<u64> = (0..dual.n() as u64).collect();
+        let w = per_proc_wcomp(&dual.wcomp, &part, 4);
+        let caps: Vec<f64> = w.iter().map(|&x| x as f64).collect();
+        let gview = Graph::view(&dual.xadj, &dual.adjncy, &dual.wcomp);
+        let imb = imbalance_weighted(&w, &caps);
+        assert!(
+            imb <= 1.0 + 1e-12,
+            "effective imbalance must be exactly 1: {imb}"
+        );
+        assert_eq!(
+            diffusion2_balance(&gview, &part, 4, &caps),
+            part,
+            "diffusion2 must be a no-op on a balanced partition"
+        );
+        assert_eq!(
+            voronoi_balance(&keys, &dual.wcomp, &part, 4, &caps),
+            part,
+            "voronoi must be a no-op on a balanced partition"
+        );
     }
 
     #[test]

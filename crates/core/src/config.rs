@@ -62,7 +62,10 @@ pub struct PlumConfig {
     /// Which space-filling curve orders the element centroids.
     pub sfc_curve: SfcCurve,
     /// Pin the portfolio to one method (benchmarks and differential tests);
-    /// `None` lets the policy pick per cycle.
+    /// `None` lets the policy pick per cycle. Codes 1–6: multilevel, SFC
+    /// boundary diffusion, SFC split, knapsack, second-order diffusion,
+    /// Voronoi — the last two are the `rematch` locals, which only run
+    /// when forced (the scoring tier keeps the committed baselines).
     pub force_method: Option<BalanceMethod>,
 }
 

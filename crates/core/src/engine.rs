@@ -254,6 +254,50 @@ fn balance_on_session(
                 ),
             })
         }
+        BalanceMethod::Diffusion2 => {
+            let prev = prev.expect("selection guarantees a seed for diffusion2");
+            let graph = plum_partition::Graph::view(&p.dual.xadj, &p.dual.adjncy, &p.dual.wcomp);
+            Some(match w2 {
+                None => plum_partition::diffusion2_balance(&graph, prev, pcfg.nparts, &part_caps),
+                Some(w2) => plum_partition::diffusion2_balance_dual(
+                    &graph,
+                    w2,
+                    prev,
+                    pcfg.nparts,
+                    &part_caps,
+                ),
+            })
+        }
+        BalanceMethod::Voronoi => Some(match (prev, w2) {
+            (Some(prev), None) => plum_partition::voronoi_balance(
+                &p.sfc_keys,
+                &p.dual.wcomp,
+                prev,
+                pcfg.nparts,
+                &part_caps,
+            ),
+            (Some(prev), Some(w2)) => plum_partition::voronoi_balance_dual(
+                &p.sfc_keys,
+                &p.dual.wcomp,
+                w2,
+                prev,
+                pcfg.nparts,
+                &part_caps,
+            ),
+            (None, None) => plum_partition::voronoi_partition(
+                &p.sfc_keys,
+                &p.dual.wcomp,
+                pcfg.nparts,
+                &part_caps,
+            ),
+            (None, Some(w2)) => plum_partition::voronoi_partition_dual(
+                &p.sfc_keys,
+                &p.dual.wcomp,
+                w2,
+                pcfg.nparts,
+                &part_caps,
+            ),
+        }),
         _ => None,
     };
     let t0 = session.now();
@@ -345,6 +389,50 @@ fn balance_on_session(
                     pcfg.nparts,
                     part_caps,
                     vertex_units,
+                ),
+                (BalanceMethod::Diffusion2, None) => plum_partition::diffusion2_body(
+                    c,
+                    &graph,
+                    owner,
+                    prev.expect("selection guarantees a seed for diffusion2"),
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                    sfc_hoist,
+                ),
+                (BalanceMethod::Diffusion2, Some(w2)) => plum_partition::diffusion2_body_dual(
+                    c,
+                    &graph,
+                    w2,
+                    owner,
+                    prev.expect("selection guarantees a seed for diffusion2"),
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                    sfc_hoist,
+                ),
+                (BalanceMethod::Voronoi, None) => plum_partition::voronoi_body(
+                    c,
+                    keys,
+                    vwgt,
+                    owner,
+                    prev,
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                    sfc_hoist,
+                ),
+                (BalanceMethod::Voronoi, Some(w2)) => plum_partition::voronoi_body_dual(
+                    c,
+                    keys,
+                    vwgt,
+                    w2,
+                    owner,
+                    prev,
+                    pcfg.nparts,
+                    part_caps,
+                    vertex_units,
+                    sfc_hoist,
                 ),
             })
         })
@@ -1075,6 +1163,8 @@ mod tests {
             BalanceMethod::Sfc,
             BalanceMethod::Knapsack,
             BalanceMethod::SfcDiffusion,
+            BalanceMethod::Diffusion2,
+            BalanceMethod::Voronoi,
         ] {
             let mut engine = plum(8, 4, RemapPolicy::BeforeRefinement);
             let mut reference = plum(8, 4, RemapPolicy::BeforeRefinement);
@@ -1091,6 +1181,33 @@ mod tests {
                 }
             }
             engine.am.validate();
+        }
+    }
+
+    /// Golden battery for the rematch balancers at the P extremes (P = 8
+    /// rides in `forced_portfolio_methods_match_reference`): engine ≡
+    /// reference to 1e-9 on times, exact on counts and `BalanceDecision`,
+    /// at P = 1 (degenerate single-rank path) and P = 64.
+    #[test]
+    fn forced_rematch_balancers_golden_p1_p64() {
+        for method in [BalanceMethod::Diffusion2, BalanceMethod::Voronoi] {
+            for (nproc, n) in [(1usize, 3usize), (64, 5)] {
+                let mut engine = plum(nproc, n, RemapPolicy::BeforeRefinement);
+                let mut reference = plum(nproc, n, RemapPolicy::BeforeRefinement);
+                engine.cfg.force_method = Some(method);
+                reference.cfg.force_method = Some(method);
+                for cycle in 0..2 {
+                    let e = engine.adaption_cycle(0.3, 0.1);
+                    let r = reference.adaption_cycle_reference(0.3, 0.1);
+                    assert_equivalent(&e, &r, &format!("{method:?} P={nproc} cycle {cycle}"));
+                    assert_eq!(e.decision.method, r.decision.method, "{method:?} P={nproc}");
+                    if nproc > 1 && e.decision.repartitioned {
+                        assert_eq!(e.decision.method, Some(method), "P={nproc} cycle {cycle}");
+                        assert!(e.decision.predicted_partition_time > 0.0);
+                    }
+                }
+                engine.am.validate();
+            }
         }
     }
 

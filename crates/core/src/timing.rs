@@ -109,6 +109,35 @@ impl WorkModel {
         local + sync + self.t_part_base * 0.1
     }
 
+    /// Modeled wall time of the second-order (Chebyshev) diffusion
+    /// balancer: a boundary scan plus selection sweeps over the local block
+    /// (about half a key sort's work), the load-vector allreduce, and the
+    /// moved-triple exchange. The flow solve itself is replicated O(P·deg)
+    /// arithmetic, folded into the sync term.
+    pub fn diffusion2_time(&self, n: usize, p: usize) -> f64 {
+        let local = self.t_part_vertex * 0.5 * (n as f64 / p as f64);
+        let sync = if p > 1 {
+            self.t_part_sync * 0.75 * p as f64
+        } else {
+            0.0
+        };
+        local + sync + self.t_part_base * 0.1
+    }
+
+    /// Modeled wall time of the Voronoi centroid-shift balancer: nearest-
+    /// generator scans over the local block across the Lloyd rounds (a bit
+    /// heavier than one key sort), plus the same single-exchange traffic
+    /// shape as the SFC cut.
+    pub fn voronoi_time(&self, n: usize, p: usize) -> f64 {
+        let local = self.t_part_vertex * 0.75 * (n as f64 / p as f64);
+        let sync = if p > 1 {
+            self.t_part_sync * p as f64
+        } else {
+            0.0
+        };
+        local + sync + self.t_part_base * 0.1
+    }
+
     /// Compute-only share of one solver iteration on a rank owning `wcomp`
     /// leaf elements (≈ 6/5·wcomp edge visits per iteration on a tet mesh).
     /// This is the part a slow processor stretches — chaos profiles multiply
@@ -243,6 +272,14 @@ mod tests {
             assert!(
                 wm.knapsack_time(n, p) < ml,
                 "knapsack ≥ multilevel at n={n} p={p}"
+            );
+            assert!(
+                wm.diffusion2_time(n, p) < ml,
+                "diffusion2 ≥ multilevel at n={n} p={p}"
+            );
+            assert!(
+                wm.voronoi_time(n, p) < ml,
+                "voronoi ≥ multilevel at n={n} p={p}"
             );
         }
     }

@@ -22,6 +22,7 @@
 mod bisect;
 mod coarsen;
 mod diffusion;
+mod diffusion2;
 mod distributed;
 mod graph;
 mod knapsack;
@@ -32,10 +33,15 @@ mod proptests;
 mod repart;
 mod rng;
 mod sfc;
+mod voronoi;
 
 pub use bisect::{bisect, grow_bisection, refine_bisection};
 pub use coarsen::{coarsen_once, contract, heavy_edge_matching};
 pub use diffusion::{diffuse, DiffusionConfig, DiffusionResult};
+pub use diffusion2::{
+    diffusion2_balance, diffusion2_balance_dual, diffusion2_body, diffusion2_body_dual,
+    diffusion2_distributed, rank_adjacency, solve_flows, FlowSolve, DIFFUSION2_MAX_ROUNDS,
+};
 pub use distributed::{
     repartition_body, repartition_body_dual, repartition_distributed, DistPartition,
 };
@@ -58,4 +64,8 @@ pub use sfc::{
     sfc_body, sfc_body_dual, sfc_diffuse, sfc_diffuse_body, sfc_diffuse_body_dual,
     sfc_diffuse_dual, sfc_distributed, sfc_effective_imbalance, sfc_effective_imbalance_dual,
     sfc_order, sfc_partition, sfc_partition_dual, sfc_split, sfc_split_dual,
+};
+pub use voronoi::{
+    voronoi_balance, voronoi_balance_dual, voronoi_body, voronoi_body_dual, voronoi_distributed,
+    voronoi_partition, voronoi_partition_dual, VORONOI_ROUNDS,
 };

@@ -461,6 +461,194 @@ proptest! {
         );
     }
 
+    /// (k) Second-order diffusion flow solve: every executed round is
+    /// flow-conserving (the signed per-part deltas sum to zero), and the
+    /// cumulative flows reproduce the final deviation exactly — the flows
+    /// *are* the transcript of the solve, not an approximation of it.
+    #[test]
+    fn diffusion_flow_solve_conserves_per_round_and_in_total(
+        n in 4usize..16,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 8),
+        loadseed in proptest::collection::vec(1u64..100, 16),
+        second_order in any::<bool>(),
+    ) {
+        use crate::diffusion2::solve_flows;
+        let g = random_graph(n, &extra);
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|v| g.edges(v).map(|(u, _)| u as usize).collect())
+            .collect();
+        let total: u64 = loadseed[..n].iter().sum();
+        let mean = total as f64 / n as f64;
+        let dev: Vec<f64> = loadseed[..n].iter().map(|&w| w as f64 - mean).collect();
+        let scale = dev.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let solve = solve_flows(&adj, &dev, second_order, 400, 0.01 * mean);
+        for (round, rf) in solve.round_flows.iter().enumerate() {
+            let mut delta = vec![0.0f64; n];
+            for (e, &(p, q)) in solve.edges.iter().enumerate() {
+                delta[p as usize] -= rf[e];
+                delta[q as usize] += rf[e];
+            }
+            let net: f64 = delta.iter().sum();
+            prop_assert!(
+                net.abs() <= 1e-9 * scale.max(1.0),
+                "round {} leaks weight: net {}", round, net
+            );
+        }
+        let mut fin = dev.clone();
+        for (e, &(p, q)) in solve.edges.iter().enumerate() {
+            fin[p as usize] -= solve.flows[e];
+            fin[q as usize] += solve.flows[e];
+        }
+        let per_round_sum: Vec<f64> = solve.edges.iter().enumerate().map(|(e, _)| {
+            solve.round_flows.iter().map(|rf| rf[e]).sum()
+        }).collect();
+        for (e, &f) in solve.flows.iter().enumerate() {
+            prop_assert!(
+                (f - per_round_sum[e]).abs() <= 1e-9 * scale.max(1.0),
+                "cumulative flow {} diverges from its round transcript {}",
+                f, per_round_sum[e]
+            );
+        }
+        if solve.rounds < 400 && !solve.edges.is_empty() {
+            let worst = fin.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            prop_assert!(
+                worst <= 0.01 * mean + 1e-9,
+                "converged solve left deviation {}", worst
+            );
+        }
+    }
+
+    /// (k') The element-level kernel conserves the total weight exactly in
+    /// u64 (every vertex keeps exactly one part), never invents part ids,
+    /// and never worsens the capacity-weighted imbalance.
+    #[test]
+    fn diffusion2_balance_conserves_u64_weight_and_is_monotone(
+        n in 24usize..96,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 32),
+        prevseed in proptest::collection::vec(0u32..8, 96),
+        p in 2usize..6,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        use crate::diffusion2::diffusion2_balance;
+        use crate::metrics::{imbalance_weighted, weights_of};
+        let g = random_graph(n, &extra);
+        let prev: Vec<u32> = (0..n).map(|v| prevseed[v % prevseed.len()] % p as u32).collect();
+        let part = diffusion2_balance(&g, &prev, p, &caps[..p]);
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|&q| (q as usize) < p));
+        let before_w = weights_of(&g.vwgt, &prev, p);
+        let after_w = weights_of(&g.vwgt, &part, p);
+        prop_assert_eq!(
+            before_w.iter().sum::<u64>(), after_w.iter().sum::<u64>(),
+            "diffusion must conserve the total weight exactly"
+        );
+        let before = imbalance_weighted(&before_w, &caps[..p]);
+        let after = imbalance_weighted(&after_w, &caps[..p]);
+        prop_assert!(
+            after <= before + 1e-9,
+            "diffusion2 worsened imbalance: {} -> {}", before, after
+        );
+    }
+
+    /// (l) Chebyshev acceleration: on random rank graphs the second-order
+    /// solve needs no more rounds than first order (up to a small constant
+    /// start-up slack on trivially-converging instances) and still
+    /// converges whenever first order does.
+    #[test]
+    fn chebyshev_needs_no_more_rounds_than_first_order(
+        n in 4usize..16,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 8),
+        loadseed in proptest::collection::vec(1u64..100, 16),
+    ) {
+        use crate::diffusion2::solve_flows;
+        let g = random_graph(n, &extra);
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|v| g.edges(v).map(|(u, _)| u as usize).collect())
+            .collect();
+        let total: u64 = loadseed[..n].iter().sum();
+        let mean = total as f64 / n as f64;
+        let dev: Vec<f64> = loadseed[..n].iter().map(|&w| w as f64 - mean).collect();
+        let tol = 0.02 * mean;
+        let fo = solve_flows(&adj, &dev, false, 400, tol);
+        let so = solve_flows(&adj, &dev, true, 400, tol);
+        if fo.rounds < 400 {
+            prop_assert!(so.rounds < 400, "first order converged but SOS did not");
+        }
+        // The SOS recurrence only kicks in at round 2, so allow a small
+        // constant slack on instances first order finishes immediately.
+        let bound = if fo.rounds >= 10 { fo.rounds } else { fo.rounds + 4 };
+        prop_assert!(
+            so.rounds <= bound,
+            "second order took {} rounds, first order {}", so.rounds, fo.rounds
+        );
+    }
+
+    /// (m) Voronoi balancing terminates in its fixed round budget for any
+    /// input, is an exact cover, and never worsens the capacity-weighted
+    /// imbalance relative to the seed partition.
+    #[test]
+    fn voronoi_is_total_and_monotone_under_random_capacities(
+        keyseed in proptest::collection::vec(any::<u64>(), 160),
+        wseed in proptest::collection::vec(1u64..9, 160),
+        prevseed in proptest::collection::vec(0u32..8, 160),
+        n in 30usize..160,
+        p in 2usize..9,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        use crate::metrics::{imbalance_weighted, weights_of};
+        use crate::voronoi::{voronoi_balance, voronoi_partition};
+        let keys = &keyseed[..n];
+        let vwgt = &wseed[..n];
+        let prev: Vec<u32> = (0..n).map(|v| prevseed[v] % p as u32).collect();
+        let out = voronoi_balance(keys, vwgt, &prev, p, &caps[..p]);
+        prop_assert_eq!(out.len(), n);
+        prop_assert!(out.iter().all(|&q| (q as usize) < p));
+        let before = imbalance_weighted(&weights_of(vwgt, &prev, p), &caps[..p]);
+        let after = imbalance_weighted(&weights_of(vwgt, &out, p), &caps[..p]);
+        prop_assert!(
+            after <= before + 1e-9,
+            "voronoi worsened imbalance: {} -> {}", before, after
+        );
+        let fresh = voronoi_partition(keys, vwgt, p, &caps[..p]);
+        prop_assert_eq!(fresh.len(), n);
+        prop_assert!(fresh.iter().all(|&q| (q as usize) < p));
+    }
+
+    /// (n) The new balancers' dual kernels reduce bit-exactly to their
+    /// single-constraint counterparts when the second weight vector is
+    /// uniform — same contract as test (i) for the PR 6 portfolio.
+    #[test]
+    fn new_balancer_duals_reduce_bit_exactly_when_uniform(
+        n in 24usize..80,
+        extra in proptest::collection::vec((0u32..1024, 0u32..1024), 24),
+        keyseed in proptest::collection::vec(any::<u64>(), 80),
+        prevseed in proptest::collection::vec(0u32..8, 80),
+        c in 1u64..9,
+        p in 2usize..6,
+        caps in proptest::collection::vec(0.5f64..2.0, 8),
+    ) {
+        use crate::diffusion2::{diffusion2_balance, diffusion2_balance_dual};
+        use crate::voronoi::{
+            voronoi_balance, voronoi_balance_dual, voronoi_partition, voronoi_partition_dual,
+        };
+        let g = random_graph(n, &extra);
+        let w2 = vec![c; n];
+        let keys = &keyseed[..n];
+        let prev: Vec<u32> = (0..n).map(|v| prevseed[v] % p as u32).collect();
+        prop_assert_eq!(
+            diffusion2_balance_dual(&g, &w2, &prev, p, &caps[..p]),
+            diffusion2_balance(&g, &prev, p, &caps[..p])
+        );
+        prop_assert_eq!(
+            voronoi_balance_dual(keys, &g.vwgt, &w2, &prev, p, &caps[..p]),
+            voronoi_balance(keys, &g.vwgt, &prev, p, &caps[..p])
+        );
+        prop_assert_eq!(
+            voronoi_partition_dual(keys, &g.vwgt, &w2, p, &caps[..p]),
+            voronoi_partition(keys, &g.vwgt, p, &caps[..p])
+        );
+    }
+
     /// (f) LPT knapsack packing: exact cover, and the heaviest effective
     /// (capacity-scaled) bin load stays under the ideal `Σw/Σc` plus the
     /// greedy bound's one-job slack `max(w)/min(c)`.

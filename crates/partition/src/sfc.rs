@@ -29,14 +29,15 @@ use crate::metrics::{combine_dual, dual_uniform, imbalance_dual, imbalance_weigh
 const DIFFUSE_PASSES: usize = 8;
 
 /// Bytes per (key, id, weight) triple in the distributed key exchange.
-const TRIPLE_BYTES: usize = 20;
+/// Shared with the other geometric SPMD bodies (`diffusion2`, `voronoi`).
+pub(crate) const TRIPLE_BYTES: usize = 20;
 
 /// Bytes per (key, id, weight, weight2) quad in the dual-constraint
 /// exchange.
-const DUAL_TRIPLE_BYTES: usize = 28;
+pub(crate) const DUAL_TRIPLE_BYTES: usize = 28;
 
 /// Charge `vertices` visits of local partitioning work.
-fn charge(comm: &mut Comm, vertices: usize, vertex_units: f64) {
+pub(crate) fn charge(comm: &mut Comm, vertices: usize, vertex_units: f64) {
     let units = vertex_units * vertices as f64;
     if units > 0.0 {
         comm.compute(units);
@@ -55,7 +56,7 @@ pub fn sfc_order(keys: &[u64]) -> Vec<u32> {
 /// Per-part capacity fractions (summing to 1). A degenerate capacity vector
 /// falls back to uniform — the same defined-result policy as
 /// [`imbalance_weighted`].
-fn cap_fractions(caps: &[f64], nparts: usize) -> Vec<f64> {
+pub(crate) fn cap_fractions(caps: &[f64], nparts: usize) -> Vec<f64> {
     assert_eq!(caps.len(), nparts, "one capacity per part");
     let sum: f64 = caps.iter().sum();
     if sum <= 0.0 || !sum.is_finite() {
@@ -284,7 +285,7 @@ fn part_home(p: usize, nparts: usize, nranks: usize) -> usize {
 /// [`TRIPLE_BYTES`], which leaves their traffic — and thus their virtual
 /// times — untouched.
 #[allow(clippy::too_many_arguments)]
-fn exchange_and_check(
+pub(crate) fn exchange_and_check(
     comm: &mut Comm,
     vwgt: &[u64],
     vwgt2: Option<&[u64]>,
@@ -356,7 +357,10 @@ fn exchange_and_check(
 /// once on the host and pass it in; the *virtual* compute charge is taken
 /// either way, so modeled times do not depend on who did the arithmetic.
 /// Debug builds cross-check the hoisted value against a local recompute.
-fn resolve_replicated(precomputed: Option<&[u32]>, compute: impl FnOnce() -> Vec<u32>) -> Vec<u32> {
+pub(crate) fn resolve_replicated(
+    precomputed: Option<&[u32]>,
+    compute: impl FnOnce() -> Vec<u32>,
+) -> Vec<u32> {
     match precomputed {
         Some(part) => {
             debug_assert_eq!(

@@ -12,11 +12,12 @@
 
 use plum_mesh::generate::{box_dims_for_elements, box_mesh};
 use plum_mesh::{DualGraph, SfcCurve};
-use plum_parsim::MachineModel;
+use plum_parsim::{check_protocol, MachineModel};
 use plum_partition::{
-    imbalance_weighted, knapsack_distributed, knapsack_partition, part_weights, partition_kway,
-    quality, repartition_distributed, repartition_kway_weighted, sfc_diffuse, sfc_distributed,
-    sfc_partition, Graph, PartitionConfig,
+    diffusion2_balance, diffusion2_distributed, imbalance_weighted, knapsack_distributed,
+    knapsack_partition, part_weights, partition_kway, quality, repartition_distributed,
+    repartition_kway_weighted, sfc_diffuse, sfc_distributed, sfc_partition, voronoi_balance,
+    voronoi_distributed, voronoi_partition, Graph, PartitionConfig,
 };
 
 const PROC_COUNTS: [usize; 3] = [2, 8, 64];
@@ -276,6 +277,160 @@ fn sfc_split_respects_capacity_shares_on_fig6() {
                 w[q]
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rematch battery: the second-order diffusion and Voronoi balancers
+// against their serial kernels — serial ≡ SPMD at every P, machine-model
+// invariance, and the P=64 trace invariants.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn diffusion2_distributed_matches_serial_at_all_proc_counts() {
+    let (g, _keys) = fig6_quick_graph_with_keys();
+    for &p in &PROC_COUNTS {
+        let prev = seed_partition(&g, p);
+        let caps = vec![1.0; p];
+        let serial = diffusion2_balance(&g, &prev, p, &caps);
+        let dist = diffusion2_distributed(
+            &g,
+            &prev,
+            &prev,
+            p,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        assert_eq!(dist.part, serial, "P={p}: diffusion2 diverged");
+        assert!(dist.makespan > 0.0, "P={p}: partitioning took no time");
+        // Machine-model invariance: the zero model changes only the clock.
+        let zero = diffusion2_distributed(&g, &prev, &prev, p, &caps, p, MachineModel::zero(), 0.0);
+        assert_eq!(zero.part, serial, "P={p}: diffusion2 depends on the model");
+        assert!(dist.makespan > zero.makespan, "P={p}: sp2 must cost time");
+        // The balancer must actually improve the seeded hotspot.
+        let before = imbalance_weighted(&part_weights(&g, &prev, p), &caps);
+        let after = imbalance_weighted(&part_weights(&g, &dist.part, p), &caps);
+        assert!(
+            after <= before + 1e-9,
+            "P={p}: diffusion2 worsened imbalance {before:.4} -> {after:.4}"
+        );
+    }
+}
+
+#[test]
+fn voronoi_distributed_matches_serial_at_all_proc_counts() {
+    let (g, keys) = fig6_quick_graph_with_keys();
+    let vwgt: &[u64] = &g.vwgt;
+    for &p in &PROC_COUNTS {
+        let prev = seed_partition(&g, p);
+        let caps = vec![1.0; p];
+
+        // Rebalance flavor (seeded with the previous partition).
+        let serial = voronoi_balance(&keys, vwgt, &prev, p, &caps);
+        let dist = voronoi_distributed(
+            &keys,
+            vwgt,
+            &prev,
+            Some(&prev),
+            p,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        assert_eq!(dist.part, serial, "P={p}: voronoi balance diverged");
+        assert!(dist.makespan > 0.0, "P={p}: partitioning took no time");
+
+        // From-scratch flavor.
+        let serial_fresh = voronoi_partition(&keys, vwgt, p, &caps);
+        let dist_fresh = voronoi_distributed(
+            &keys,
+            vwgt,
+            &prev,
+            None,
+            p,
+            &caps,
+            p,
+            MachineModel::sp2(),
+            VERTEX_UNITS,
+        );
+        assert_eq!(
+            dist_fresh.part, serial_fresh,
+            "P={p}: voronoi partition diverged"
+        );
+
+        // Machine-model invariance.
+        let zero = voronoi_distributed(
+            &keys,
+            vwgt,
+            &prev,
+            Some(&prev),
+            p,
+            &caps,
+            p,
+            MachineModel::zero(),
+            0.0,
+        );
+        assert_eq!(zero.part, serial, "P={p}: voronoi depends on the model");
+        assert!(dist.makespan > zero.makespan, "P={p}: sp2 must cost time");
+    }
+}
+
+/// Trace invariants of the new SPMD bodies at P = 64: the protocol checker
+/// finds nothing, and every rank's virtual time is fully accounted by the
+/// partition phase breakdown to 1e-9 relative.
+#[test]
+fn rematch_bodies_are_protocol_clean_and_account_to_1e9_at_p64() {
+    let (g, keys) = fig6_quick_graph_with_keys();
+    let vwgt: &[u64] = &g.vwgt;
+    let p = 64;
+    let prev = seed_partition(&g, p);
+    let caps = vec![1.0; p];
+    let d2 = diffusion2_distributed(
+        &g,
+        &prev,
+        &prev,
+        p,
+        &caps,
+        p,
+        MachineModel::sp2(),
+        VERTEX_UNITS,
+    );
+    let vor = voronoi_distributed(
+        &keys,
+        vwgt,
+        &prev,
+        Some(&prev),
+        p,
+        &caps,
+        p,
+        MachineModel::sp2(),
+        VERTEX_UNITS,
+    );
+    for (name, dist) in [("diffusion2", &d2), ("voronoi", &vor)] {
+        let violations = check_protocol(&dist.trace);
+        assert!(
+            violations.is_empty(),
+            "{name}: protocol violations: {violations:?}"
+        );
+        let summary = dist.trace.summary();
+        let full: f64 = summary.ranks.iter().map(|r| r.total()).sum();
+        let agg: f64 = dist
+            .trace
+            .phase_breakdowns()
+            .iter()
+            .map(|ph| ph.total())
+            .sum();
+        assert!(
+            (full - agg).abs() <= 1e-9 * full.max(1.0),
+            "{name}: phase accounting {agg} vs rank accounting {full}"
+        );
+        // Real traffic flowed: the moved-triple exchange and the weight
+        // allreduce are actual messages, not injected time.
+        assert!(summary.total_msgs() > 0, "{name}: no messages at P=64");
+        assert!(summary.total_words() > 0, "{name}: no words at P=64");
     }
 }
 
