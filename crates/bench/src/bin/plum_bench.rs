@@ -1,7 +1,9 @@
-//! BENCH report tooling: validate, show, and diff `BENCH_*.json` files.
+//! BENCH report tooling: validate, show, diff, and explain `BENCH_*.json`
+//! files.
 //!
 //! ```text
 //! plum-bench compare <baseline.json> <current.json> [--tolerance <pct>] [--strict-new]
+//! plum-bench explain <baseline.json> <current.json>
 //! plum-bench validate <file.json>
 //! plum-bench show <file.json>
 //! ```
@@ -14,13 +16,21 @@
 //! they *shrink* beyond tolerance. Tracked metrics with no baseline are warned about; with
 //! `--strict-new` they fail the gate instead (use after schema changes so
 //! new metrics cannot ride in ungated). Exit code 2 means usage, I/O, or
-//! schema errors.
+//! schema errors. On failure, `compare` also prints the full attribution
+//! report (`explain`) so the log says *which* phase, rank, and cause moved.
+//!
+//! `explain` renders the attribution on demand: tracked metric movements,
+//! balance-method flips, the makespan delta broken into ranked (phase,
+//! rank, cause) buckets from the embedded trace digests, and per-cycle
+//! timeline sparklines. It never gates (always exits 0 given two readable
+//! reports).
 
-use plum_obs::{compare, BenchReport};
+use plum_obs::{compare, explain, BenchReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: plum-bench compare <baseline.json> <current.json> [--tolerance <pct>] [--strict-new]\n\
+         \x20      plum-bench explain <baseline.json> <current.json>\n\
          \x20      plum-bench validate <file.json>\n\
          \x20      plum-bench show <file.json>"
     );
@@ -88,7 +98,20 @@ fn main() {
             let mut report = compare(&baseline, &current, tolerance);
             report.strict_new = strict_new;
             print!("{}", report.render());
-            std::process::exit(if report.passed() { 0 } else { 1 });
+            if !report.passed() {
+                println!();
+                print!("{}", explain(&baseline, &current));
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Some("explain") => {
+            let [_, baseline_path, current_path] = args.as_slice() else {
+                usage();
+            };
+            let baseline = load(baseline_path);
+            let current = load(current_path);
+            print!("{}", explain(&baseline, &current));
         }
         Some("validate") => {
             let [_, path] = args.as_slice() else { usage() };

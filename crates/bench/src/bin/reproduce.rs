@@ -6,9 +6,15 @@
 //! cargo run --release -p plum-bench --bin reproduce -- fig4 --quick
 //! ```
 //!
-//! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig6_mild`,
-//! `weakscale`, `rematch`, `hotspot`, `dual`, `cascade`, `fig7`, `fig8`,
-//! `all`. `--quick` runs at ~6k elements instead of the paper's ~61k.
+//! Subcommands: `table1`, `table2`, `fig4`, `fig5`, `fig6`, `fig6_slow`,
+//! `fig6_mild`, `weakscale`, `rematch`, `hotspot`, `dual`, `cascade`,
+//! `fig7`, `fig8`, `all`. `--quick` runs at ~6k elements instead of the
+//! paper's ~61k.
+//!
+//! `fig6_slow` emits `BENCH_fig6_slow.json`: the fig6 cycle with one rank
+//! computing 2× slower — a known, injected regression. Diff it against a
+//! clean fig6 report with `plum-bench explain` to see the attribution
+//! engine name the slowed rank (the EXPERIMENTS.md walkthrough).
 //!
 //! `weakscale` runs one full adaption cycle each at P = 256, 1024, and 4096
 //! (`--quick` skips 4096) on meshes sized to ~16 initial elements per rank,
@@ -189,6 +195,17 @@ fn main() {
             print!("{analysis}");
             write_bench("BENCH_fig6.json", &bench);
         }
+        "fig6_slow" => {
+            eprintln!(
+                "# running the fig6 cycle with rank {} slowed {}× at P={}…",
+                report::FIG6_SLOW_RANK,
+                report::FIG6_SLOW_FACTOR,
+                report::FIG6_BENCH_NPROC
+            );
+            let (bench, analysis) = report::fig6_slow_bench(scale);
+            print!("{analysis}");
+            write_bench("BENCH_fig6_slow.json", &bench);
+        }
         "fig6_mild" => {
             eprintln!(
                 "# running the mild-imbalance portfolio cycle at P={}…",
@@ -342,7 +359,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_mild|weakscale|rematch|hotspot|dual|cascade|fig7|fig8|ablation|multicycle|all"
+                "unknown experiment '{other}'; use table1|table2|fig4|fig5|fig6|fig6_slow|fig6_mild|weakscale|rematch|hotspot|dual|cascade|fig7|fig8|ablation|multicycle|all"
             );
             std::process::exit(2);
         }

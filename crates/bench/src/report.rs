@@ -10,7 +10,7 @@
 use plum_core::{CycleReport, RemapPolicy};
 use plum_obs::{
     critical_path, heaviest_edges, phase_critical_path, render_heaviest_edges, BenchReport,
-    Registry,
+    Registry, TraceDigest,
 };
 
 use crate::{run_case, Scale, SweepPoint, CASES};
@@ -64,6 +64,10 @@ pub fn cycle_bench(
             let pcp = phase_critical_path(session, name);
             bench.set(&format!("critical_path.{name}.seconds"), pcp.length());
         }
+        // The per-(phase, rank) digest powers `plum-bench explain`: when a
+        // later run regresses against this report, the diff engine can say
+        // *which* phase, rank, and cause absorbed the delta.
+        bench.digest = Some(TraceDigest::from_log(session));
     }
     bench
 }
@@ -91,6 +95,33 @@ pub fn fig6_bench(scale: Scale) -> (BenchReport, String) {
     let mut b = cycle_bench("fig6", &r, FIG6_BENCH_NPROC, scale.elements());
     b.meta_str("scale", &format!("{scale:?}"))
         .meta_str("case", "Real_2");
+    (b, cycle_analysis(&r, 10))
+}
+
+/// The rank the fig6_slow experiment slows down, and by how much.
+pub const FIG6_SLOW_RANK: usize = 7;
+pub const FIG6_SLOW_FACTOR: f64 = 2.0;
+
+/// The fig6_slow BENCH run: the fig6 cycle with rank [`FIG6_SLOW_RANK`]
+/// computing [`FIG6_SLOW_FACTOR`]× slower — a known, injected regression.
+/// Diffing this report against a clean fig6 report with `plum-bench
+/// explain` must attribute the makespan delta to the slowed rank's
+/// compute; EXPERIMENTS.md walks through exactly that.
+pub fn fig6_slow_bench(scale: Scale) -> (BenchReport, String) {
+    use plum_core::{ChaosConfig, Plum, PlumConfig};
+    use plum_solver::WaveField;
+
+    let p = FIG6_BENCH_NPROC;
+    let mut cfg = PlumConfig::new(p);
+    cfg.policy = RemapPolicy::BeforeRefinement;
+    let mut plum = Plum::new(crate::initial_mesh(scale), WaveField::unit_box(), cfg);
+    plum.chaos = ChaosConfig::slowdown(p, FIG6_SLOW_RANK, FIG6_SLOW_FACTOR);
+    let r = plum.adaption_cycle(crate::CASES[1].1, 0.1);
+    let mut b = cycle_bench("fig6_slow", &r, p, scale.elements());
+    b.meta_str("scale", &format!("{scale:?}"))
+        .meta_str("case", "Real_2")
+        .meta_num("slow_rank", FIG6_SLOW_RANK as f64)
+        .meta_num("slow_factor", FIG6_SLOW_FACTOR);
     (b, cycle_analysis(&r, 10))
 }
 
@@ -514,6 +545,74 @@ mod tests {
                 "{name}: cost(1024)/cost(256) = {ratio:.2}, not O(log P)"
             );
         }
+    }
+
+    /// Acceptance criterion of the attribution engine end to end: slow one
+    /// rank's compute 2× in the P = 64 fig6 cycle and the explain report's
+    /// top bucket must name the solver phase, the slowed rank, and compute
+    /// as the cause, covering ≥ 80% of the measured makespan delta.
+    ///
+    /// Repartitioning is suppressed in both runs (`imbalance_trigger` far
+    /// above any reachable imbalance): the capacity-aware balancer would
+    /// otherwise react to the slowdown *within* the cycle, and the test
+    /// must isolate the injected compute regression from the balancer's
+    /// (legitimate) response to it.
+    #[test]
+    fn explain_attributes_injected_slowdown_to_the_right_bucket() {
+        use plum_core::{ChaosConfig, Plum, PlumConfig, RemapPolicy};
+        use plum_solver::WaveField;
+
+        let p = FIG6_BENCH_NPROC;
+        let run = |slow: bool| {
+            let mut cfg = PlumConfig::new(p);
+            cfg.policy = RemapPolicy::BeforeRefinement;
+            cfg.imbalance_trigger = 100.0;
+            let mut plum = Plum::new(
+                crate::initial_mesh(Scale::Quick),
+                WaveField::unit_box(),
+                cfg,
+            );
+            if slow {
+                plum.chaos = ChaosConfig::slowdown(p, FIG6_SLOW_RANK, FIG6_SLOW_FACTOR);
+            }
+            let r = plum.adaption_cycle(crate::CASES[1].1, 0.1);
+            cycle_bench("fig6", &r, p, Scale::Quick.elements())
+        };
+        let baseline = run(false);
+        let current = run(true);
+
+        let (bd, cd) = (
+            baseline.digest.as_ref().unwrap(),
+            current.digest.as_ref().unwrap(),
+        );
+        let diff = plum_obs::diff_digests(bd, cd);
+        assert!(
+            diff.reconciliation_error() <= 1e-9,
+            "bucket deltas must reconcile: {}",
+            diff.render()
+        );
+        let delta = diff.delta();
+        assert!(delta > 0.0, "the slowdown must cost makespan");
+        let top = &diff.buckets[0];
+        assert_eq!(
+            (top.phase.as_str(), top.rank, top.kind.as_str()),
+            ("solver", FIG6_SLOW_RANK, "compute"),
+            "top bucket must blame the slowed rank's solver compute:\n{}",
+            diff.render()
+        );
+        assert!(
+            top.delta() >= 0.8 * delta,
+            "top bucket covers {:.1}% of the delta, need ≥ 80%:\n{}",
+            top.delta() / delta * 100.0,
+            diff.render()
+        );
+
+        let text = plum_obs::explain(&baseline, &current);
+        assert!(
+            text.contains(&format!("rank {FIG6_SLOW_RANK} / compute")),
+            "{text}"
+        );
+        assert!(text.contains("reconciliation"), "{text}");
     }
 
     /// Acceptance criteria of the portfolio's mild branch: the mild fig6

@@ -69,23 +69,25 @@ fn hotspot_plum(scale: Scale, measured: bool) -> Plum {
     p
 }
 
-/// Per-cycle true-cost imbalances of one hotspot arm.
-fn hotspot_arm(scale: Scale, measured: bool, cycles: usize) -> Vec<f64> {
+/// Per-cycle true-cost imbalances of one hotspot arm, plus the arm's
+/// recorded per-cycle timeline.
+fn hotspot_arm(scale: Scale, measured: bool, cycles: usize) -> (Vec<f64>, plum_obs::Timeline) {
     let mut p = hotspot_plum(scale, measured);
-    (0..cycles)
+    let imbalances = (0..cycles)
         .map(|_| {
             p.adaption_cycle(0.2, 0.05);
             units_imbalance(&p)
         })
-        .collect()
+        .collect();
+    (imbalances, p.timeline)
 }
 
 /// The hotspot BENCH run. Asserts the ≥ 2× steady-state reduction the
 /// scenario exists to demonstrate; the report pins the exact values.
 pub fn hotspot_bench(scale: Scale) -> (BenchReport, String) {
     let cycles = 4;
-    let measured = hotspot_arm(scale, true, cycles);
-    let unit = hotspot_arm(scale, false, cycles);
+    let (measured, measured_timeline) = hotspot_arm(scale, true, cycles);
+    let (unit, _) = hotspot_arm(scale, false, cycles);
     let m = *measured.last().unwrap();
     let u = *unit.last().unwrap();
     let reduction = (u - 1.0) / (m - 1.0).max(1e-9);
@@ -103,6 +105,8 @@ pub fn hotspot_bench(scale: Scale) -> (BenchReport, String) {
     b.set("balance.hotspot.measured_units_imbalance", m)
         .set("rate.hotspot.imbalance_reduction", reduction)
         .set("info.hotspot.unit_units_imbalance", u);
+    // The measured arm's per-cycle trajectory, for `plum-bench explain`.
+    b.timeline = Some(measured_timeline);
 
     let mut analysis = format!(
         "hotspot @ P={SCENARIO_NPROC}: 40× moving hotspot, \
@@ -129,8 +133,9 @@ fn particle_band(p: &Plum) -> Vec<u64> {
 }
 
 /// Run the dual scenario with or without the second constraint and return
-/// the final `(fluid, particle)` per-processor imbalances.
-fn dual_arm(scale: Scale, dual: bool, cycles: usize) -> (f64, f64) {
+/// the final `(fluid, particle)` per-processor imbalances plus the arm's
+/// recorded per-cycle timeline.
+fn dual_arm(scale: Scale, dual: bool, cycles: usize) -> (f64, f64, plum_obs::Timeline) {
     let mut cfg = PlumConfig::new(SCENARIO_NPROC);
     cfg.policy = RemapPolicy::BeforeRefinement;
     let mut p = Plum::new(initial_mesh(scale), WaveField::unit_box(), cfg);
@@ -144,7 +149,7 @@ fn dual_arm(scale: Scale, dual: bool, cycles: usize) -> (f64, f64) {
     let (wcomp, _) = p.am.weights();
     let fluid = imbalance(&per_proc(&wcomp, &p.proc_of_root, SCENARIO_NPROC));
     let particles = imbalance(&per_proc(&w2, &p.proc_of_root, SCENARIO_NPROC));
-    (fluid, particles)
+    (fluid, particles, p.timeline)
 }
 
 /// The dual BENCH run. Asserts the scenario's acceptance criteria: both
@@ -152,8 +157,8 @@ fn dual_arm(scale: Scale, dual: bool, cycles: usize) -> (f64, f64) {
 /// balancing leaves the particle constraint ≥ 1.5.
 pub fn dual_bench(scale: Scale) -> (BenchReport, String) {
     let cycles = 3;
-    let (single_fluid, single_particles) = dual_arm(scale, false, cycles);
-    let (dual_fluid, dual_particles) = dual_arm(scale, true, cycles);
+    let (single_fluid, single_particles, _) = dual_arm(scale, false, cycles);
+    let (dual_fluid, dual_particles, dual_timeline) = dual_arm(scale, true, cycles);
     assert!(
         single_particles >= 1.5,
         "single-constraint balancing should leave the particle constraint \
@@ -174,6 +179,7 @@ pub fn dual_bench(scale: Scale) -> (BenchReport, String) {
         .set("balance.dual.particle_imbalance", dual_particles)
         .set("info.dual.single_fluid_imbalance", single_fluid)
         .set("info.dual.single_particle_imbalance", single_particles);
+    b.timeline = Some(dual_timeline);
 
     let analysis = format!(
         "dual @ P={SCENARIO_NPROC}: fluid leaves + 200×-band particle weights\n\
@@ -288,6 +294,8 @@ pub fn cascade_bench(scale: Scale) -> (BenchReport, String) {
         .set("phase.coarsen.seconds", coarsen_seconds)
         .set("cascade.final_elements", final_elems as f64)
         .set("rate.cascade.elements_removed", (peak - final_elems) as f64);
+    // The refine-refine-coarsen-coarsen trajectory, one row per cycle.
+    b.timeline = Some(p.timeline.clone());
 
     analysis.push_str(&format!(
         "=> {initial} -> {peak} -> {final_elems} elements; \

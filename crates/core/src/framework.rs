@@ -263,6 +263,13 @@ pub struct Plum {
     /// present the balancer holds *both* constraint imbalances down
     /// simultaneously (max-of-imbalances objective).
     pub wcomp2: Option<Vec<u64>>,
+    /// Per-cycle metric trajectories, recorded automatically by
+    /// [`Plum::adaption_cycle`] and [`Plum::coarsen_cycle`]: every cycle
+    /// appends one row of that cycle's flat metrics, so multi-cycle runs
+    /// keep the full time series (method flips, imbalance trajectory,
+    /// phase times per cycle) for a `plum-bench/v2` report or a sparkline
+    /// dump. Reference drivers do not record.
+    pub timeline: plum_obs::Timeline,
     pub(crate) solver_cfg: SolverConfig,
 }
 
@@ -298,6 +305,7 @@ impl Plum {
             root_centroid,
             observed_cost_override: None,
             wcomp2: None,
+            timeline: plum_obs::Timeline::new(),
             cfg,
             work: WorkModel::default(),
             am,
@@ -418,7 +426,20 @@ impl Plum {
     /// cycle, incrementally maintained ownership, and a continuous virtual
     /// timeline in [`CycleTraces::session`].
     pub fn adaption_cycle(&mut self, refine_frac: f64, dt: f64) -> CycleReport {
-        crate::engine::run_cycle(self, refine_frac, dt)
+        let report = crate::engine::run_cycle(self, refine_frac, dt);
+        self.record_timeline_row(&report);
+        report
+    }
+
+    /// Append one row of `report`'s flat metrics to [`Plum::timeline`].
+    /// Uses a fresh registry per cycle so counters are per-cycle deltas,
+    /// not running totals.
+    fn record_timeline_row(&mut self, report: &CycleReport) {
+        let mut reg = plum_obs::Registry::new();
+        report.emit_metrics(&mut reg);
+        let flat = reg.flat_metrics();
+        self.timeline
+            .record_cycle(flat.iter().map(|(k, &v)| (k.as_str(), v)));
     }
 
     /// Run one *coarsening* cycle: solve, mark the lowest-error edges,
@@ -428,7 +449,9 @@ impl Plum {
     /// mesh shrinks (`growth < 1.0`) instead of growing. `coarse_frac` is
     /// the fraction of live edges targeted for de-refinement.
     pub fn coarsen_cycle(&mut self, coarse_frac: f64, dt: f64) -> CycleReport {
-        crate::engine::run_coarsen_cycle(self, coarse_frac, dt)
+        let report = crate::engine::run_coarsen_cycle(self, coarse_frac, dt);
+        self.record_timeline_row(&report);
+        report
     }
 
     /// The per-phase golden reference for [`Plum::coarsen_cycle`], mirroring
@@ -987,6 +1010,25 @@ mod tests {
         second.emit_metrics(&mut s);
         assert_eq!(s.counters["cycle.count"], 2);
         assert_eq!(s.gauges["phase.marking.seconds"], second.times.marking);
+    }
+
+    #[test]
+    fn timeline_records_one_row_per_cycle() {
+        let mut p = plum(4, 4);
+        assert!(p.timeline.is_empty());
+        let first = p.adaption_cycle(0.33, 0.1);
+        p.adaption_cycle(0.33, 0.1);
+        assert_eq!(p.timeline.cycles(), 2);
+        // Gauges land as per-cycle slots...
+        let solver = p.timeline.get("phase.solver.seconds").unwrap();
+        assert_eq!(solver[0], Some(first.times.solver));
+        assert!(solver[1].is_some());
+        // ...and counters are per-cycle deltas, not running totals.
+        assert_eq!(p.timeline.get("cycle.count").unwrap(), &[Some(1.0); 2]);
+        assert!(p.timeline.get("balance.method").is_some());
+        // Coarsening cycles append to the same timeline.
+        p.coarsen_cycle(0.3, 0.1);
+        assert_eq!(p.timeline.cycles(), 3);
     }
 
     #[test]

@@ -17,11 +17,19 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::digest::TraceDigest;
 use crate::json::{self, Value};
 use crate::registry::Registry;
+use crate::timeline::Timeline;
 
-/// Schema identifier embedded in (and required of) every BENCH file.
-pub const BENCH_SCHEMA: &str = "plum-bench/v1";
+/// Schema identifier embedded in every emitted BENCH file. v2 adds two
+/// optional attribution payloads — a [`TraceDigest`] and a [`Timeline`] —
+/// on top of v1; [`BenchReport::from_json`] still accepts
+/// [`BENCH_SCHEMA_V1`] files (they parse with both payloads absent).
+pub const BENCH_SCHEMA: &str = "plum-bench/v2";
+
+/// The previous schema version, still accepted on read.
+pub const BENCH_SCHEMA_V1: &str = "plum-bench/v1";
 
 /// Metrics with this prefix are informational: emitted, shown, never
 /// compared.
@@ -45,6 +53,11 @@ pub struct BenchReport {
     pub experiment: String,
     pub meta: BTreeMap<String, MetaValue>,
     pub metrics: BTreeMap<String, f64>,
+    /// Per-(phase, rank) trace digest of the instrumented run (v2; absent
+    /// in v1 files and in experiments too large to digest).
+    pub digest: Option<TraceDigest>,
+    /// Per-cycle metric trajectories of multi-cycle runs (v2, optional).
+    pub timeline: Option<Timeline>,
 }
 
 /// Failure reading or validating a BENCH file.
@@ -177,8 +190,16 @@ impl BenchReport {
                 json::fmt_f64(*v)
             ));
         }
-        out.push_str(if first { "}\n" } else { "\n  }\n" });
-        out.push_str("}\n");
+        out.push_str(if first { "}" } else { "\n  }" });
+        if let Some(d) = &self.digest {
+            out.push_str(",\n  \"digest\": ");
+            d.write_json(&mut out);
+        }
+        if let Some(t) = &self.timeline {
+            out.push_str(",\n  \"timeline\": ");
+            t.write_json(&mut out);
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -192,9 +213,9 @@ impl BenchReport {
             .get("schema")
             .and_then(Value::as_str)
             .ok_or_else(|| BenchError::Schema("missing \"schema\" field".into()))?;
-        if schema != BENCH_SCHEMA {
+        if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
             return Err(BenchError::Schema(format!(
-                "unsupported schema {schema:?} (want {BENCH_SCHEMA:?})"
+                "unsupported schema {schema:?} (want {BENCH_SCHEMA:?} or {BENCH_SCHEMA_V1:?})"
             )));
         }
         let experiment = obj
@@ -230,6 +251,12 @@ impl BenchReport {
                 .ok_or_else(|| BenchError::Schema(format!("metric {k} is not a number: {v:?}")))?;
             report.metrics.insert(k.clone(), x);
         }
+        if let Some(dv) = obj.get("digest") {
+            report.digest = Some(TraceDigest::from_value(dv).map_err(BenchError::Schema)?);
+        }
+        if let Some(tv) = obj.get("timeline") {
+            report.timeline = Some(Timeline::from_value(tv).map_err(BenchError::Schema)?);
+        }
         report.validate()?;
         Ok(report)
     }
@@ -258,6 +285,10 @@ pub struct CompareReport {
     /// Tracked baseline metrics absent from the current report (a silently
     /// dropped metric must fail the gate, or regressions could hide).
     pub missing_in_current: Vec<String>,
+    /// [`INFO_PREFIX`] baseline metrics absent from the current report.
+    /// Warned about, never gating: info metrics do not gate on value, so
+    /// they must not gate on presence either.
+    pub missing_info: Vec<String>,
     /// Tracked current metrics with no baseline. Warned about always;
     /// gating only when [`CompareReport::strict_new`] is set — otherwise a
     /// new tracked metric never gets a baseline and never gates.
@@ -296,6 +327,12 @@ impl CompareReport {
         for name in &self.missing_in_current {
             out.push_str(&format!(
                 "  MISSING     {name}: dropped from current report\n"
+            ));
+        }
+        for name in &self.missing_info {
+            out.push_str(&format!(
+                "  WARNING     {name}: informational metric dropped from current report \
+                 (never gates)\n"
             ));
         }
         for d in &self.improvements {
@@ -337,11 +374,17 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64
         improvements: Vec::new(),
         unchanged: 0,
         missing_in_current: Vec::new(),
+        missing_info: Vec::new(),
         new_in_current: Vec::new(),
         strict_new: false,
     };
     for (name, &base) in &baseline.metrics {
         if name.starts_with(INFO_PREFIX) {
+            // Info metrics never gate — not on value, not on presence.
+            // A dropped one is still worth a warning line in CI logs.
+            if !current.metrics.contains_key(name) {
+                report.missing_info.push(name.clone());
+            }
             continue;
         }
         let Some(&cur) = current.metrics.get(name) else {
@@ -426,7 +469,7 @@ mod tests {
             BenchReport::from_json("not json"),
             Err(BenchError::Parse(_))
         ));
-        let wrong_schema = sample().to_json().replace("plum-bench/v1", "plum-bench/v0");
+        let wrong_schema = sample().to_json().replace("plum-bench/v2", "plum-bench/v0");
         assert!(matches!(
             BenchReport::from_json(&wrong_schema),
             Err(BenchError::Schema(_))
@@ -461,12 +504,81 @@ mod tests {
         assert!(compare(&base, &cur, 15.0).passed());
     }
 
+    /// A v1 baseline file must keep parsing (and gating) against v2
+    /// current reports: the schema bump is read-compatible.
+    #[test]
+    fn v1_reports_still_parse_and_gate() {
+        let v1_text = sample().to_json().replace("plum-bench/v2", "plum-bench/v1");
+        let v1 = BenchReport::from_json(&v1_text).unwrap();
+        assert!(v1.digest.is_none());
+        assert!(v1.timeline.is_none());
+        let cmp = compare(&v1, &sample(), 5.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.unchanged, 3);
+        // ...and a regression against a v1 baseline still fails.
+        let mut cur = sample();
+        cur.set("comm.msgs", 1e6);
+        assert!(!compare(&v1, &cur, 5.0).passed());
+    }
+
+    /// v2 payloads (digest + timeline) round-trip bit-identically.
+    #[test]
+    fn v2_payloads_roundtrip_bit_identically() {
+        use plum_parsim::{spmd, MachineModel, TraceLog};
+        let runs = spmd(3, MachineModel::sp2(), |comm| {
+            comm.phase("work", |c| {
+                c.compute(10.0 * (c.rank() + 1) as f64);
+                c.barrier();
+            });
+        });
+        let mut r = sample();
+        r.digest = Some(TraceDigest::from_log(&TraceLog::from_results(&runs)));
+        let mut t = Timeline::new();
+        t.record_cycle([("balance.method", 2.0), ("cycle.virtual_seconds", 1.5)]);
+        t.record_cycle([("balance.method", 1.0), ("cycle.virtual_seconds", 1.2)]);
+        r.timeline = Some(t);
+
+        let text = r.to_json();
+        assert!(text.contains("\"schema\": \"plum-bench/v2\""));
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), text, "re-emission must be bit-identical");
+    }
+
     #[test]
     fn info_metrics_never_gate() {
         let base = sample();
         let mut cur = sample();
         cur.set("info.cycle.growth", 99.0);
         assert!(compare(&base, &cur, 5.0).passed());
+    }
+
+    /// Dropping an `info.` metric warns but does not gate — and the
+    /// reverse direction (new info metric in current) stays silent even
+    /// under strict-new. Dropping a *tracked* metric still fails.
+    #[test]
+    fn dropped_info_metric_warns_without_gating() {
+        let base = sample();
+        let mut cur = sample();
+        cur.metrics.remove("info.cycle.growth");
+        let mut cmp = compare(&base, &cur, 5.0);
+        cmp.strict_new = true;
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert_eq!(cmp.missing_info, vec!["info.cycle.growth".to_string()]);
+        assert!(cmp.missing_in_current.is_empty());
+        let text = cmp.render();
+        assert!(text.contains("WARNING     info.cycle.growth"), "{text}");
+        assert!(text.contains("PASS"), "{text}");
+
+        // Reverse direction: an info metric only in current is not even a
+        // strict-new violation.
+        let mut cur2 = sample();
+        cur2.set("info.brand.new", 1.0);
+        let mut cmp2 = compare(&base, &cur2, 5.0);
+        cmp2.strict_new = true;
+        assert!(cmp2.passed());
+        assert!(cmp2.new_in_current.is_empty());
+        assert!(cmp2.missing_info.is_empty());
     }
 
     #[test]

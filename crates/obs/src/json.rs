@@ -46,10 +46,14 @@ impl Value {
     }
 }
 
-/// A parse failure: byte offset plus message.
+/// A parse failure: byte offset, 1-based line/column, and message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub offset: usize,
+    /// 1-based line of the failure (newlines counted up to `offset`).
+    pub line: usize,
+    /// 1-based byte column within that line.
+    pub column: usize,
     pub message: String,
 }
 
@@ -57,11 +61,16 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "JSON parse error at byte {}: {}",
-            self.offset, self.message
+            "JSON parse error at line {} column {} (byte {}): {}",
+            self.line, self.column, self.offset, self.message
         )
     }
 }
+
+/// Maximum container nesting the parser accepts. The BENCH schema needs a
+/// handful of levels; anything deeper is pathological input that would
+/// otherwise overflow the recursive-descent stack.
+pub const MAX_DEPTH: usize = 128;
 
 /// Escape a string for JSON emission.
 pub fn escape(s: &str) -> String {
@@ -93,6 +102,7 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -106,14 +116,37 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> ParseError {
+        // Line/column are derived from the offset on demand — errors are
+        // the cold path, so the happy path never tracks them.
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
         ParseError {
             offset: self.pos,
+            line,
+            column: col,
             message: msg.to_string(),
         }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -159,10 +192,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(map));
         }
         loop {
@@ -178,6 +213,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -187,10 +223,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -201,6 +239,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -277,9 +316,14 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("bad number"))
+        match text.parse::<f64>() {
+            // `"1e999".parse::<f64>()` happily returns `inf`; the BENCH
+            // schema only carries finite numbers, so reject the overflow
+            // here rather than let it poison comparisons downstream.
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            Ok(_) => Err(self.err("non-finite number")),
+            Err(_) => Err(self.err("bad number")),
+        }
     }
 }
 
@@ -327,5 +371,71 @@ mod tests {
             let v = parse(&s).unwrap();
             assert_eq!(v.as_num(), Some(x), "{s}");
         }
+    }
+
+    /// Every escape the emitter produces must decode back to the original
+    /// string: quotes, backslashes, the named escapes, raw control
+    /// characters (emitted as `\u00XX`), and non-ASCII text.
+    #[test]
+    fn escape_roundtrips_controls_and_unicode() {
+        let cases = [
+            "quote\" backslash\\ slash/",
+            "\u{1}\u{2}\u{1f}\u{7f}",
+            "bell\u{7} form\u{c} backspace\u{8}",
+            "näive – ünïcode ✓",
+            "mixed\n\t\r\u{0}end",
+        ];
+        for s in cases {
+            let doc = format!("\"{}\"", escape(s));
+            let v = parse(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+            assert_eq!(v.as_str(), Some(s), "{doc}");
+        }
+        // Hand-written \u escapes decode too (including uppercase hex).
+        assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap().as_str(), Some("Aé"));
+        assert_eq!(parse("\"\\u001F\"").unwrap().as_str(), Some("\u{1f}"));
+    }
+
+    /// Exponent forms parse; overflowing exponents (which `f64::parse`
+    /// silently turns into infinity) are rejected as non-finite.
+    #[test]
+    fn exponent_and_overflow_numbers() {
+        assert_eq!(parse("1e3").unwrap().as_num(), Some(1000.0));
+        assert_eq!(parse("-2.5E-2").unwrap().as_num(), Some(-0.025));
+        assert_eq!(parse("1e-999").unwrap().as_num(), Some(0.0)); // underflow is fine
+        for doc in ["1e999", "-1e999", "1e400", "12345678e999999"] {
+            let e = parse(doc).unwrap_err();
+            assert!(e.message.contains("non-finite"), "{doc}: {e}");
+        }
+    }
+
+    /// Errors report 1-based line/column derived from the byte offset.
+    #[test]
+    fn errors_carry_line_and_column() {
+        let doc = "{\n  \"a\": 1,\n  \"b\": nope\n}";
+        let e = parse(doc).unwrap_err();
+        assert_eq!(e.line, 3, "{e:?}");
+        assert_eq!(e.column, 8, "{e:?}");
+        assert_eq!(e.offset, doc.find("nope").unwrap());
+        assert!(e.to_string().contains("line 3 column 8"), "{e}");
+
+        let e = parse("[1, 2, oops]").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8), "{e:?}");
+    }
+
+    /// Nesting up to MAX_DEPTH parses; one level deeper is rejected with a
+    /// clean error instead of a stack overflow.
+    #[test]
+    fn depth_guard_rejects_pathological_nesting() {
+        let nested = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&nested(MAX_DEPTH)).is_ok());
+        let e = parse(&nested(MAX_DEPTH + 1)).unwrap_err();
+        assert!(e.message.contains("MAX_DEPTH"), "{e}");
+        // Mixed object/array nesting counts every level.
+        let mixed = format!(
+            "{}1{}",
+            "{\"k\":[".repeat(MAX_DEPTH),
+            "]}".repeat(MAX_DEPTH)
+        );
+        assert!(parse(&mixed).is_err());
     }
 }

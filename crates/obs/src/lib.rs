@@ -19,15 +19,24 @@
 
 pub mod bench;
 pub mod critpath;
+pub mod diff;
+pub mod digest;
 pub mod json;
 pub mod registry;
+pub mod timeline;
 
 pub use bench::{
     compare, BenchError, BenchReport, CompareReport, MetaValue, MetricDelta, BENCH_SCHEMA,
-    INFO_PREFIX, RATE_PREFIX,
+    BENCH_SCHEMA_V1, INFO_PREFIX, RATE_PREFIX,
 };
 pub use critpath::{
     critical_path, heaviest_edges, phase_critical_path, render_heaviest_edges, CriticalPath,
     PathSegment, SegmentKind,
 };
+pub use diff::{diff_digests, explain, AttributionBucket, DigestDiff, PathReroute};
+pub use digest::{
+    CollectiveDigest, PathBucket, PhaseDigest, TraceDigest, DIGEST_SCHEMA, OUTSIDE_PHASE,
+    SLACK_KIND,
+};
 pub use registry::{Histogram, Registry};
+pub use timeline::Timeline;

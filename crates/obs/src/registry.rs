@@ -71,6 +71,39 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts.
+    ///
+    /// The estimate is the upper bound of the bucket holding the
+    /// `ceil(q·count)`-th observation, clamped to the observed `[min, max]`
+    /// range — so it is exact for the extremes and within one power of two
+    /// elsewhere. Observations in the overflow bucket estimate as `max`.
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                let est = if i < HIST_BUCKETS {
+                    Self::bound(i)
+                } else {
+                    self.max
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
 }
 
 /// The metrics registry: a [`MetricsSink`] that stores everything it is
@@ -118,6 +151,15 @@ impl Registry {
             out.insert(format!("{k}.sum"), h.sum);
             if h.count > 0 {
                 out.insert(format!("{k}.max"), h.max);
+                // Bucket-bound quantile estimates are informational: they
+                // are accurate to a power of two only, so they carry the
+                // `info.` prefix and never gate a bench comparison.
+                let info = crate::bench::INFO_PREFIX;
+                for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    if let Some(v) = h.quantile(q) {
+                        out.insert(format!("{info}{k}.{label}"), v);
+                    }
+                }
             }
         }
         out
@@ -212,5 +254,60 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("counter  a.count = 2"));
         assert!(text.contains("hist     c.wait: count=2"));
+    }
+
+    #[test]
+    fn quantiles_estimate_from_hand_computed_bucket_fills() {
+        // 10 observations: 5 in bucket 3 (bound 8 µs), 4 in bucket 10
+        // (bound 1024 µs), 1 in the overflow bucket.
+        let mut h = Histogram::default();
+        for _ in 0..5 {
+            h.observe(6e-6);
+        }
+        for _ in 0..4 {
+            h.observe(1e-3);
+        }
+        h.observe(1e9);
+        // p50: the 5th observation closes bucket 3 → its bound, 8 µs.
+        assert_eq!(h.quantile(0.5), Some(Histogram::bound(3)));
+        assert_eq!(h.quantile(0.5), Some(8e-6));
+        // p90: the 9th observation closes bucket 10 → 1024 µs.
+        assert_eq!(h.quantile(0.9), Some(Histogram::bound(10)));
+        // p99: the 10th observation sits in overflow → max.
+        assert_eq!(h.quantile(0.99), Some(1e9));
+        // Extremes are exact.
+        assert_eq!(h.quantile(0.0), Some(6e-6));
+        assert_eq!(h.quantile(1.0), Some(1e9));
+        assert_eq!(Histogram::default().quantile(0.5), None);
+
+        // A bucket bound above the observed max clamps down to max.
+        let mut one = Histogram::default();
+        one.observe(5e-7);
+        assert_eq!(one.quantile(0.5), Some(5e-7));
+    }
+
+    #[test]
+    fn flat_metrics_expose_quantiles_as_info() {
+        let mut r = Registry::new();
+        for _ in 0..9 {
+            r.observe("c.wait", 6e-6);
+        }
+        r.observe("c.wait", 1e-3);
+        let flat = r.flat_metrics();
+        // 9 of 10 observations are 6 µs (bucket bound 8 µs): the 9th
+        // observation covers p50 and p90; only p99 reaches the 1 ms tail.
+        assert_eq!(flat["info.c.wait.p50"], 8e-6);
+        assert_eq!(flat["info.c.wait.p90"], 8e-6);
+        assert_eq!(flat["info.c.wait.p99"], 1e-3);
+        // Quantile keys all carry the info. prefix (warn-only in compare).
+        assert!(flat
+            .keys()
+            .filter(|k| k.contains(".p5") || k.contains(".p9"))
+            .all(|k| k.starts_with(crate::bench::INFO_PREFIX)));
+        // An empty registry emits none.
+        assert!(!Registry::new()
+            .flat_metrics()
+            .keys()
+            .any(|k| k.contains(".p50")));
     }
 }

@@ -1,0 +1,289 @@
+//! Per-cycle metric timelines for multi-cycle runs.
+//!
+//! A [`Timeline`] records one row of named metric values per adaption
+//! cycle, so rematch / cascade / chaos-recovery runs keep their metric
+//! *trajectories* instead of only final values. It renders as text
+//! sparklines (one glyph per cycle), detects flapping on discrete series
+//! like `balance.method`, and serializes deterministically for embedding
+//! in a `plum-bench/v2` report.
+
+use std::collections::BTreeMap;
+
+use crate::json::{escape, fmt_f64, Value};
+
+/// Sparkline glyph ramp, lowest to highest.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A per-cycle time series store. Series are keyed by metric name; every
+/// series has one slot per recorded cycle (`None` where the metric was not
+/// emitted that cycle).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    cycles: usize,
+    series: BTreeMap<String, Vec<Option<f64>>>,
+}
+
+impl Timeline {
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles == 0
+    }
+
+    /// Metric names in deterministic (sorted) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The recorded values of one series (length == `cycles`).
+    pub fn get(&self, name: &str) -> Option<&[Option<f64>]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Record one cycle's metrics as the next row. Series absent from
+    /// `metrics` get `None` for this cycle; series first seen here are
+    /// back-filled with `None` for earlier cycles.
+    pub fn record_cycle<'a>(&mut self, metrics: impl IntoIterator<Item = (&'a str, f64)>) {
+        let cycle = self.cycles;
+        for (name, value) in metrics {
+            let vs = self
+                .series
+                .entry(name.to_string())
+                .or_insert_with(|| vec![None; cycle]);
+            vs.resize(cycle, None);
+            vs.push(Some(value));
+        }
+        self.cycles += 1;
+        for vs in self.series.values_mut() {
+            vs.resize(self.cycles, None);
+        }
+    }
+
+    /// Count *flaps* of a series: value changes that revisit a value the
+    /// series has already taken. A monotone method progression (2 → 1,
+    /// settle) has zero flaps; oscillation (2 → 1 → 2) counts one per
+    /// return. `None` slots are skipped.
+    pub fn flaps(&self, name: &str) -> usize {
+        let Some(vs) = self.series.get(name) else {
+            return 0;
+        };
+        let mut seen: Vec<f64> = Vec::new();
+        let mut prev: Option<f64> = None;
+        let mut flaps = 0;
+        for v in vs.iter().flatten() {
+            if prev.is_some_and(|p| *v != p) && seen.iter().any(|s| s == v) {
+                flaps += 1;
+            }
+            if !seen.iter().any(|s| s == v) {
+                seen.push(*v);
+            }
+            prev = Some(*v);
+        }
+        flaps
+    }
+
+    /// Render one series as a sparkline: one glyph per cycle, `·` where
+    /// the metric was not recorded, `▄` everywhere when the series is
+    /// constant.
+    pub fn sparkline(&self, name: &str) -> String {
+        let Some(vs) = self.series.get(name) else {
+            return String::new();
+        };
+        let finite: Vec<f64> = vs.iter().flatten().copied().collect();
+        let (min, max) = finite
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        vs.iter()
+            .map(|v| match v {
+                None => '·',
+                Some(_) if max <= min => '▄',
+                Some(v) => {
+                    let t = (v - min) / (max - min);
+                    RAMP[((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
+                }
+            })
+            .collect()
+    }
+
+    /// Render every series: `name sparkline [first → last] (flaps: n)`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.series.keys().map(String::len).max().unwrap_or(0);
+        for (name, vs) in &self.series {
+            let first = vs.iter().flatten().next();
+            let last = vs.iter().flatten().next_back();
+            out.push_str(&format!("{name:>width$}  {}", self.sparkline(name)));
+            if let (Some(f), Some(l)) = (first, last) {
+                out.push_str(&format!("  [{} → {}]", fmt_f64(*f), fmt_f64(*l)));
+            }
+            let flaps = self.flaps(name);
+            if flaps > 0 {
+                out.push_str(&format!("  (flaps: {flaps})"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Append the timeline as a JSON object (`{"cycles": n, "series":
+    /// {name: [v|null, ...]}}`). Deterministic; equal timelines serialize
+    /// to identical bytes.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\n");
+        out.push_str(&format!("    \"cycles\": {},\n", self.cycles));
+        out.push_str("    \"series\": {");
+        let mut first = true;
+        for (name, vs) in &self.series {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("      \"{}\": [", escape(name)));
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match v {
+                    Some(v) => out.push_str(&fmt_f64(*v)),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push(']');
+        }
+        if first {
+            out.push_str("}\n  }");
+        } else {
+            out.push_str("\n    }\n  }");
+        }
+    }
+
+    /// Decode a timeline from a parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<Timeline, String> {
+        let obj = v.as_obj().ok_or("timeline must be an object")?;
+        let cycles = obj
+            .get("cycles")
+            .and_then(Value::as_num)
+            .ok_or("timeline missing 'cycles'")? as usize;
+        let series_obj = obj
+            .get("series")
+            .and_then(Value::as_obj)
+            .ok_or("timeline missing 'series'")?;
+        let mut series = BTreeMap::new();
+        for (name, sv) in series_obj {
+            let Value::Arr(items) = sv else {
+                return Err(format!("timeline series '{name}' must be an array"));
+            };
+            if items.len() != cycles {
+                return Err(format!(
+                    "timeline series '{name}' has {} slots for {cycles} cycles",
+                    items.len()
+                ));
+            }
+            let mut vs = Vec::with_capacity(items.len());
+            for item in items {
+                vs.push(match item {
+                    Value::Null => None,
+                    Value::Num(x) => Some(*x),
+                    _ => return Err(format!("timeline series '{name}': non-number entry")),
+                });
+            }
+            series.insert(name.clone(), vs);
+        }
+        Ok(Timeline { cycles, series })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.record_cycle([("makespan", 1.0), ("balance.method", 2.0)]);
+        t.record_cycle([("makespan", 0.8), ("balance.method", 1.0), ("late", 5.0)]);
+        t.record_cycle([("makespan", 0.7), ("balance.method", 2.0)]);
+        t
+    }
+
+    #[test]
+    fn records_pad_and_backfill() {
+        let t = sample();
+        assert_eq!(t.cycles(), 3);
+        assert_eq!(t.get("late"), Some(&[None, Some(5.0), None][..]));
+        assert_eq!(
+            t.get("makespan"),
+            Some(&[Some(1.0), Some(0.8), Some(0.7)][..])
+        );
+    }
+
+    #[test]
+    fn flap_detection_counts_revisits_only() {
+        let t = sample();
+        // 2 → 1 is a first visit (no flap); 1 → 2 revisits 2 (one flap).
+        assert_eq!(t.flaps("balance.method"), 1);
+        // Monotone decrease never flaps.
+        assert_eq!(t.flaps("makespan"), 0);
+        assert_eq!(t.flaps("missing"), 0);
+
+        let mut osc = Timeline::new();
+        for v in [1.0, 2.0, 1.0, 2.0, 1.0] {
+            osc.record_cycle([("m", v)]);
+        }
+        assert_eq!(osc.flaps("m"), 3);
+    }
+
+    #[test]
+    fn sparkline_maps_range_and_gaps() {
+        let t = sample();
+        let s: Vec<char> = t.sparkline("makespan").chars().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], '█', "max value gets the tallest glyph");
+        assert_eq!(s[2], '▁', "min value gets the smallest glyph");
+        // A single recorded value is a constant series: mid glyph.
+        assert_eq!(t.sparkline("late"), "·▄·");
+
+        let mut flat = Timeline::new();
+        flat.record_cycle([("c", 3.0)]);
+        flat.record_cycle([("c", 3.0)]);
+        assert_eq!(flat.sparkline("c"), "▄▄");
+    }
+
+    #[test]
+    fn render_lists_every_series() {
+        let r = sample().render();
+        assert!(r.contains("balance.method"), "{r}");
+        assert!(r.contains("(flaps: 1)"), "{r}");
+        assert!(r.contains("[1 → 0.7]"), "{r}");
+    }
+
+    #[test]
+    fn json_roundtrips_bit_identically() {
+        for t in [sample(), Timeline::new()] {
+            let mut json = String::new();
+            t.write_json(&mut json);
+            let back = Timeline::from_value(&parse(&json).unwrap()).unwrap();
+            assert_eq!(back, t);
+            let mut again = String::new();
+            back.write_json(&mut again);
+            assert_eq!(json, again);
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_bad_shapes() {
+        assert!(Timeline::from_value(&parse("[]").unwrap()).is_err());
+        let bad = "{\"cycles\": 2, \"series\": {\"m\": [1]}}";
+        assert!(Timeline::from_value(&parse(bad).unwrap()).is_err());
+        let bad = "{\"cycles\": 1, \"series\": {\"m\": [\"x\"]}}";
+        assert!(Timeline::from_value(&parse(bad).unwrap()).is_err());
+    }
+}

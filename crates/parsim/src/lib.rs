@@ -53,7 +53,8 @@ pub use metrics::MetricsSink;
 pub use model::MachineModel;
 pub use trace::{
     check_protocol, CollectiveKind, CollectiveStats, MergedTrace, MessageEdge, PhaseAgg,
-    ProtocolViolation, RankSummary, TraceEvent, TraceLog, TraceSummary, COLLECTIVE_KINDS,
+    PhaseRankAgg, ProtocolViolation, RankPhaseSplit, RankSummary, TraceEvent, TraceLog,
+    TraceSummary, COLLECTIVE_KINDS,
 };
 pub use watchdog::{DeadlockError, RankActivity};
 

@@ -922,6 +922,61 @@ impl PhaseAgg {
     }
 }
 
+/// One rank's share of a phase: the accounted-seconds split plus message
+/// counters, as attributed by [`TraceLog::phase_rank_breakdowns`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankPhaseSplit {
+    /// Compute seconds inside the phase on this rank.
+    pub compute: f64,
+    /// Send-startup (wire) seconds.
+    pub wire: f64,
+    /// Recv + sync idle seconds.
+    pub wait: f64,
+    /// Injected fault seconds.
+    pub injected: f64,
+    /// Messages / words sent inside the phase by this rank.
+    pub msgs: u64,
+    pub words: u64,
+}
+
+impl RankPhaseSplit {
+    /// Total accounted seconds of this rank inside the phase.
+    pub fn total(&self) -> f64 {
+        self.compute + self.wire + self.wait + self.injected
+    }
+}
+
+/// Per-(phase, rank) aggregation: the same attribution as
+/// [`TraceLog::phase_breakdowns`] (innermost open phase, carry into the
+/// last closed phase), but split per rank and extended with the phase's
+/// top-level collective counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRankAgg {
+    pub name: String,
+    /// Earliest `PhaseBegin` across ranks.
+    pub start: f64,
+    /// Latest `PhaseEnd` across ranks.
+    pub end: f64,
+    /// One entry per rank (length == `TraceLog::nranks`).
+    pub ranks: Vec<RankPhaseSplit>,
+    /// Top-level collective stats summed over ranks, indexed by
+    /// [`CollectiveKind::index`]. A collective is attributed to the phase
+    /// that was current on the rank when it was *entered*.
+    pub collectives: [CollectiveStats; COLLECTIVE_KINDS.len()],
+}
+
+impl PhaseRankAgg {
+    /// Total accounted seconds over all ranks.
+    pub fn total(&self) -> f64 {
+        self.ranks.iter().map(|r| r.total()).sum()
+    }
+
+    /// Stats of one collective kind inside this phase.
+    pub fn collective(&self, kind: CollectiveKind) -> &CollectiveStats {
+        &self.collectives[kind.index()]
+    }
+}
+
 impl TraceLog {
     /// Match every `Send` to its `Recv` by FIFO channel order and return
     /// the resulting happens-before edges, grouped by receiver rank in
@@ -1057,6 +1112,113 @@ impl TraceLog {
                             TraceEvent::Recv { wait, .. } => a.wait += wait,
                             TraceEvent::Sync { start, end } => a.wait += end - start,
                             TraceEvent::Fault { start, end, .. } => a.injected += end - start,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        for a in &mut aggs {
+            if !a.start.is_finite() {
+                a.start = 0.0;
+            }
+            if !a.end.is_finite() {
+                a.end = a.start;
+            }
+        }
+        aggs
+    }
+
+    /// The per-(phase, rank) refinement of [`TraceLog::phase_breakdowns`]:
+    /// identical attribution rules (innermost open phase; events after a
+    /// close carry into the last closed phase; events before any phase are
+    /// dropped), but the accounted split is kept per rank, and each phase
+    /// additionally collects the top-level collective counters of calls
+    /// entered while it was current. Summing a phase's rank splits
+    /// reproduces the corresponding [`PhaseAgg`] fields (up to float
+    /// reassociation — the counters match exactly). Phases are returned in
+    /// order of first appearance.
+    pub fn phase_rank_breakdowns(&self) -> Vec<PhaseRankAgg> {
+        use std::collections::HashMap;
+        let nranks = self.events.len();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut aggs: Vec<PhaseRankAgg> = Vec::new();
+        for (rank, stream) in self.events.iter().enumerate() {
+            let mut stack: Vec<usize> = Vec::new();
+            let mut current: Option<usize> = None;
+            // Enclosing collectives: (kind, phase current at top-level enter).
+            let mut coll_stack: Vec<(CollectiveKind, Option<usize>)> = Vec::new();
+            for ev in stream {
+                match ev {
+                    TraceEvent::PhaseBegin { name, start } => {
+                        let idx = *index.entry(name.clone()).or_insert_with(|| {
+                            aggs.push(PhaseRankAgg {
+                                name: name.clone(),
+                                start: f64::INFINITY,
+                                end: f64::NEG_INFINITY,
+                                ranks: vec![RankPhaseSplit::default(); nranks],
+                                collectives: Default::default(),
+                            });
+                            aggs.len() - 1
+                        });
+                        aggs[idx].start = aggs[idx].start.min(*start);
+                        stack.push(idx);
+                        current = Some(idx);
+                    }
+                    TraceEvent::PhaseEnd { name, end } => {
+                        let popped = stack.pop();
+                        debug_assert_eq!(
+                            popped.map(|i| aggs[i].name.as_str()),
+                            Some(name.as_str()),
+                            "unbalanced phase markers"
+                        );
+                        if let Some(idx) = popped {
+                            aggs[idx].end = aggs[idx].end.max(*end);
+                            current = stack.last().copied().or(Some(idx));
+                        }
+                    }
+                    TraceEvent::CollectiveEnter { kind, start, .. } => {
+                        let owner = if coll_stack.is_empty() { current } else { None };
+                        if let Some(idx) = owner {
+                            let c = &mut aggs[idx].collectives[kind.index()];
+                            c.calls += 1;
+                            c.seconds -= start; // paired with += end at exit
+                        }
+                        coll_stack.push((*kind, owner));
+                    }
+                    TraceEvent::CollectiveExit { kind, end, .. } => {
+                        let popped = coll_stack.pop();
+                        debug_assert_eq!(
+                            popped.map(|(k, _)| k),
+                            Some(*kind),
+                            "unbalanced collective markers"
+                        );
+                        if let Some((_, Some(idx))) = popped {
+                            aggs[idx].collectives[kind.index()].seconds += end;
+                        }
+                    }
+                    _ => {
+                        if let TraceEvent::Send { words, .. } = *ev {
+                            if let Some(&(top, Some(idx))) = coll_stack.first() {
+                                let c = &mut aggs[idx].collectives[top.index()];
+                                c.msgs += 1;
+                                c.words += words;
+                            }
+                        }
+                        let Some(idx) = current else { continue };
+                        let r = &mut aggs[idx].ranks[rank];
+                        match *ev {
+                            TraceEvent::Compute { start, end } => r.compute += end - start,
+                            TraceEvent::Send {
+                                start, end, words, ..
+                            } => {
+                                r.wire += end - start;
+                                r.msgs += 1;
+                                r.words += words;
+                            }
+                            TraceEvent::Recv { wait, .. } => r.wait += wait,
+                            TraceEvent::Sync { start, end } => r.wait += end - start,
+                            TraceEvent::Fault { start, end, .. } => r.injected += end - start,
                             _ => {}
                         }
                     }
@@ -1390,6 +1552,48 @@ mod tests {
         let full_total: f64 = full.ranks.iter().map(|r| r.total()).sum();
         assert!((agg_total - full_total).abs() < 1e-12);
         assert_eq!(aggs.iter().map(|a| a.msgs).sum::<u64>(), full.total_msgs());
+    }
+
+    #[test]
+    fn phase_rank_breakdowns_refine_phase_breakdowns() {
+        // The per-(phase, rank) split must sum back to phase_breakdowns
+        // field-for-field, report the same phase order/extents, and its
+        // collective counters must sum to the full summary's (every
+        // collective in this workload is entered inside a phase or its
+        // carried tail).
+        let results = run_workload();
+        let log = TraceLog::from_results(&results);
+        let flat = log.phase_breakdowns();
+        let split = log.phase_rank_breakdowns();
+        assert_eq!(flat.len(), split.len());
+        for (f, s) in flat.iter().zip(&split) {
+            assert_eq!(f.name, s.name);
+            assert_eq!(f.start, s.start);
+            assert_eq!(f.end, s.end);
+            assert_eq!(s.ranks.len(), log.nranks());
+            let sum = |get: fn(&RankPhaseSplit) -> f64| -> f64 { s.ranks.iter().map(get).sum() };
+            assert!((f.compute - sum(|r| r.compute)).abs() < 1e-12, "{s:?}");
+            assert!((f.wire - sum(|r| r.wire)).abs() < 1e-12, "{s:?}");
+            assert!((f.wait - sum(|r| r.wait)).abs() < 1e-12, "{s:?}");
+            assert!((f.injected - sum(|r| r.injected)).abs() < 1e-12, "{s:?}");
+            assert_eq!(f.msgs, s.ranks.iter().map(|r| r.msgs).sum::<u64>());
+            assert_eq!(f.words, s.ranks.iter().map(|r| r.words).sum::<u64>());
+        }
+        let full = log.summary();
+        for kind in COLLECTIVE_KINDS {
+            let calls: u64 = split.iter().map(|s| s.collective(kind).calls).sum();
+            let msgs: u64 = split.iter().map(|s| s.collective(kind).msgs).sum();
+            let words: u64 = split.iter().map(|s| s.collective(kind).words).sum();
+            let secs: f64 = split.iter().map(|s| s.collective(kind).seconds).sum();
+            let full_calls: u64 = full.ranks.iter().map(|r| r.collective(kind).calls).sum();
+            let full_msgs: u64 = full.ranks.iter().map(|r| r.collective(kind).msgs).sum();
+            let full_words: u64 = full.ranks.iter().map(|r| r.collective(kind).words).sum();
+            let full_secs: f64 = full.ranks.iter().map(|r| r.collective(kind).seconds).sum();
+            assert_eq!(calls, full_calls, "{kind:?}");
+            assert_eq!(msgs, full_msgs, "{kind:?}");
+            assert_eq!(words, full_words, "{kind:?}");
+            assert!((secs - full_secs).abs() < 1e-12, "{kind:?}");
+        }
     }
 
     #[test]
